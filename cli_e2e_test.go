@@ -1,0 +1,119 @@
+package unixhash
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIEndToEnd builds the command-line tools and exercises each one
+// against real files — the integration layer the unit tests cannot see.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"hashcli", "hashdump", "dbcli", "hashbench"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	run := func(tool string, want int, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, tool), args...)
+		out, err := cmd.CombinedOutput()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("%s %v: %v", tool, args, err)
+		}
+		if code != want {
+			t.Fatalf("%s %v: exit %d (want %d)\n%s", tool, args, code, want, out)
+		}
+		return string(out)
+	}
+
+	dir := t.TempDir()
+	db := filepath.Join(dir, "cli.db")
+
+	// hashcli: the full verb set.
+	run("hashcli", 0, db, "put", "alpha", "1")
+	run("hashcli", 0, db, "put", "beta", "2")
+	run("hashcli", 0, db, "putnew", "gamma", "3")
+	if out := run("hashcli", 1, db, "putnew", "gamma", "3x"); !strings.Contains(out, "exists") {
+		t.Fatalf("putnew dup output: %q", out)
+	}
+	if out := run("hashcli", 0, db, "get", "beta"); strings.TrimSpace(out) != "2" {
+		t.Fatalf("get = %q", out)
+	}
+	run("hashcli", 0, db, "has", "alpha")
+	run("hashcli", 1, db, "has", "nope")
+	if out := run("hashcli", 0, db, "count"); strings.TrimSpace(out) != "3" {
+		t.Fatalf("count = %q", out)
+	}
+	out := run("hashcli", 0, db, "list")
+	for _, want := range []string{"alpha\t1", "beta\t2", "gamma\t3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list missing %q:\n%s", want, out)
+		}
+	}
+	run("hashcli", 0, db, "del", "beta")
+	run("hashcli", 1, db, "get", "beta")
+	compacted := filepath.Join(dir, "compacted.db")
+	run("hashcli", 0, db, "compact", compacted)
+	if out := run("hashcli", 0, compacted, "count"); strings.TrimSpace(out) != "2" {
+		t.Fatalf("compacted count = %q", out)
+	}
+	run("hashdump", 0, "-check", compacted)
+
+	// hashdump over the same file.
+	if out := run("hashdump", 0, "-check", db); strings.TrimSpace(out) != "ok" {
+		t.Fatalf("hashdump -check = %q", out)
+	}
+	if out := run("hashdump", 0, "-stats", db); !strings.Contains(out, "keys:") {
+		t.Fatalf("hashdump -stats = %q", out)
+	}
+	if out := run("hashdump", 0, "-v", db); !strings.Contains(out, "hash table:") {
+		t.Fatalf("hashdump -v = %q", out)
+	}
+	run("hashdump", 1, "-check", filepath.Join(dir, "missing.db"))
+
+	// dbcli over btree: ordered behaviour and the checker.
+	bt := filepath.Join(dir, "cli.bt")
+	run("dbcli", 0, "-method", "btree", bt, "put", "zebra", "z")
+	run("dbcli", 0, "-method", "btree", bt, "put", "apple", "a")
+	run("dbcli", 0, "-method", "btree", bt, "put", "mango", "m")
+	out = run("dbcli", 0, "-method", "btree", bt, "list")
+	ai, mi, zi := strings.Index(out, "apple"), strings.Index(out, "mango"), strings.Index(out, "zebra")
+	if !(ai >= 0 && ai < mi && mi < zi) {
+		t.Fatalf("btree list not ordered:\n%s", out)
+	}
+	out = run("dbcli", 0, "-method", "btree", bt, "range", "m")
+	if strings.Contains(out, "apple") || !strings.Contains(out, "mango") {
+		t.Fatalf("range m wrong:\n%s", out)
+	}
+	if out := run("dbcli", 0, "-method", "btree", bt, "check"); strings.TrimSpace(out) != "ok" {
+		t.Fatalf("btree check = %q", out)
+	}
+
+	// dbcli over recno: a text file of lines.
+	rn := filepath.Join(dir, "cli.txt")
+	run("dbcli", 0, "-method", "recno", rn, "append", "line one")
+	run("dbcli", 0, "-method", "recno", rn, "append", "line two")
+	run("dbcli", 0, "-method", "recno", rn, "put", "0", "line ONE")
+	raw, err := os.ReadFile(rn)
+	if err != nil || string(raw) != "line ONE\nline two\n" {
+		t.Fatalf("recno flat file = %q, %v", raw, err)
+	}
+
+	// hashbench smoke: one small figure end to end.
+	out = run("hashbench", 0, "-n", "500", "fig7")
+	if !strings.Contains(out, "Figure 7") || !strings.Contains(out, "page I/Os") {
+		t.Fatalf("hashbench fig7 output:\n%s", out)
+	}
+}

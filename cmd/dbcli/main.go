@@ -1,0 +1,186 @@
+// Command dbcli is the access-method-independent database tool: the same
+// operations run over hash, btree or recno files, demonstrating the
+// paper's generic key/data interface ("appear identical to the
+// application layer").
+//
+//	dbcli -method hash  file.db put KEY VALUE
+//	dbcli -method btree file.db get KEY
+//	dbcli -method btree file.db range FROM      # ordered scan from FROM
+//	dbcli -method recno file.db put 3 VALUE     # recno keys are numbers
+//	dbcli -method recno file.db append VALUE
+//	dbcli [...] del KEY | list | count | check
+//
+// check verifies structural invariants (btree only).
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"unixhash/internal/btree"
+	"unixhash/internal/db"
+)
+
+func main() {
+	method := flag.String("method", "hash", "access method: hash, btree, recno")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	path, cmd := args[0], args[1]
+	rest := args[2:]
+
+	var m db.Method
+	switch *method {
+	case "hash":
+		m = db.Hash
+	case "btree":
+		m = db.Btree
+	case "recno":
+		m = db.Recno
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	d, err := db.Open(path, m, nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := d.Close(); err != nil {
+			fatal(err)
+		}
+	}()
+
+	mkKey := func(s string) []byte {
+		if m != db.Recno {
+			return []byte(s)
+		}
+		i, err := strconv.Atoi(s)
+		if err != nil {
+			fatal(fmt.Errorf("recno key %q is not a number", s))
+		}
+		return db.RecnoKey(i)
+	}
+	need := func(n int) {
+		if len(rest) != n {
+			usage()
+			os.Exit(2)
+		}
+	}
+
+	switch cmd {
+	case "put":
+		need(2)
+		if err := d.Put(mkKey(rest[0]), []byte(rest[1])); err != nil {
+			fatal(err)
+		}
+	case "append":
+		need(1)
+		if m != db.Recno {
+			fatal(errors.New("append is a recno operation"))
+		}
+		if err := d.Put(db.RecnoKey(d.Len()), []byte(rest[0])); err != nil {
+			fatal(err)
+		}
+		fmt.Println(d.Len() - 1)
+	case "get":
+		need(1)
+		v, err := d.Get(mkKey(rest[0]))
+		if errors.Is(err, db.ErrNotFound) {
+			fmt.Fprintf(os.Stderr, "dbcli: %s: not found\n", rest[0])
+			os.Exit(1)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", v)
+	case "del":
+		need(1)
+		if err := d.Delete(mkKey(rest[0])); err != nil {
+			fatal(err)
+		}
+	case "list":
+		need(0)
+		w := bufio.NewWriter(os.Stdout)
+		c := d.Seq()
+		for c.Next() {
+			printPair(w, m, c.Key(), c.Value())
+		}
+		if err := c.Err(); err != nil {
+			fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+	case "range":
+		need(1)
+		bt, ok := underlyingBtree(d)
+		if !ok {
+			fatal(errors.New("range requires -method btree"))
+		}
+		w := bufio.NewWriter(os.Stdout)
+		c := bt.Seek([]byte(rest[0]))
+		for c.Next() {
+			fmt.Fprintf(w, "%s\t%s\n", c.Key(), c.Value())
+		}
+		if err := c.Err(); err != nil {
+			fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+	case "count":
+		need(0)
+		fmt.Println(d.Len())
+	case "check":
+		need(0)
+		bt, ok := underlyingBtree(d)
+		if !ok {
+			fatal(errors.New("check requires -method btree"))
+		}
+		if err := bt.Check(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// underlyingBtree reaches through the db adapter for btree-only verbs.
+func underlyingBtree(d db.DB) (*btree.Tree, bool) {
+	type treer interface{ Tree() *btree.Tree }
+	if t, ok := d.(treer); ok {
+		return t.Tree(), true
+	}
+	return nil, false
+}
+
+func printPair(w *bufio.Writer, m db.Method, k, v []byte) {
+	if m == db.Recno {
+		if i, err := db.ParseRecnoKey(k); err == nil {
+			fmt.Fprintf(w, "%d\t%s\n", i, v)
+			return
+		}
+	}
+	fmt.Fprintf(w, "%s\t%s\n", k, v)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dbcli: %v\n", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dbcli [-method hash|btree|recno] file.db {put K V|append V|get K|del K|list|range FROM|count|check}`)
+	flag.PrintDefaults()
+}

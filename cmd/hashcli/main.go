@@ -1,0 +1,151 @@
+// Command hashcli is a small key/data database tool over the package's
+// native interface — the kind of utility the paper imagines replacing
+// ad-hoc application hash tables:
+//
+//	hashcli file.db put KEY VALUE      store (replacing)
+//	hashcli file.db putnew KEY VALUE   store (fail if present)
+//	hashcli file.db get KEY            print the value
+//	hashcli file.db del KEY            delete
+//	hashcli file.db has KEY            exit 0 if present, 1 if not
+//	hashcli file.db list               print every key<TAB>value
+//	hashcli file.db count              print the number of pairs
+//	hashcli file.db compact NEW.db     rebuild into a right-sized file
+//
+// Flags (creation-time parameters; ignored when the file exists):
+//
+//	-bsize N     bucket size (default 256)
+//	-ffactor N   fill factor (default 8)
+//	-nelem N     expected final element count
+//	-cache N     buffer pool bytes (default 65536)
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"unixhash/internal/core"
+)
+
+func main() {
+	bsize := flag.Int("bsize", 0, "bucket size for a new table")
+	ffactor := flag.Int("ffactor", 0, "fill factor for a new table")
+	nelem := flag.Int("nelem", 0, "expected final element count for a new table")
+	cache := flag.Int("cache", 0, "buffer pool size in bytes")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	path, cmd := args[0], args[1]
+	rest := args[2:]
+
+	readonly := cmd == "get" || cmd == "has" || cmd == "list" || cmd == "count" || cmd == "compact"
+	t, err := core.Open(path, &core.Options{
+		Bsize: *bsize, Ffactor: *ffactor, Nelem: *nelem, CacheSize: *cache,
+		ReadOnly: readonly,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := t.Close(); err != nil {
+			fatal(err)
+		}
+	}()
+
+	need := func(n int) {
+		if len(rest) != n {
+			usage()
+			os.Exit(2)
+		}
+	}
+	switch cmd {
+	case "put":
+		need(2)
+		if err := t.Put([]byte(rest[0]), []byte(rest[1])); err != nil {
+			fatal(err)
+		}
+	case "putnew":
+		need(2)
+		if err := t.PutNew([]byte(rest[0]), []byte(rest[1])); err != nil {
+			fatal(err)
+		}
+	case "get":
+		need(1)
+		v, err := t.Get([]byte(rest[0]))
+		if errors.Is(err, core.ErrNotFound) {
+			fmt.Fprintf(os.Stderr, "hashcli: %s: not found\n", rest[0])
+			os.Exit(1)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", v)
+	case "del":
+		need(1)
+		if err := t.Delete([]byte(rest[0])); err != nil {
+			fatal(err)
+		}
+	case "has":
+		need(1)
+		ok, err := t.Has([]byte(rest[0]))
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	case "list":
+		need(0)
+		w := bufio.NewWriter(os.Stdout)
+		it := t.Iter()
+		for it.Next() {
+			fmt.Fprintf(w, "%s\t%s\n", it.Key(), it.Value())
+		}
+		if err := it.Err(); err != nil {
+			fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+	case "count":
+		need(0)
+		fmt.Println(t.Len())
+	case "compact":
+		need(1)
+		g := t.Geometry()
+		dst, err := core.Open(rest[0], &core.Options{
+			Bsize: g.Bsize, Ffactor: g.Ffactor, Nelem: t.Len(), CacheSize: *cache,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.Compact(dst); err != nil {
+			dst.Close()
+			fatal(err)
+		}
+		if err := dst.Close(); err != nil {
+			fatal(err)
+		}
+		ng := g.MaxBucket + 1
+		fmt.Printf("compacted %d keys into %s (%d buckets before)\n", t.Len(), rest[0], ng)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hashcli: %v\n", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: hashcli [flags] file.db {put K V|putnew K V|get K|del K|has K|list|count|compact NEW}`)
+	flag.PrintDefaults()
+}

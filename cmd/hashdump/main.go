@@ -1,0 +1,73 @@
+// Command hashdump inspects a hash file produced by the package: the
+// header geometry, the spares array, each bucket's chain shape and page
+// fill, and overflow bitmap occupancy.
+//
+//	hashdump [-v] [-stats] [-check] file.db
+//
+// With -v every entry's key is listed. With -stats only aggregate
+// statistics are printed. With -check the file's structural invariants
+// are verified (key placement, chain and bitmap consistency, leaks).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unixhash/internal/core"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list every entry's key")
+	statsOnly := flag.Bool("stats", false, "print aggregate statistics only")
+	check := flag.Bool("check", false, "verify structural invariants and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: hashdump [-v] [-stats] [-check] file.db")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	t, err := core.Open(path, &core.Options{ReadOnly: true})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hashdump: %v\n", err)
+		os.Exit(1)
+	}
+	defer t.Close()
+
+	if *check {
+		if err := t.Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "hashdump: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("ok")
+		return
+	}
+	if *statsOnly {
+		g := t.Geometry()
+		fs, err := t.FillStats()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hashdump: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("keys:            %d\n", g.NKeys)
+		fmt.Printf("buckets:         %d (%d empty)\n", fs.Buckets, fs.EmptyBuckets)
+		fmt.Printf("bucket size:     %d\n", g.Bsize)
+		fmt.Printf("fill factor:     %d\n", g.Ffactor)
+		fmt.Printf("overflow pages:  %d chain, %d big-pair, %d bitmap\n",
+			fs.OverflowPages, fs.BigPairPages, fs.BitmapPages)
+		fmt.Printf("split point:     %d\n", g.OvflPoint)
+		fmt.Printf("longest chain:   %d pages\n", fs.MaxChain)
+		fmt.Printf("keys/page:       %.2f\n", fs.AvgKeysPerPage)
+		fmt.Printf("page fill:       %.0f%%\n", 100*fs.AvgFill)
+		return
+	}
+	if err := t.Dump(os.Stdout, *verbose); err != nil {
+		fmt.Fprintf(os.Stderr, "hashdump: %v\n", err)
+		os.Exit(1)
+	}
+}

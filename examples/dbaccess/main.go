@@ -1,0 +1,138 @@
+// One application, every access method. The paper's conclusion: "All of
+// the access methods are based on a key/data pair interface and appear
+// identical to the application layer, allowing application
+// implementations to be largely independent of the database type."
+//
+//	go run ./examples/dbaccess [dir]
+//
+// The program defines a tiny address book and runs it unchanged over the
+// hash and btree access methods; then it shows the two things only a
+// specific method gives you — the btree's ordered range scan, and the
+// recno method's view of a plain text file as a database of lines.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"unixhash/internal/btree"
+	"unixhash/internal/db"
+	"unixhash/internal/recno"
+)
+
+// addressBook is the method-independent application: it only knows the
+// db.DB interface.
+type addressBook struct {
+	d db.DB
+}
+
+func (b addressBook) add(name, email string) error {
+	return b.d.Put([]byte(name), []byte(email))
+}
+
+func (b addressBook) lookup(name string) (string, bool) {
+	v, err := b.d.Get([]byte(name))
+	if errors.Is(err, db.ErrNotFound) {
+		return "", false
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	return string(v), true
+}
+
+func (b addressBook) everyone() []string {
+	var out []string
+	c := b.d.Seq()
+	for c.Next() {
+		out = append(out, fmt.Sprintf("%s <%s>", c.Key(), c.Value()))
+	}
+	if c.Err() != nil {
+		log.Fatal(c.Err())
+	}
+	return out
+}
+
+var people = map[string]string{
+	"margo": "margo@cs.berkeley.edu",
+	"oz":    "oz@nexus.yorku.ca",
+	"ken":   "ken@research.att.com",
+	"kirk":  "mckusick@cs.berkeley.edu",
+}
+
+func main() {
+	dir := "/tmp/dbaccess-example"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	// The same application code, two storage engines.
+	for _, m := range []db.Method{db.Hash, db.Btree} {
+		path := filepath.Join(dir, "book-"+m.String()+".db")
+		os.Remove(path)
+		d, err := db.Open(path, m, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		book := addressBook{d}
+		for name, email := range people {
+			if err := book.add(name, email); err != nil {
+				log.Fatal(err)
+			}
+		}
+		email, ok := book.lookup("margo")
+		fmt.Printf("[%s] lookup margo -> %s (found=%v)\n", m, email, ok)
+		fmt.Printf("[%s] %d entries: %v\n", m, d.Len(), book.everyone())
+		if err := d.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// What only the btree gives you: an ordered range scan.
+	bt, err := btree.Open(filepath.Join(dir, "book-btree.db"), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("\nbtree-only: names from 'k' onward, in order:")
+	c := bt.Seek([]byte("k"))
+	for c.Next() {
+		fmt.Printf(" %s", c.Key())
+	}
+	fmt.Println()
+	if err := bt.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// What only recno gives you: any text file is a database of lines.
+	notes := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(notes, []byte("groceries\ncall oz about sdbm\nfix the loader\n"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	rn, err := recno.Open(notes, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecno-only: %s has %d lines; line 1 is %q\n", notes, rn.Len(), mustGet(rn, 1))
+	if err := rn.Put(1, []byte("call oz about the NEW hash package")); err != nil {
+		log.Fatal(err)
+	}
+	if err := rn.Close(); err != nil {
+		log.Fatal(err)
+	}
+	raw, _ := os.ReadFile(notes)
+	fmt.Printf("after editing record 1, the text file reads:\n%s", raw)
+}
+
+func mustGet(f *recno.File, i int) string {
+	rec, err := f.Get(i)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return string(rec)
+}

@@ -1,0 +1,88 @@
+// Quickstart: open a table, store, retrieve, iterate, reopen.
+//
+//	go run ./examples/quickstart [file.db]
+//
+// With no argument the table lives purely in memory; with a path it is
+// disk-resident and the program shows that contents survive a close and
+// reopen — the dbm/hsearch unification the paper is about.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"unixhash/internal/core"
+)
+
+func main() {
+	path := ""
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+
+	// Create (or open) a table. All parameters are optional; the paper's
+	// defaults are bsize 256, ffactor 8, a 64 KB buffer pool.
+	t, err := core.Open(path, &core.Options{
+		Nelem: 100, // an estimate of the final size, if known
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Store some pairs. Put replaces; PutNew fails on duplicates.
+	fruit := map[string]string{
+		"apple": "malus domestica", "banana": "musa acuminata",
+		"cherry": "prunus avium", "durian": "durio zibethinus",
+	}
+	for k, v := range fruit {
+		if err := t.Put([]byte(k), []byte(v)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Retrieve.
+	v, err := t.Get([]byte("cherry"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cherry  -> %s\n", v)
+
+	// Iterate every pair (sequential retrieval returns key AND data in
+	// one call, unlike ndbm).
+	it := t.Iter()
+	for it.Next() {
+		fmt.Printf("scan: %-8s -> %s\n", it.Key(), it.Value())
+	}
+	if err := it.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Delete and verify.
+	if err := t.Delete([]byte("durian")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after delete: %d pairs\n", t.Len())
+
+	if err := t.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	if path == "" {
+		fmt.Println("(memory-resident table discarded on close; pass a path to persist)")
+		return
+	}
+
+	// Reopen from disk: everything is still there.
+	t2, err := core.Open(path, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer t2.Close()
+	fmt.Printf("reopened %s: %d pairs\n", path, t2.Len())
+	v, err = t2.Get([]byte("apple"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("apple   -> %s\n", v)
+}

@@ -1,0 +1,3 @@
+module unixhash
+
+go 1.22

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"unixhash/internal/dataset"
+)
+
+// Figure 6: the difference between storing keys in a table whose
+// ultimate size is known at creation (left bars) and growing the table
+// from a single bucket (right bars), across fill factors. The paper's
+// conclusion: once the fill factor is sufficiently high for the page
+// size (8), growing the table dynamically does little to degrade
+// performance.
+
+// Fig6Point is one fill-factor comparison.
+type Fig6Point struct {
+	Ffactor int
+	Known   Timing // nelem given at creation
+	Grown   Timing // grown from a single bucket
+}
+
+// Fig6Result holds the sweep.
+type Fig6Result struct {
+	N      int
+	Bsize  int
+	Points []Fig6Point
+}
+
+// DefaultFig6Ffactors are the paper's Figure 6 fill factors.
+var DefaultFig6Ffactors = []int{4, 8, 16, 32, 64}
+
+// Fig6 runs the comparison. n <= 0 selects the full dictionary.
+func Fig6(n int, ffactors []int) (*Fig6Result, error) {
+	pairs := dataset.Dictionary(n)
+	if len(ffactors) == 0 {
+		ffactors = DefaultFig6Ffactors
+	}
+	const bsize = 256
+	res := &Fig6Result{N: len(pairs), Bsize: bsize}
+	for _, ff := range ffactors {
+		var tims [2]Timing
+		for mode := 0; mode < 2; mode++ {
+			nelem := len(pairs)
+			if mode == 1 {
+				nelem = 1
+			}
+			r, err := newHashRun(HashParams{Bsize: bsize, Ffactor: ff, CacheSize: 1 << 20, Nelem: nelem})
+			if err != nil {
+				return nil, err
+			}
+			tm, err := r.createAll(pairs)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 ff=%d mode=%d: %w", ff, mode, err)
+			}
+			if err := r.close(); err != nil {
+				return nil, err
+			}
+			tims[mode] = tm
+		}
+		res.Points = append(res.Points, Fig6Point{Ffactor: ff, Known: tims[0], Grown: tims[1]})
+	}
+	return res, nil
+}
+
+// String renders the paper's grouped bars as a table.
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 — known final size (left) vs dynamically grown (right), dictionary (%d keys), bsize %d\n\n",
+		r.N, r.Bsize)
+	fmt.Fprintf(&b, "%8s %28s %28s %9s\n", "", "known size", "grown from one bucket", "elapsed")
+	fmt.Fprintf(&b, "%8s %9s %9s %8s %9s %9s %8s %9s\n",
+		"ffactor", "user", "sys", "elapsed", "user", "sys", "elapsed", "penalty")
+	for _, p := range r.Points {
+		penalty := 0.0
+		if p.Known.Elapsed > 0 {
+			penalty = 100 * (p.Grown.Elapsed - p.Known.Elapsed).Seconds() / p.Known.Elapsed.Seconds()
+		}
+		fmt.Fprintf(&b, "%8d %9.2f %9.2f %8.2f %9.2f %9.2f %8.2f %8.1f%%\n",
+			p.Ffactor,
+			p.Known.User.Seconds(), p.Known.Sys.Seconds(), p.Known.Elapsed.Seconds(),
+			p.Grown.User.Seconds(), p.Grown.Sys.Seconds(), p.Grown.Elapsed.Seconds(),
+			penalty)
+	}
+	b.WriteString("\n(paper: the penalty nearly vanishes once ffactor >= 8)\n")
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"unixhash/internal/dataset"
+)
+
+// Figure 7: the impact of the buffer pool size, with the bucket size at
+// 256 bytes and the fill factor at 16. The paper's conclusion: user time
+// is virtually insensitive to the pool size, while system and elapsed
+// time are inversely proportional to it; with 1 MB of buffer space the
+// package performed no I/O for this data set.
+
+// Fig7Point is one buffer-pool size measurement.
+type Fig7Point struct {
+	BufBytes int
+	T        Timing // create + read combined
+	IOOps    int64  // total page reads+writes
+}
+
+// Fig7Result holds the sweep.
+type Fig7Result struct {
+	N      int
+	Points []Fig7Point
+}
+
+// DefaultFig7Buffers are the paper's x-axis points (0 means "the minimum
+// number of pages required to be buffered").
+var DefaultFig7Buffers = []int{0, 128 << 10, 256 << 10, 512 << 10, 768 << 10, 1 << 20}
+
+// Fig7 runs the sweep. n <= 0 selects the full dictionary.
+func Fig7(n int, bufs []int) (*Fig7Result, error) {
+	pairs := dataset.Dictionary(n)
+	if len(bufs) == 0 {
+		bufs = DefaultFig7Buffers
+	}
+	res := &Fig7Result{N: len(pairs)}
+	for _, bufBytes := range bufs {
+		cache := bufBytes
+		if cache <= 0 {
+			cache = 1 // rounds up to the pool's minimum
+		}
+		r, err := newHashRun(HashParams{Bsize: 256, Ffactor: 16, CacheSize: cache, Nelem: len(pairs)})
+		if err != nil {
+			return nil, err
+		}
+		ct, err := r.enterAll(pairs)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 buf=%d create: %w", bufBytes, err)
+		}
+		rt, err := r.readAll(pairs)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 buf=%d read: %w", bufBytes, err)
+		}
+		tot := ct.Add(rt)
+		if err := r.close(); err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Fig7Point{
+			BufBytes: bufBytes, T: tot, IOOps: tot.Reads + tot.Writes,
+		})
+	}
+	return res, nil
+}
+
+// String renders the sweep.
+func (r *Fig7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 — buffer pool size sweep, dictionary (%d keys), bsize 256, ffactor 16\n\n", r.N)
+	fmt.Fprintf(&b, "%12s %9s %9s %9s %10s\n", "buffer (KB)", "user", "sys", "elapsed", "page I/Os")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%12d %9.2f %9.2f %9.2f %10d\n",
+			p.BufBytes/1024, p.T.User.Seconds(), p.T.Sys.Seconds(), p.T.Elapsed.Seconds(), p.IOOps)
+	}
+	b.WriteString("\n(paper: user flat; sys and elapsed inversely proportional to pool size)\n")
+	return b.String()
+}

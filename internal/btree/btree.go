@@ -1,0 +1,801 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"unixhash/internal/buffer"
+	"unixhash/internal/pagefile"
+)
+
+// Errors returned by Tree operations.
+var (
+	ErrNotFound  = errors.New("btree: key not found")
+	ErrKeyExists = errors.New("btree: key already exists")
+	ErrKeyTooBig = errors.New("btree: key exceeds the maximum key size")
+	ErrEmptyKey  = errors.New("btree: empty key")
+	ErrClosed    = errors.New("btree: tree is closed")
+	ErrReadOnly  = errors.New("btree: tree is read-only")
+	ErrBadMagic  = errors.New("btree: not a btree file")
+	ErrCorrupt   = errors.New("btree: file is corrupt")
+)
+
+// Meta page layout (page 0): type, (pad), magic, version, pagesize,
+// root, nextPage, freeHead, nrecords.
+const (
+	metaMagic   = 0xB7EE0001
+	metaVersion = 1
+
+	DefaultPageSize  = 4096
+	MinPageSize      = 128
+	MaxPageSize      = 32768
+	DefaultCacheSize = 256 * 1024
+)
+
+// Options parameterizes a Tree at creation time.
+type Options struct {
+	// PageSize is the node size in bytes; power of two in
+	// [MinPageSize, MaxPageSize]. Default 4096.
+	PageSize int
+	// CacheSize is the buffer-pool budget in bytes. Default 256 KB.
+	CacheSize int
+	// ReadOnly opens an existing tree for reading only.
+	ReadOnly bool
+	// Store overrides the backing store (caller-owned); path is ignored.
+	Store pagefile.Store
+	// Cost is the simulated I/O cost model for self-created stores.
+	Cost pagefile.CostModel
+	// Lock takes an advisory whole-file lock on file-backed trees:
+	// shared for read-only opens, exclusive otherwise (see the hash
+	// table's identical option).
+	Lock bool
+}
+
+// Tree is a B+tree of byte-string key/data pairs in bytes.Compare order.
+// All methods are safe for concurrent use (operations serialize).
+type Tree struct {
+	mu sync.Mutex
+
+	store    pagefile.Store
+	pool     *buffer.Pool
+	ownStore bool
+	readonly bool
+	closed   bool
+
+	pagesize int
+	root     uint32
+	nextPage uint32
+	freeHead uint32
+	nrecords int64
+	dirtyMet bool
+
+	maxKey  int // keys larger than this are rejected
+	maxPair int // larger pairs put their data on a chain
+}
+
+// Open opens or creates the btree at path. An empty path creates a
+// memory-resident tree.
+func Open(path string, o *Options) (*Tree, error) {
+	var opts Options
+	if o != nil {
+		opts = *o
+	}
+	if opts.PageSize == 0 {
+		opts.PageSize = DefaultPageSize
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	if opts.PageSize < MinPageSize || opts.PageSize > MaxPageSize || opts.PageSize&(opts.PageSize-1) != 0 {
+		return nil, fmt.Errorf("btree: page size %d must be a power of two in [%d, %d]",
+			opts.PageSize, MinPageSize, MaxPageSize)
+	}
+
+	t := &Tree{pagesize: opts.PageSize, readonly: opts.ReadOnly}
+	existing := false
+	switch {
+	case opts.Store != nil:
+		t.store = opts.Store
+		existing = t.store.NPages() > 0
+		if t.store.PageSize() != opts.PageSize && existing {
+			// Trust the store's page size for existing trees.
+			t.pagesize = t.store.PageSize()
+		}
+	case path == "":
+		t.store = pagefile.NewMem(opts.PageSize, opts.Cost)
+		t.ownStore = true
+	default:
+		ps, exists, err := peekPageSize(path)
+		if err != nil {
+			return nil, err
+		}
+		if exists {
+			t.pagesize = ps
+			existing = true
+		} else if opts.ReadOnly {
+			return nil, fmt.Errorf("btree: %s does not exist", path)
+		}
+		fs, err := pagefile.OpenFile(path, t.pagesize, opts.Cost)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Lock {
+			if err := fs.Lock(!opts.ReadOnly); err != nil {
+				fs.Close()
+				return nil, err
+			}
+		}
+		t.store = fs
+		t.ownStore = true
+	}
+
+	// A quarter page bounds keys so internal nodes hold several; pairs
+	// above half a leaf's capacity put their data on a chain.
+	t.maxKey = (t.pagesize - leafHdr) / 4
+	t.maxPair = (t.pagesize - leafHdr - 2*leafSlotSize) / 2
+
+	t.pool = buffer.New(t.store, opts.CacheSize, func(a buffer.Addr) uint32 { return a.N })
+
+	var err error
+	if existing {
+		err = t.readMeta()
+	} else {
+		t.root = 1
+		t.nextPage = 2
+		t.dirtyMet = true
+		err = t.withNew(1, initLeaf, func(node) error { return nil })
+	}
+	if err != nil {
+		if t.ownStore {
+			t.store.Close()
+		}
+		return nil, err
+	}
+	return t, nil
+}
+
+func peekPageSize(path string) (int, bool, error) {
+	// The meta page stores the page size at a fixed offset; read the
+	// smallest legal page worth of bytes to find it.
+	fs, err := pagefile.OpenFile(path, MinPageSize, pagefile.CostModel{})
+	if err != nil {
+		return 0, false, err
+	}
+	defer fs.Close()
+	if fs.NPages() == 0 {
+		return 0, false, nil
+	}
+	buf := make([]byte, MinPageSize)
+	if err := fs.ReadPage(0, buf); err != nil {
+		return 0, false, err
+	}
+	if le.Uint32(buf[4:]) != metaMagic {
+		return 0, false, ErrBadMagic
+	}
+	ps := int(le.Uint32(buf[12:]))
+	if ps < MinPageSize || ps > MaxPageSize || ps&(ps-1) != 0 {
+		return 0, false, ErrCorrupt
+	}
+	return ps, true, nil
+}
+
+func (t *Tree) readMeta() error {
+	buf := make([]byte, t.pagesize)
+	if err := t.store.ReadPage(0, buf); err != nil {
+		return err
+	}
+	if le.Uint32(buf[4:]) != metaMagic {
+		return ErrBadMagic
+	}
+	if v := le.Uint32(buf[8:]); v != metaVersion {
+		return fmt.Errorf("%w: version %d", ErrBadMagic, v)
+	}
+	if int(le.Uint32(buf[12:])) != t.pagesize {
+		return fmt.Errorf("%w: page size mismatch", ErrCorrupt)
+	}
+	t.root = le.Uint32(buf[16:])
+	t.nextPage = le.Uint32(buf[20:])
+	t.freeHead = le.Uint32(buf[24:])
+	t.nrecords = int64(le.Uint64(buf[28:]))
+	if t.root == 0 || t.root >= t.nextPage || t.nrecords < 0 {
+		return fmt.Errorf("%w: meta root=%d next=%d n=%d", ErrCorrupt, t.root, t.nextPage, t.nrecords)
+	}
+	return nil
+}
+
+func (t *Tree) writeMeta() error {
+	buf := make([]byte, t.pagesize)
+	le.PutUint16(buf[0:], typeMeta)
+	le.PutUint32(buf[4:], metaMagic)
+	le.PutUint32(buf[8:], metaVersion)
+	le.PutUint32(buf[12:], uint32(t.pagesize))
+	le.PutUint32(buf[16:], t.root)
+	le.PutUint32(buf[20:], t.nextPage)
+	le.PutUint32(buf[24:], t.freeHead)
+	le.PutUint64(buf[28:], uint64(t.nrecords))
+	if err := t.store.WritePage(0, buf); err != nil {
+		return err
+	}
+	t.dirtyMet = false
+	return nil
+}
+
+// --- page plumbing ---
+
+func pgAddr(pg uint32) buffer.Addr { return buffer.Addr{N: pg} }
+
+// fetch pins page pg.
+func (t *Tree) fetch(pg uint32) (*buffer.Buf, error) {
+	return t.pool.Get(pgAddr(pg), nil, false)
+}
+
+// allocPage takes a page from the free list or extends the file,
+// initializes it with init, runs fn on it pinned, and unpins.
+func (t *Tree) allocPage(init func(node)) (uint32, error) {
+	var pg uint32
+	if t.freeHead != 0 {
+		pg = t.freeHead
+		buf, err := t.fetch(pg)
+		if err != nil {
+			return 0, err
+		}
+		if node(buf.Page).typ() != typeFree {
+			t.pool.Put(buf)
+			return 0, fmt.Errorf("%w: free-list page %d is not free", ErrCorrupt, pg)
+		}
+		t.freeHead = le.Uint32(buf.Page[4:])
+		init(node(buf.Page))
+		buf.Dirty = true
+		t.pool.Put(buf)
+	} else {
+		pg = t.nextPage
+		t.nextPage++
+		if err := t.withNew(pg, init, func(node) error { return nil }); err != nil {
+			return 0, err
+		}
+	}
+	t.dirtyMet = true
+	return pg, nil
+}
+
+// withNew creates page pg fresh in the pool, initializes it and runs fn.
+func (t *Tree) withNew(pg uint32, init func(node), fn func(node) error) error {
+	buf, err := t.pool.Get(pgAddr(pg), nil, true)
+	if err != nil {
+		return err
+	}
+	clear(buf.Page)
+	init(node(buf.Page))
+	buf.Dirty = true
+	err = fn(node(buf.Page))
+	t.pool.Put(buf)
+	return err
+}
+
+// freePage puts pg on the free list.
+func (t *Tree) freePage(pg uint32) error {
+	buf, err := t.pool.Get(pgAddr(pg), nil, true)
+	if err != nil {
+		return err
+	}
+	clear(buf.Page)
+	le.PutUint16(buf.Page[0:], typeFree)
+	le.PutUint32(buf.Page[4:], t.freeHead)
+	buf.Dirty = true
+	t.pool.Put(buf)
+	t.freeHead = pg
+	t.dirtyMet = true
+	return nil
+}
+
+// --- search ---
+
+// pathElem records the descent through an internal node: the page and
+// the child index taken (-1 = child0).
+type pathElem struct {
+	pg  uint32
+	idx int
+}
+
+// descend walks from the root to the leaf that owns key, returning the
+// leaf page number and the internal path.
+func (t *Tree) descend(key []byte) (uint32, []pathElem, error) {
+	pg := t.root
+	var path []pathElem
+	for depth := 0; ; depth++ {
+		if depth > 64 {
+			return 0, nil, fmt.Errorf("%w: tree deeper than 64 levels", ErrCorrupt)
+		}
+		buf, err := t.fetch(pg)
+		if err != nil {
+			return 0, nil, err
+		}
+		n := node(buf.Page)
+		switch n.typ() {
+		case typeLeaf:
+			t.pool.Put(buf)
+			return pg, path, nil
+		case typeInternal:
+			// Find the largest i with key >= key[i]; take child[i].
+			i := sortSearch(n.nkeys(), func(i int) bool {
+				return bytes.Compare(key, n.intKey(i)) < 0
+			}) - 1
+			child := n.intChild(i)
+			t.pool.Put(buf)
+			if child == 0 || child >= t.nextPage {
+				return 0, nil, fmt.Errorf("%w: bad child %d from page %d", ErrCorrupt, child, pg)
+			}
+			path = append(path, pathElem{pg: pg, idx: i})
+			pg = child
+		default:
+			t.pool.Put(buf)
+			return 0, nil, fmt.Errorf("%w: page %d type %#x in descent", ErrCorrupt, pg, n.typ())
+		}
+	}
+}
+
+// sortSearch is sort.Search without the package dependency.
+func sortSearch(n int, f func(int) bool) int {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if !f(mid) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// leafSearch finds key in a leaf: (index, found).
+func leafSearch(n node, key []byte) (int, bool) {
+	i := sortSearch(n.nkeys(), func(i int) bool {
+		return bytes.Compare(n.leafKey(i), key) >= 0
+	})
+	if i < n.nkeys() && bytes.Equal(n.leafKey(i), key) {
+		return i, true
+	}
+	return i, false
+}
+
+// --- public API ---
+
+func (t *Tree) checkOpen() error {
+	if t.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (t *Tree) checkWritable() error {
+	if t.closed {
+		return ErrClosed
+	}
+	if t.readonly {
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// Get returns a copy of the data stored under key.
+func (t *Tree) Get(key []byte) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkOpen(); err != nil {
+		return nil, err
+	}
+	if len(key) == 0 {
+		return nil, ErrEmptyKey
+	}
+	leaf, _, err := t.descend(key)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := t.fetch(leaf)
+	if err != nil {
+		return nil, err
+	}
+	defer t.pool.Put(buf)
+	n := node(buf.Page)
+	i, found := leafSearch(n, key)
+	if !found {
+		return nil, ErrNotFound
+	}
+	return t.materialize(n, i)
+}
+
+// materialize copies entry i's data, following a chain reference.
+func (t *Tree) materialize(n node, i int) ([]byte, error) {
+	data, flags := n.leafData(i)
+	if flags&flagBigData == 0 {
+		return append([]byte(nil), data...), nil
+	}
+	if len(data) != 8 {
+		return nil, fmt.Errorf("%w: big-data ref is %d bytes", ErrCorrupt, len(data))
+	}
+	return t.readChain(le.Uint32(data[0:]), int(le.Uint32(data[4:])))
+}
+
+// Has reports whether key is present.
+func (t *Tree) Has(key []byte) (bool, error) {
+	_, err := t.Get(key)
+	if errors.Is(err, ErrNotFound) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Put stores data under key, replacing any existing value.
+func (t *Tree) Put(key, data []byte) error { return t.put(key, data, true) }
+
+// PutNew stores data under key, failing with ErrKeyExists if present.
+func (t *Tree) PutNew(key, data []byte) error { return t.put(key, data, false) }
+
+func (t *Tree) put(key, data []byte, replace bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkWritable(); err != nil {
+		return err
+	}
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	if len(key) > t.maxKey {
+		return fmt.Errorf("%w (%d > %d)", ErrKeyTooBig, len(key), t.maxKey)
+	}
+
+	leaf, path, err := t.descend(key)
+	if err != nil {
+		return err
+	}
+	buf, err := t.fetch(leaf)
+	if err != nil {
+		return err
+	}
+	n := node(buf.Page)
+	i, found := leafSearch(n, key)
+	if found && !replace {
+		t.pool.Put(buf)
+		return ErrKeyExists
+	}
+	if found {
+		if err := t.removeLeafEntry(n, i); err != nil {
+			t.pool.Put(buf)
+			return err
+		}
+		buf.Dirty = true
+		t.nrecords--
+		t.dirtyMet = true
+	}
+
+	// Decide the on-page representation.
+	onPage := data
+	flags := 0
+	if len(key)+len(data) > t.maxPair {
+		chain, err := t.writeChain(data)
+		if err != nil {
+			t.pool.Put(buf)
+			return err
+		}
+		ref := make([]byte, 8)
+		le.PutUint32(ref[0:], chain)
+		le.PutUint32(ref[4:], uint32(len(data)))
+		onPage, flags = ref, flagBigData
+	}
+
+	if n.leafFits(len(key), len(onPage)) {
+		n.leafInsert(i, key, onPage, flags)
+		buf.Dirty = true
+		t.pool.Put(buf)
+	} else {
+		t.pool.Put(buf)
+		if err := t.splitLeafAndInsert(leaf, path, i, key, onPage, flags); err != nil {
+			return err
+		}
+	}
+	t.nrecords++
+	t.dirtyMet = true
+	return nil
+}
+
+// removeLeafEntry removes entry i, freeing its chain if it has one.
+func (t *Tree) removeLeafEntry(n node, i int) error {
+	data, flags := n.leafData(i)
+	if flags&flagBigData != 0 {
+		if len(data) != 8 {
+			return fmt.Errorf("%w: big-data ref is %d bytes", ErrCorrupt, len(data))
+		}
+		if err := t.freeChain(le.Uint32(data[0:])); err != nil {
+			return err
+		}
+	}
+	n.leafRemove(i)
+	return nil
+}
+
+// splitLeafAndInsert splits the full leaf, inserts the pair into the
+// correct half, and promotes the split key to the parent.
+func (t *Tree) splitLeafAndInsert(leafPg uint32, path []pathElem, i int, key, onPage []byte, flags int) error {
+	buf, err := t.fetch(leafPg)
+	if err != nil {
+		return err
+	}
+	n := node(buf.Page)
+
+	// Collect entries (views are invalidated by rebuilding, so copy).
+	type ent struct {
+		k, d  []byte
+		flags int
+	}
+	nk := n.nkeys()
+	ents := make([]ent, 0, nk+1)
+	for j := 0; j < nk; j++ {
+		d, fl := n.leafData(j)
+		ents = append(ents, ent{
+			k:     append([]byte(nil), n.leafKey(j)...),
+			d:     append([]byte(nil), d...),
+			flags: fl,
+		})
+	}
+	ents = append(ents[:i:i], append([]ent{{k: key, d: onPage, flags: flags}}, ents[i:]...)...)
+
+	// Split at the byte midpoint.
+	total := 0
+	for _, e := range ents {
+		total += leafSlotSize + len(e.k) + len(e.d)
+	}
+	splitAt, acc := 0, 0
+	for j, e := range ents {
+		acc += leafSlotSize + len(e.k) + len(e.d)
+		if acc >= total/2 && j+1 < len(ents) {
+			splitAt = j + 1
+			break
+		}
+	}
+	if splitAt == 0 {
+		splitAt = len(ents) / 2
+		if splitAt == 0 {
+			splitAt = 1
+		}
+	}
+
+	oldNext := n.nextLeaf()
+	rightPg, err := t.allocPage(initLeaf)
+	if err != nil {
+		t.pool.Put(buf)
+		return err
+	}
+
+	// Rebuild the left leaf.
+	prev := n.prevLeaf()
+	initLeaf(n)
+	n.setPrevLeaf(prev)
+	n.setNextLeaf(rightPg)
+	for _, e := range ents[:splitAt] {
+		if !n.leafFits(len(e.k), len(e.d)) {
+			t.pool.Put(buf)
+			return fmt.Errorf("%w: left half does not fit after split", ErrCorrupt)
+		}
+		n.leafInsert(n.nkeys(), e.k, e.d, e.flags)
+	}
+	buf.Dirty = true
+	t.pool.Put(buf)
+
+	// Build the right leaf.
+	rbuf, err := t.fetch(rightPg)
+	if err != nil {
+		return err
+	}
+	rn := node(rbuf.Page)
+	rn.setPrevLeaf(leafPg)
+	rn.setNextLeaf(oldNext)
+	for _, e := range ents[splitAt:] {
+		if !rn.leafFits(len(e.k), len(e.d)) {
+			t.pool.Put(rbuf)
+			return fmt.Errorf("%w: right half does not fit after split", ErrCorrupt)
+		}
+		rn.leafInsert(rn.nkeys(), e.k, e.d, e.flags)
+	}
+	sepKey := append([]byte(nil), rn.leafKey(0)...)
+	rbuf.Dirty = true
+	t.pool.Put(rbuf)
+
+	// Fix the old right sibling's back link.
+	if oldNext != 0 {
+		nb, err := t.fetch(oldNext)
+		if err != nil {
+			return err
+		}
+		node(nb.Page).setPrevLeaf(rightPg)
+		nb.Dirty = true
+		t.pool.Put(nb)
+	}
+
+	return t.insertIntoParent(path, leafPg, sepKey, rightPg)
+}
+
+// insertIntoParent adds (sepKey -> rightPg) beside leftPg in its parent,
+// splitting internal nodes upward as needed.
+func (t *Tree) insertIntoParent(path []pathElem, leftPg uint32, sepKey []byte, rightPg uint32) error {
+	if len(path) == 0 {
+		// leftPg was the root: grow the tree by one level.
+		newRoot, err := t.allocPage(initInternal)
+		if err != nil {
+			return err
+		}
+		buf, err := t.fetch(newRoot)
+		if err != nil {
+			return err
+		}
+		n := node(buf.Page)
+		n.setChild0(leftPg)
+		n.intInsert(0, sepKey, rightPg)
+		buf.Dirty = true
+		t.pool.Put(buf)
+		t.root = newRoot
+		t.dirtyMet = true
+		return nil
+	}
+
+	parent := path[len(path)-1]
+	buf, err := t.fetch(parent.pg)
+	if err != nil {
+		return err
+	}
+	n := node(buf.Page)
+	at := parent.idx + 1 // the new entry goes right after the taken child
+	if n.intFits(len(sepKey)) {
+		n.intInsert(at, sepKey, rightPg)
+		buf.Dirty = true
+		t.pool.Put(buf)
+		return nil
+	}
+
+	// Split the internal node. Collect (key, child) entries plus child0.
+	nk := n.nkeys()
+	keys := make([][]byte, 0, nk+1)
+	childs := make([]uint32, 0, nk+2)
+	childs = append(childs, n.child0())
+	for j := 0; j < nk; j++ {
+		keys = append(keys, append([]byte(nil), n.intKey(j)...))
+		childs = append(childs, n.intChild(j))
+	}
+	// Insert the new separator at position `at`.
+	keys = append(keys[:at:at], append([][]byte{sepKey}, keys[at:]...)...)
+	childs = append(childs[:at+1:at+1], append([]uint32{rightPg}, childs[at+1:]...)...)
+
+	mid := len(keys) / 2
+	promote := keys[mid]
+
+	rightInt, err := t.allocPage(initInternal)
+	if err != nil {
+		t.pool.Put(buf)
+		return err
+	}
+
+	// Rebuild left: keys[:mid], childs[:mid+1].
+	initInternal(n)
+	n.setChild0(childs[0])
+	for j := 0; j < mid; j++ {
+		n.intInsert(j, keys[j], childs[j+1])
+	}
+	buf.Dirty = true
+	t.pool.Put(buf)
+
+	// Build right: keys[mid+1:], childs[mid+1:].
+	rbuf, err := t.fetch(rightInt)
+	if err != nil {
+		return err
+	}
+	rn := node(rbuf.Page)
+	rn.setChild0(childs[mid+1])
+	for j := mid + 1; j < len(keys); j++ {
+		rn.intInsert(j-mid-1, keys[j], childs[j+1])
+	}
+	rbuf.Dirty = true
+	t.pool.Put(rbuf)
+
+	return t.insertIntoParent(path[:len(path)-1], parent.pg, promote, rightInt)
+}
+
+// Delete removes key, returning ErrNotFound if absent. Space within the
+// leaf is reclaimed immediately and reused by later inserts; emptied
+// leaves stay in place (scans skip them) and internal separators remain —
+// the tree does not shrink, as in the 1.85-era implementation.
+func (t *Tree) Delete(key []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkWritable(); err != nil {
+		return err
+	}
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	leaf, _, err := t.descend(key)
+	if err != nil {
+		return err
+	}
+	buf, err := t.fetch(leaf)
+	if err != nil {
+		return err
+	}
+	n := node(buf.Page)
+	i, found := leafSearch(n, key)
+	if !found {
+		t.pool.Put(buf)
+		return ErrNotFound
+	}
+	if err := t.removeLeafEntry(n, i); err != nil {
+		t.pool.Put(buf)
+		return err
+	}
+	buf.Dirty = true
+	t.pool.Put(buf)
+	t.nrecords--
+	t.dirtyMet = true
+	return nil
+}
+
+// Len returns the number of stored pairs.
+func (t *Tree) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int(t.nrecords)
+}
+
+// Sync flushes dirty pages and the meta page.
+func (t *Tree) Sync() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkOpen(); err != nil {
+		return err
+	}
+	if t.readonly {
+		return nil
+	}
+	return t.syncLocked()
+}
+
+func (t *Tree) syncLocked() error {
+	if err := t.pool.Flush(); err != nil {
+		return err
+	}
+	if t.dirtyMet {
+		if err := t.writeMeta(); err != nil {
+			return err
+		}
+	}
+	return t.store.Sync()
+}
+
+// Close flushes (unless read-only) and closes the tree.
+func (t *Tree) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	var err error
+	if !t.readonly {
+		err = t.syncLocked()
+	}
+	if e := t.pool.InvalidateAll(); err == nil {
+		err = e
+	}
+	if t.ownStore {
+		if e := t.store.Close(); err == nil {
+			err = e
+		}
+	}
+	t.closed = true
+	return err
+}
+
+// Store exposes the backing store for tests and benchmarks.
+func (t *Tree) Store() pagefile.Store { return t.store }

@@ -1,0 +1,514 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustOpen(t *testing.T, path string, opts *Options) *Tree {
+	t.Helper()
+	tr, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", path, err)
+	}
+	return tr
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("value-%d", i)) }
+
+func TestPutGetRoundtrip(t *testing.T) {
+	tr := mustOpen(t, "", nil)
+	defer tr.Close()
+	if err := tr.Put([]byte("hello"), []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Get([]byte("hello"))
+	if err != nil || string(got) != "world" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if _, err := tr.Get([]byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing = %v", err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestReplaceAndPutNew(t *testing.T) {
+	tr := mustOpen(t, "", nil)
+	defer tr.Close()
+	tr.Put([]byte("k"), []byte("v1"))
+	tr.Put([]byte("k"), []byte("v2"))
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got, _ := tr.Get([]byte("k"))
+	if string(got) != "v2" {
+		t.Fatalf("Get = %q", got)
+	}
+	if err := tr.PutNew([]byte("k"), []byte("v3")); !errors.Is(err, ErrKeyExists) {
+		t.Fatalf("PutNew dup = %v", err)
+	}
+	got, _ = tr.Get([]byte("k"))
+	if string(got) != "v2" {
+		t.Fatalf("PutNew clobbered: %q", got)
+	}
+}
+
+func TestManyKeysWithSplits(t *testing.T) {
+	const n = 20000
+	tr := mustOpen(t, "", &Options{PageSize: 256})
+	defer tr.Close()
+	// Insert in a shuffled order so splits happen everywhere.
+	order := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range order {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		got, err := tr.Get(key(i))
+		if err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("Get %d = %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestOrderedScan(t *testing.T) {
+	const n = 5000
+	tr := mustOpen(t, "", &Options{PageSize: 512})
+	defer tr.Close()
+	order := rand.New(rand.NewSource(2)).Perm(n)
+	for _, i := range order {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := tr.Cursor()
+	var prev []byte
+	count := 0
+	for c.Next() {
+		if prev != nil && bytes.Compare(prev, c.Key()) >= 0 {
+			t.Fatalf("scan out of order: %q then %q", prev, c.Key())
+		}
+		prev = append(prev[:0], c.Key()...)
+		count++
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("scan saw %d, want %d", count, n)
+	}
+}
+
+func TestSeek(t *testing.T) {
+	tr := mustOpen(t, "", &Options{PageSize: 256})
+	defer tr.Close()
+	for i := 0; i < 1000; i += 2 { // even keys only
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seek to an existing key.
+	c := tr.Seek(key(100))
+	if !c.Next() || !bytes.Equal(c.Key(), key(100)) {
+		t.Fatalf("Seek(existing) -> %q", c.Key())
+	}
+	if !c.Next() || !bytes.Equal(c.Key(), key(102)) {
+		t.Fatalf("Next after seek -> %q", c.Key())
+	}
+	// Seek between keys lands on the successor.
+	c = tr.Seek(key(101))
+	if !c.Next() || !bytes.Equal(c.Key(), key(102)) {
+		t.Fatalf("Seek(between) -> %q", c.Key())
+	}
+	// Seek past the end.
+	c = tr.Seek(key(9999))
+	if c.Next() {
+		t.Fatalf("Seek(past end) -> %q", c.Key())
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	const n = 3000
+	tr := mustOpen(t, "", &Options{PageSize: 256})
+	defer tr.Close()
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if err := tr.Delete(key(i)); err != nil {
+			t.Fatalf("Delete %d: %v", i, err)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		_, err := tr.Get(key(i))
+		if i%2 == 0 && !errors.Is(err, ErrNotFound) {
+			t.Fatalf("deleted %d: %v", i, err)
+		}
+		if i%2 == 1 && err != nil {
+			t.Fatalf("kept %d: %v", i, err)
+		}
+	}
+	// Scan skips deleted keys and stays ordered.
+	c := tr.Cursor()
+	count := 0
+	for c.Next() {
+		count++
+	}
+	if c.Err() != nil || count != n/2 {
+		t.Fatalf("scan after delete: %d, %v", count, c.Err())
+	}
+	if err := tr.Delete(key(0)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestDeleteEverythingThenReuse(t *testing.T) {
+	tr := mustOpen(t, "", &Options{PageSize: 256})
+	defer tr.Close()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 2000; i++ {
+			if err := tr.Put(key(i), val(i)); err != nil {
+				t.Fatalf("round %d Put %d: %v", round, i, err)
+			}
+		}
+		for i := 0; i < 2000; i++ {
+			if err := tr.Delete(key(i)); err != nil {
+				t.Fatalf("round %d Delete %d: %v", round, i, err)
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("round %d: Len = %d", round, tr.Len())
+		}
+		c := tr.Cursor()
+		if c.Next() {
+			t.Fatalf("round %d: scan of empty tree returned %q", round, c.Key())
+		}
+	}
+}
+
+func TestBigValues(t *testing.T) {
+	tr := mustOpen(t, "", &Options{PageSize: 256})
+	defer tr.Close()
+	sizes := []int{100, 200, 1000, 10000, 200000}
+	for _, sz := range sizes {
+		k := []byte(fmt.Sprintf("big-%d", sz))
+		v := bytes.Repeat([]byte{byte(sz)}, sz)
+		if err := tr.Put(k, v); err != nil {
+			t.Fatalf("Put %d bytes: %v", sz, err)
+		}
+	}
+	for _, sz := range sizes {
+		k := []byte(fmt.Sprintf("big-%d", sz))
+		got, err := tr.Get(k)
+		if err != nil || len(got) != sz || (sz > 0 && got[0] != byte(sz)) {
+			t.Fatalf("Get %d bytes: got %d, %v", sz, len(got), err)
+		}
+	}
+	// Replacing a big value frees its chain (pages go to the free list
+	// and are reused, so the file stops growing).
+	before := tr.nextPage
+	for i := 0; i < 10; i++ {
+		if err := tr.Put([]byte("big-200000"), bytes.Repeat([]byte{7}, 200000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := tr.nextPage
+	if after > before+5 {
+		t.Fatalf("chain pages leaked: nextPage %d -> %d over 10 rewrites", before, after)
+	}
+	// Big values survive a cursor scan too.
+	c := tr.Cursor()
+	found := 0
+	for c.Next() {
+		found++
+	}
+	if c.Err() != nil || found != len(sizes) {
+		t.Fatalf("scan: %d, %v", found, c.Err())
+	}
+}
+
+func TestKeyTooBig(t *testing.T) {
+	tr := mustOpen(t, "", &Options{PageSize: 256})
+	defer tr.Close()
+	big := bytes.Repeat([]byte("k"), 256)
+	if err := tr.Put(big, []byte("v")); !errors.Is(err, ErrKeyTooBig) {
+		t.Fatalf("huge key = %v", err)
+	}
+	// Maximum legal key works.
+	ok := bytes.Repeat([]byte("k"), tr.maxKey)
+	if err := tr.Put(ok, []byte("v")); err != nil {
+		t.Fatalf("max key: %v", err)
+	}
+	got, err := tr.Get(ok)
+	if err != nil || string(got) != "v" {
+		t.Fatalf("max key Get: %v", err)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	tr := mustOpen(t, "", nil)
+	defer tr.Close()
+	if err := tr.Put(nil, []byte("v")); !errors.Is(err, ErrEmptyKey) {
+		t.Fatalf("Put(nil) = %v", err)
+	}
+	if _, err := tr.Get(nil); !errors.Is(err, ErrEmptyKey) {
+		t.Fatalf("Get(nil) = %v", err)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bt.db")
+	const n = 5000
+	tr := mustOpen(t, path, &Options{PageSize: 512})
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Put([]byte("big"), bytes.Repeat([]byte("B"), 50000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr = mustOpen(t, path, nil) // page size read from the file
+	defer tr.Close()
+	if tr.pagesize != 512 {
+		t.Fatalf("reopened page size = %d", tr.pagesize)
+	}
+	if tr.Len() != n+1 {
+		t.Fatalf("Len after reopen = %d", tr.Len())
+	}
+	for i := 0; i < n; i += 97 {
+		got, err := tr.Get(key(i))
+		if err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("Get %d after reopen: %v", i, err)
+		}
+	}
+	big, err := tr.Get([]byte("big"))
+	if err != nil || len(big) != 50000 {
+		t.Fatalf("big value after reopen: %d bytes, %v", len(big), err)
+	}
+}
+
+func TestReadOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ro.db")
+	tr := mustOpen(t, path, nil)
+	tr.Put([]byte("k"), []byte("v"))
+	tr.Close()
+
+	tr = mustOpen(t, path, &Options{ReadOnly: true})
+	defer tr.Close()
+	if _, err := tr.Get([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put([]byte("k2"), nil); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Put on read-only = %v", err)
+	}
+	if err := tr.Delete([]byte("k")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Delete on read-only = %v", err)
+	}
+}
+
+func TestOpenGarbageFails(t *testing.T) {
+	store := mustOpen(t, "", nil)
+	store.Put([]byte("k"), []byte("v"))
+	s := store.Store()
+	store.Close()
+	buf := make([]byte, s.PageSize())
+	s.ReadPage(0, buf)
+	le.PutUint32(buf[4:], 0x12345678)
+	s.WritePage(0, buf)
+	if _, err := Open("", &Options{Store: s, PageSize: s.PageSize()}); err == nil {
+		t.Fatal("opened corrupt meta page")
+	}
+}
+
+func TestModelEquivalence(t *testing.T) {
+	for _, ps := range []int{128, 512, 4096} {
+		t.Run(fmt.Sprintf("pagesize=%d", ps), func(t *testing.T) {
+			tr := mustOpen(t, "", &Options{PageSize: ps})
+			defer tr.Close()
+			rng := rand.New(rand.NewSource(int64(ps)))
+			model := map[string][]byte{}
+			for op := 0; op < 6000; op++ {
+				k := fmt.Sprintf("k%04d", rng.Intn(800))
+				switch rng.Intn(4) {
+				case 0, 1:
+					var v []byte
+					if rng.Intn(15) == 0 {
+						v = bytes.Repeat([]byte{byte(op)}, 500+rng.Intn(3000))
+					} else {
+						v = []byte(fmt.Sprintf("v%d", op))
+					}
+					if err := tr.Put([]byte(k), v); err != nil {
+						t.Fatalf("op %d Put: %v", op, err)
+					}
+					model[k] = v
+				case 2:
+					err := tr.Delete([]byte(k))
+					if _, ok := model[k]; ok && err != nil {
+						t.Fatalf("op %d Delete: %v", op, err)
+					}
+					delete(model, k)
+				case 3:
+					got, err := tr.Get([]byte(k))
+					want, ok := model[k]
+					if ok && (err != nil || !bytes.Equal(got, want)) {
+						t.Fatalf("op %d Get: %d bytes, %v; want %d", op, len(got), err, len(want))
+					}
+					if !ok && !errors.Is(err, ErrNotFound) {
+						t.Fatalf("op %d Get missing: %v", op, err)
+					}
+				}
+				if tr.Len() != len(model) {
+					t.Fatalf("op %d: Len=%d model=%d", op, tr.Len(), len(model))
+				}
+			}
+			// Ordered full-scan equivalence.
+			keys := make([]string, 0, len(model))
+			for k := range model {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			c := tr.Cursor()
+			idx := 0
+			for c.Next() {
+				if idx >= len(keys) {
+					t.Fatalf("scan returned extra key %q", c.Key())
+				}
+				if string(c.Key()) != keys[idx] {
+					t.Fatalf("scan[%d] = %q, want %q", idx, c.Key(), keys[idx])
+				}
+				if !bytes.Equal(c.Value(), model[keys[idx]]) {
+					t.Fatalf("scan value for %q wrong", c.Key())
+				}
+				idx++
+			}
+			if c.Err() != nil || idx != len(keys) {
+				t.Fatalf("scan ended at %d of %d: %v", idx, len(keys), c.Err())
+			}
+		})
+	}
+}
+
+// Property: sorted insertion order equals scan order for arbitrary keys.
+func TestQuickScanOrder(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		tr, err := Open("", &Options{PageSize: 128})
+		if err != nil {
+			return false
+		}
+		defer tr.Close()
+		model := map[string]bool{}
+		for _, k := range raw {
+			if len(k) == 0 || len(k) > tr.maxKey {
+				continue
+			}
+			if err := tr.Put(k, nil); err != nil {
+				return false
+			}
+			model[string(k)] = true
+		}
+		want := make([]string, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		c := tr.Cursor()
+		i := 0
+		for c.Next() {
+			if i >= len(want) || string(c.Key()) != want[i] {
+				return false
+			}
+			i++
+		}
+		return c.Err() == nil && i == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCursorDuringMutation(t *testing.T) {
+	tr := mustOpen(t, "", &Options{PageSize: 256})
+	defer tr.Close()
+	for i := 0; i < 1000; i++ {
+		tr.Put(key(i), val(i))
+	}
+	c := tr.Cursor()
+	n := 0
+	for c.Next() {
+		n++
+		if n%7 == 0 {
+			_ = tr.Delete(key(n))
+			_ = tr.Put([]byte(fmt.Sprintf("zz-new-%d", n)), nil)
+		}
+	}
+	if c.Err() != nil {
+		t.Fatalf("cursor during mutation: %v", c.Err())
+	}
+	// Integrity afterwards.
+	c2 := tr.Cursor()
+	count := 0
+	var prev []byte
+	for c2.Next() {
+		if prev != nil && bytes.Compare(prev, c2.Key()) >= 0 {
+			t.Fatal("order violated after mutation storm")
+		}
+		prev = append(prev[:0], c2.Key()...)
+		count++
+	}
+	if c2.Err() != nil || count != tr.Len() {
+		t.Fatalf("rescan: %d vs Len %d, %v", count, tr.Len(), c2.Err())
+	}
+}
+
+func TestSequentialInsertAscendingAndDescending(t *testing.T) {
+	for _, dir := range []string{"asc", "desc"} {
+		t.Run(dir, func(t *testing.T) {
+			tr := mustOpen(t, "", &Options{PageSize: 128})
+			defer tr.Close()
+			const n = 5000
+			for i := 0; i < n; i++ {
+				j := i
+				if dir == "desc" {
+					j = n - 1 - i
+				}
+				if err := tr.Put(key(j), val(j)); err != nil {
+					t.Fatalf("Put %d: %v", j, err)
+				}
+			}
+			if tr.Len() != n {
+				t.Fatalf("Len = %d", tr.Len())
+			}
+			for i := 0; i < n; i += 53 {
+				if _, err := tr.Get(key(i)); err != nil {
+					t.Fatalf("Get %d: %v", i, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package btree
+
+import (
+	"fmt"
+)
+
+// Big-data overflow chains. A pair whose data would crowd a leaf (more
+// than half its capacity together with the key) keeps only an 8-byte
+// reference on the leaf; the data lives on a chain of whole pages drawn
+// from the same allocator as tree nodes, mirroring how the hash access
+// method shares its overflow mechanism between chaining and big pairs.
+//
+// Chain page layout: uint16 type, 2 pad bytes, uint32 next, payload.
+
+// writeChain stores data on a fresh chain and returns its first page.
+func (t *Tree) writeChain(data []byte) (uint32, error) {
+	cap_ := t.pagesize - chainHdr
+	npages := (len(data) + cap_ - 1) / cap_
+	if npages == 0 {
+		npages = 1
+	}
+	pages := make([]uint32, npages)
+	for i := range pages {
+		pg, err := t.allocPage(func(n node) {
+			le.PutUint16(n[0:2], typeChain)
+		})
+		if err != nil {
+			for _, p := range pages[:i] {
+				_ = t.freePage(p)
+			}
+			return 0, err
+		}
+		pages[i] = pg
+	}
+	for i, pg := range pages {
+		buf, err := t.fetch(pg)
+		if err != nil {
+			return 0, err
+		}
+		next := uint32(0)
+		if i+1 < npages {
+			next = pages[i+1]
+		}
+		le.PutUint32(buf.Page[4:8], next)
+		lo := i * cap_
+		hi := lo + cap_
+		if hi > len(data) {
+			hi = len(data)
+		}
+		copy(buf.Page[chainHdr:], data[lo:hi])
+		buf.Dirty = true
+		t.pool.Put(buf)
+	}
+	return pages[0], nil
+}
+
+// readChain materializes total bytes starting at page pg.
+func (t *Tree) readChain(pg uint32, total int) ([]byte, error) {
+	out := make([]byte, 0, total)
+	for pg != 0 && len(out) < total {
+		buf, err := t.fetch(pg)
+		if err != nil {
+			return nil, err
+		}
+		n := node(buf.Page)
+		if n.typ() != typeChain {
+			t.pool.Put(buf)
+			return nil, fmt.Errorf("%w: page %d in chain has type %#x", ErrCorrupt, pg, n.typ())
+		}
+		next := le.Uint32(buf.Page[4:8])
+		take := t.pagesize - chainHdr
+		if take > total-len(out) {
+			take = total - len(out)
+		}
+		out = append(out, buf.Page[chainHdr:chainHdr+take]...)
+		t.pool.Put(buf)
+		pg = next
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("%w: chain truncated (%d of %d bytes)", ErrCorrupt, len(out), total)
+	}
+	return out, nil
+}
+
+// freeChain returns every page of the chain to the free list.
+func (t *Tree) freeChain(pg uint32) error {
+	for pg != 0 {
+		buf, err := t.fetch(pg)
+		if err != nil {
+			return err
+		}
+		if node(buf.Page).typ() != typeChain {
+			t.pool.Put(buf)
+			return fmt.Errorf("%w: freeing non-chain page %d", ErrCorrupt, pg)
+		}
+		next := le.Uint32(buf.Page[4:8])
+		t.pool.Put(buf)
+		if err := t.freePage(pg); err != nil {
+			return err
+		}
+		pg = next
+	}
+	return nil
+}

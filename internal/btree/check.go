@@ -1,0 +1,141 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Check walks the whole tree verifying its structural invariants:
+//
+//   - every page reachable from the root is a leaf or internal node;
+//   - internal keys are strictly ascending within a node;
+//   - every key in child[i]'s subtree is >= key[i] (and < key[i+1]);
+//   - leaf keys are strictly ascending within and across leaves;
+//   - the leaf sibling chain visits exactly the tree's leaves, in order,
+//     with consistent back links;
+//   - the record count matches the meta page.
+//
+// It is exported for tests and the dbcli check command.
+func (t *Tree) Check() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkOpen(); err != nil {
+		return err
+	}
+	var leaves []uint32
+	count := int64(0)
+	if err := t.checkNode(t.root, nil, nil, 0, &leaves, &count); err != nil {
+		return err
+	}
+	if count != t.nrecords {
+		return fmt.Errorf("btree check: %d records found, meta says %d", count, t.nrecords)
+	}
+	return t.checkLeafChain(leaves)
+}
+
+// checkNode verifies the subtree at pg; every key in it must satisfy
+// lo <= key < hi (nil bounds are open).
+func (t *Tree) checkNode(pg uint32, lo, hi []byte, depth int, leaves *[]uint32, count *int64) error {
+	if depth > 64 {
+		return fmt.Errorf("btree check: depth exceeds 64 at page %d", pg)
+	}
+	buf, err := t.fetch(pg)
+	if err != nil {
+		return err
+	}
+	n := node(buf.Page)
+	typ := n.typ()
+	switch typ {
+	case typeLeaf:
+		var prev []byte
+		for i := 0; i < n.nkeys(); i++ {
+			k := n.leafKey(i)
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.pool.Put(buf)
+				return fmt.Errorf("btree check: leaf %d keys out of order at %d", pg, i)
+			}
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				t.pool.Put(buf)
+				return fmt.Errorf("btree check: leaf %d key %q below separator %q", pg, k, lo)
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				t.pool.Put(buf)
+				return fmt.Errorf("btree check: leaf %d key %q at or above separator %q", pg, k, hi)
+			}
+			prev = append(prev[:0], k...)
+			*count++
+		}
+		*leaves = append(*leaves, pg)
+		t.pool.Put(buf)
+		return nil
+	case typeInternal:
+		nk := n.nkeys()
+		if nk == 0 {
+			t.pool.Put(buf)
+			return fmt.Errorf("btree check: internal page %d has no keys", pg)
+		}
+		keys := make([][]byte, nk)
+		childs := make([]uint32, nk+1)
+		childs[0] = n.child0()
+		for i := 0; i < nk; i++ {
+			keys[i] = append([]byte(nil), n.intKey(i)...)
+			childs[i+1] = n.intChild(i)
+			if i > 0 && bytes.Compare(keys[i-1], keys[i]) >= 0 {
+				t.pool.Put(buf)
+				return fmt.Errorf("btree check: internal %d keys out of order at %d", pg, i)
+			}
+		}
+		t.pool.Put(buf)
+		for i := 0; i <= nk; i++ {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = keys[i-1]
+			}
+			if i < nk {
+				chi = keys[i]
+			}
+			if err := t.checkNode(childs[i], clo, chi, depth+1, leaves, count); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		t.pool.Put(buf)
+		return fmt.Errorf("btree check: page %d has type %#x in the tree", pg, typ)
+	}
+}
+
+// checkLeafChain verifies that the sibling chain matches the in-order
+// leaf list from the tree walk.
+func (t *Tree) checkLeafChain(leaves []uint32) error {
+	first, err := t.leftmostLeaf()
+	if err != nil {
+		return err
+	}
+	pg := first
+	prev := uint32(0)
+	for i := 0; pg != 0; i++ {
+		if i >= len(leaves) {
+			return fmt.Errorf("btree check: leaf chain longer than the tree (%d leaves)", len(leaves))
+		}
+		if pg != leaves[i] {
+			return fmt.Errorf("btree check: leaf chain[%d] = %d, tree walk says %d", i, pg, leaves[i])
+		}
+		buf, err := t.fetch(pg)
+		if err != nil {
+			return err
+		}
+		n := node(buf.Page)
+		if n.prevLeaf() != prev {
+			t.pool.Put(buf)
+			return fmt.Errorf("btree check: leaf %d back link = %d, want %d", pg, n.prevLeaf(), prev)
+		}
+		next := n.nextLeaf()
+		t.pool.Put(buf)
+		prev, pg = pg, next
+	}
+	if prev != leaves[len(leaves)-1] {
+		return fmt.Errorf("btree check: leaf chain ended at %d, tree walk at %d", prev, leaves[len(leaves)-1])
+	}
+	return nil
+}

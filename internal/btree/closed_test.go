@@ -1,0 +1,51 @@
+package btree
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOperationsOnClosedTree(t *testing.T) {
+	tr := mustOpen(t, "", nil)
+	tr.Put([]byte("k"), []byte("v"))
+	c := tr.Cursor()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("double Close = %v", err)
+	}
+	if c.Next() {
+		t.Fatal("cursor advanced on a closed tree")
+	}
+	if !errors.Is(c.Err(), ErrClosed) {
+		t.Fatalf("cursor error = %v", c.Err())
+	}
+	if _, err := tr.Get([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get = %v", err)
+	}
+	if err := tr.Put([]byte("k"), nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put = %v", err)
+	}
+	if err := tr.Delete([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Delete = %v", err)
+	}
+	if err := tr.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync = %v", err)
+	}
+	if err := tr.Check(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Check = %v", err)
+	}
+}
+
+func TestHasHelper(t *testing.T) {
+	tr := mustOpen(t, "", nil)
+	defer tr.Close()
+	tr.Put([]byte("k"), []byte("v"))
+	if ok, err := tr.Has([]byte("k")); err != nil || !ok {
+		t.Fatalf("Has present = %v, %v", ok, err)
+	}
+	if ok, err := tr.Has([]byte("zz")); err != nil || ok {
+		t.Fatalf("Has absent = %v, %v", ok, err)
+	}
+}

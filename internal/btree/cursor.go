@@ -1,0 +1,158 @@
+package btree
+
+import (
+	"bytes"
+)
+
+// Cursor walks pairs in ascending key order along the leaf chain. Like
+// the hash iterator it holds no pins between calls: the current position
+// is (leaf page, key), re-validated on each advance, so mutation during
+// a scan is safe (a concurrently inserted or deleted key may be seen or
+// missed, never corrupted).
+type Cursor struct {
+	t             *Tree
+	started       bool
+	seekInclusive bool // lastKey itself is still wanted (set by Seek)
+	lastKey       []byte
+	key           []byte
+	val           []byte
+	err           error
+	done          bool
+}
+
+// Cursor returns a cursor positioned before the smallest key.
+func (t *Tree) Cursor() *Cursor { return &Cursor{t: t} }
+
+// Seek positions the cursor so the next call to Next returns the first
+// key >= from.
+func (t *Tree) Seek(from []byte) *Cursor {
+	c := &Cursor{t: t, started: true}
+	c.lastKey = append([]byte(nil), from...)
+	c.seekInclusive = true
+	return c
+}
+
+// Next advances to the next pair, reporting false at the end or on error.
+func (c *Cursor) Next() bool {
+	if c.done || c.err != nil {
+		return false
+	}
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	if err := c.t.checkOpen(); err != nil {
+		c.err = err
+		return false
+	}
+
+	var target []byte
+	inclusive := false
+	if !c.started {
+		c.started = true
+		target = nil // before everything
+		inclusive = true
+	} else {
+		target = c.lastKey
+		inclusive = c.seekInclusive
+	}
+	c.seekInclusive = false
+
+	k, v, ok, err := c.t.next(target, inclusive)
+	if err != nil {
+		c.err = err
+		return false
+	}
+	if !ok {
+		c.done = true
+		return false
+	}
+	c.key = append(c.key[:0], k...)
+	c.val = v
+	c.lastKey = append(c.lastKey[:0], k...)
+	return true
+}
+
+// next finds the first pair with key > target (or >= target when
+// inclusive), descending fresh from the root so stale positions cannot
+// mislead it.
+func (t *Tree) next(target []byte, inclusive bool) (k, v []byte, ok bool, err error) {
+	var leaf uint32
+	if target == nil {
+		leaf, err = t.leftmostLeaf()
+		if err != nil {
+			return nil, nil, false, err
+		}
+	} else {
+		leaf, _, err = t.descend(target)
+		if err != nil {
+			return nil, nil, false, err
+		}
+	}
+	for leaf != 0 {
+		buf, err := t.fetch(leaf)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		n := node(buf.Page)
+		i := 0
+		if target != nil {
+			i = sortSearch(n.nkeys(), func(j int) bool {
+				cmp := bytes.Compare(n.leafKey(j), target)
+				if inclusive {
+					return cmp >= 0
+				}
+				return cmp > 0
+			})
+		}
+		if i < n.nkeys() {
+			key := append([]byte(nil), n.leafKey(i)...)
+			val, err := t.materialize(n, i)
+			t.pool.Put(buf)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			return key, val, true, nil
+		}
+		next := n.nextLeaf()
+		t.pool.Put(buf)
+		leaf = next
+		// Once we moved past the target's leaf, every remaining key
+		// compares greater; stop filtering so empty leaves are skipped
+		// but the first entry of the next non-empty leaf is taken.
+		target = nil
+	}
+	return nil, nil, false, nil
+}
+
+// leftmostLeaf descends along child0 links.
+func (t *Tree) leftmostLeaf() (uint32, error) {
+	pg := t.root
+	for depth := 0; depth <= 64; depth++ {
+		buf, err := t.fetch(pg)
+		if err != nil {
+			return 0, err
+		}
+		n := node(buf.Page)
+		switch n.typ() {
+		case typeLeaf:
+			t.pool.Put(buf)
+			return pg, nil
+		case typeInternal:
+			child := n.child0()
+			t.pool.Put(buf)
+			pg = child
+		default:
+			t.pool.Put(buf)
+			return 0, ErrCorrupt
+		}
+	}
+	return 0, ErrCorrupt
+}
+
+// Key returns the current pair's key; the slice is reused by Next.
+func (c *Cursor) Key() []byte { return c.key }
+
+// Value returns the current pair's data.
+func (c *Cursor) Value() []byte { return c.val }
+
+// Err reports the error that terminated the scan, if any.
+func (c *Cursor) Err() error { return c.err }

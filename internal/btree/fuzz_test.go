@@ -1,0 +1,90 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzOpenArbitraryFile: Open must reject arbitrary bytes cleanly.
+func FuzzOpenArbitraryFile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Add(bytes.Repeat([]byte{0}, 4096))
+	meta := make([]byte, 4096)
+	le.PutUint16(meta[0:], typeMeta)
+	le.PutUint32(meta[4:], metaMagic)
+	le.PutUint32(meta[8:], metaVersion)
+	le.PutUint32(meta[12:], 4096)
+	le.PutUint32(meta[16:], 1) // root
+	le.PutUint32(meta[20:], 2) // nextPage
+	f.Add(meta)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.bt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		tr, err := Open(path, nil)
+		if err != nil {
+			return
+		}
+		_, _ = tr.Get([]byte("k"))
+		_ = tr.Put([]byte("k"), []byte("v"))
+		c := tr.Cursor()
+		for i := 0; c.Next() && i < 100; i++ {
+		}
+		_ = tr.Close()
+	})
+}
+
+// FuzzTreeOps: arbitrary pairs round-trip and keep the tree invariants.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte("a"), []byte("1"), []byte("b"), []byte("2"))
+	f.Add([]byte{0}, []byte{}, []byte{0, 0}, bytes.Repeat([]byte("v"), 4000))
+
+	f.Fuzz(func(t *testing.T, k1, v1, k2, v2 []byte) {
+		tr, err := Open("", &Options{PageSize: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		put := func(k, v []byte) bool {
+			err := tr.Put(k, v)
+			switch {
+			case len(k) == 0:
+				if !errors.Is(err, ErrEmptyKey) {
+					t.Fatalf("empty key = %v", err)
+				}
+				return false
+			case len(k) > tr.maxKey:
+				if !errors.Is(err, ErrKeyTooBig) {
+					t.Fatalf("huge key = %v", err)
+				}
+				return false
+			case err != nil:
+				t.Fatalf("Put: %v", err)
+			}
+			return true
+		}
+		ok1 := put(k1, v1)
+		ok2 := put(k2, v2)
+		if ok1 && (!ok2 || !bytes.Equal(k1, k2)) {
+			got, err := tr.Get(k1)
+			if err != nil || !bytes.Equal(got, v1) {
+				t.Fatalf("Get(k1) = %d bytes, %v", len(got), err)
+			}
+		}
+		if ok2 {
+			got, err := tr.Get(k2)
+			if err != nil || !bytes.Equal(got, v2) {
+				t.Fatalf("Get(k2) = %d bytes, %v", len(got), err)
+			}
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("Check: %v", err)
+		}
+	})
+}

@@ -1,0 +1,46 @@
+//go:build unix
+
+package btree
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"unixhash/internal/pagefile"
+)
+
+func TestLockExcludesSecondWriter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "locked.bt")
+	w := mustOpen(t, path, &Options{Lock: true})
+	defer w.Close()
+	if err := w.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, &Options{Lock: true}); !errors.Is(err, pagefile.ErrLocked) {
+		t.Fatalf("second writer = %v, want ErrLocked", err)
+	}
+}
+
+func TestSharedReaders(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shared.bt")
+	w := mustOpen(t, path, nil)
+	w.Put([]byte("k"), []byte("v"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r1 := mustOpen(t, path, &Options{Lock: true, ReadOnly: true})
+	defer r1.Close()
+	r2 := mustOpen(t, path, &Options{Lock: true, ReadOnly: true})
+	defer r2.Close()
+	if _, err := r1.Get([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, &Options{Lock: true}); !errors.Is(err, pagefile.ErrLocked) {
+		t.Fatalf("writer during reads = %v, want ErrLocked", err)
+	}
+}

@@ -1,0 +1,245 @@
+// Package btree implements the btree access method that the paper's
+// conclusion announces alongside the hash package: "It will include a
+// btree access method as well as fixed and variable length record access
+// methods in addition to the hashed support presented here. All of the
+// access methods are based on a key/data pair interface."
+//
+// This is a page-oriented B+tree over the same pagefile/buffer substrate
+// as the hash table: variable-length keys and data in slotted pages,
+// leaves linked for ordered scans, large data values on overflow-page
+// chains, and an LRU buffer pool. Keys are compared as byte strings
+// (bytes.Compare order).
+package btree
+
+import (
+	"encoding/binary"
+)
+
+var le = binary.LittleEndian
+
+// Page types, stored in the first two bytes of every page so the file is
+// self-describing.
+const (
+	typeMeta     = 0xB401
+	typeInternal = 0xB402
+	typeLeaf     = 0xB403
+	typeChain    = 0xB404 // big-data overflow chain page
+	typeFree     = 0xB405 // on the free list
+)
+
+// Leaf page layout:
+//
+//	0..1   uint16 type (typeLeaf)
+//	2..3   uint16 nkeys
+//	4..5   uint16 low       — lowest used data byte
+//	6..7   (pad)
+//	8..11  uint32 prev leaf (0 = none)
+//	12..15 uint32 next leaf (0 = none)
+//	16..   slot array, three uint16 per entry: keyOff, dataOff, flags
+//	...    key/data bytes packed downward from the page end
+//
+// Entry i's key occupies [keyOff, prevLow) and its data [dataOff,
+// keyOff), where prevLow is entry i-1's dataOff (or the page size).
+// flags bit 0 set means the on-page "data" is an 8-byte reference
+// (uint32 chain page, uint32 total length) to an overflow chain.
+const (
+	leafHdr      = 16
+	leafSlotSize = 6
+
+	flagBigData = 1
+)
+
+// Internal page layout:
+//
+//	0..1   uint16 type (typeInternal)
+//	2..3   uint16 nkeys
+//	4..5   uint16 low
+//	6..7   (pad)
+//	8..11  uint32 child0   — subtree of keys < key[0]
+//	12..   slot array, three uint16 per entry: keyOff, childHi, childLo
+//	...    key bytes packed downward from the page end
+//
+// Entry i holds key[i] and child[i+1]: the subtree of keys >= key[i]
+// (and < key[i+1] if present).
+const (
+	intHdr      = 12
+	intSlotSize = 6
+)
+
+// Chain page layout: type, (pad), next uint32, payload.
+const chainHdr = 8
+
+type node []byte
+
+func (n node) typ() int       { return int(le.Uint16(n[0:2])) }
+func (n node) setTyp(t int)   { le.PutUint16(n[0:2], uint16(t)) }
+func (n node) nkeys() int     { return int(le.Uint16(n[2:4])) }
+func (n node) setNkeys(k int) { le.PutUint16(n[2:4], uint16(k)) }
+func (n node) low() int       { return int(le.Uint16(n[4:6])) }
+func (n node) setLow(v int)   { le.PutUint16(n[4:6], uint16(v)) }
+
+// --- leaf accessors ---
+
+func initLeaf(n node) {
+	clear(n)
+	n.setTyp(typeLeaf)
+	n.setLow(len(n))
+}
+
+func (n node) prevLeaf() uint32     { return le.Uint32(n[8:12]) }
+func (n node) setPrevLeaf(p uint32) { le.PutUint32(n[8:12], p) }
+func (n node) nextLeaf() uint32     { return le.Uint32(n[12:16]) }
+func (n node) setNextLeaf(p uint32) { le.PutUint32(n[12:16], p) }
+
+func (n node) leafSlot(i int) (koff, doff, flags int) {
+	base := leafHdr + i*leafSlotSize
+	return int(le.Uint16(n[base:])), int(le.Uint16(n[base+2:])), int(le.Uint16(n[base+4:]))
+}
+
+func (n node) setLeafSlot(i, koff, doff, flags int) {
+	base := leafHdr + i*leafSlotSize
+	le.PutUint16(n[base:], uint16(koff))
+	le.PutUint16(n[base+2:], uint16(doff))
+	le.PutUint16(n[base+4:], uint16(flags))
+}
+
+// leafBound returns entry i's upper byte boundary.
+func (n node) leafBound(i int) int {
+	if i == 0 {
+		return len(n)
+	}
+	_, doff, _ := n.leafSlot(i - 1)
+	return doff
+}
+
+// leafKey returns a view of entry i's key.
+func (n node) leafKey(i int) []byte {
+	koff, _, _ := n.leafSlot(i)
+	return n[koff:n.leafBound(i)]
+}
+
+// leafData returns entry i's on-page data bytes and its flags.
+func (n node) leafData(i int) ([]byte, int) {
+	koff, doff, flags := n.leafSlot(i)
+	return n[doff:koff], flags
+}
+
+func (n node) leafFree() int {
+	return n.low() - leafHdr - n.nkeys()*leafSlotSize
+}
+
+// leafFits reports whether a pair with the given on-page sizes fits.
+func (n node) leafFits(klen, dlen int) bool {
+	return leafSlotSize+klen+dlen <= n.leafFree()
+}
+
+// leafInsert places a pair at position i (0..nkeys), shifting later
+// slots. The caller must have checked leafFits.
+func (n node) leafInsert(i int, key, data []byte, flags int) {
+	nk := n.nkeys()
+	// Shift byte regions of entries i..nk-1 down by the new pair's size.
+	size := len(key) + len(data)
+	low := n.low()
+	bound := n.leafBound(i)
+	copy(n[low-size:bound-size], n[low:bound])
+	// Shift slots up and adjust moved entries' offsets.
+	for j := nk - 1; j >= i; j-- {
+		koff, doff, fl := n.leafSlot(j)
+		n.setLeafSlot(j+1, koff-size, doff-size, fl)
+	}
+	ko := bound - len(key)
+	do := ko - len(data)
+	copy(n[ko:bound], key)
+	copy(n[do:ko], data)
+	n.setLeafSlot(i, ko, do, flags)
+	n.setNkeys(nk + 1)
+	n.setLow(low - size)
+}
+
+// leafRemove deletes entry i.
+func (n node) leafRemove(i int) {
+	nk := n.nkeys()
+	_, doff, _ := n.leafSlot(i)
+	bound := n.leafBound(i)
+	size := bound - doff
+	low := n.low()
+	copy(n[low+size:bound], n[low:doff])
+	for j := i + 1; j < nk; j++ {
+		ko, do, fl := n.leafSlot(j)
+		n.setLeafSlot(j-1, ko+size, do+size, fl)
+	}
+	n.setNkeys(nk - 1)
+	n.setLow(low + size)
+}
+
+// --- internal accessors ---
+
+func initInternal(n node) {
+	clear(n)
+	n.setTyp(typeInternal)
+	n.setLow(len(n))
+}
+
+func (n node) child0() uint32     { return le.Uint32(n[8:12]) }
+func (n node) setChild0(p uint32) { le.PutUint32(n[8:12], p) }
+
+func (n node) intSlot(i int) (koff int, child uint32) {
+	base := intHdr + i*intSlotSize
+	koff = int(le.Uint16(n[base:]))
+	child = uint32(le.Uint16(n[base+2:]))<<16 | uint32(le.Uint16(n[base+4:]))
+	return
+}
+
+func (n node) setIntSlot(i, koff int, child uint32) {
+	base := intHdr + i*intSlotSize
+	le.PutUint16(n[base:], uint16(koff))
+	le.PutUint16(n[base+2:], uint16(child>>16))
+	le.PutUint16(n[base+4:], uint16(child))
+}
+
+func (n node) intBound(i int) int {
+	if i == 0 {
+		return len(n)
+	}
+	koff, _ := n.intSlot(i - 1)
+	return koff
+}
+
+func (n node) intKey(i int) []byte {
+	koff, _ := n.intSlot(i)
+	return n[koff:n.intBound(i)]
+}
+
+func (n node) intChild(i int) uint32 {
+	if i < 0 {
+		return n.child0()
+	}
+	_, c := n.intSlot(i)
+	return c
+}
+
+func (n node) intFree() int {
+	return n.low() - intHdr - n.nkeys()*intSlotSize
+}
+
+func (n node) intFits(klen int) bool {
+	return intSlotSize+klen <= n.intFree()
+}
+
+// intInsert places (key, child) at position i.
+func (n node) intInsert(i int, key []byte, child uint32) {
+	nk := n.nkeys()
+	size := len(key)
+	low := n.low()
+	bound := n.intBound(i)
+	copy(n[low-size:bound-size], n[low:bound])
+	for j := nk - 1; j >= i; j-- {
+		ko, c := n.intSlot(j)
+		n.setIntSlot(j+1, ko-size, c)
+	}
+	ko := bound - size
+	copy(n[ko:bound], key)
+	n.setIntSlot(i, ko, child)
+	n.setNkeys(nk + 1)
+	n.setLow(low - size)
+}

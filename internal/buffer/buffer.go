@@ -1,0 +1,337 @@
+// Package buffer implements the hashing package's buffer manager: an LRU
+// pool of page buffers over a pagefile.Store, as described in the paper's
+// "Buffer Management" section.
+//
+// Primary pages are addressed by bucket number; overflow pages by their
+// 16-bit overflow address. When an overflow page is fetched through its
+// predecessor page, the predecessor's buffer header records the link, and
+// evicting a buffer evicts the overflow buffers chained behind it — the
+// paper's invariant that an overflow page is resident only while its
+// predecessor is. Iterators and tools may also fetch overflow pages
+// unlinked. If every buffer is pinned when a new page is needed, the pool
+// temporarily overcommits rather than failing, so arbitrarily long
+// overflow chains work with small pools.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+
+	"unixhash/internal/pagefile"
+)
+
+// Addr identifies a logical page: either a primary page (bucket number)
+// or an overflow page (16-bit overflow address).
+type Addr struct {
+	N    uint32
+	Ovfl bool
+}
+
+func (a Addr) String() string {
+	if a.Ovfl {
+		return fmt.Sprintf("ovfl %d/%d", a.N>>11, a.N&0x7ff)
+	}
+	return fmt.Sprintf("bucket %d", a.N)
+}
+
+// Buf is a buffer header: one page-sized buffer plus bookkeeping. The
+// caller owns the Page contents while the buffer is pinned.
+type Buf struct {
+	Addr  Addr
+	Page  []byte
+	Dirty bool
+
+	pins int
+	ovfl *Buf // resident successor overflow buffer, if any
+	prev *Buf // LRU list
+	next *Buf
+}
+
+// Pin marks the buffer in-use; a pinned buffer (and any chain containing
+// it) cannot be evicted. Pins nest.
+func (b *Buf) Pin() { b.pins++ }
+
+// Unpin releases one pin.
+func (b *Buf) Unpin() {
+	if b.pins <= 0 {
+		panic("buffer: unpin of unpinned buffer " + b.Addr.String())
+	}
+	b.pins--
+}
+
+// Pinned reports whether the buffer is currently pinned.
+func (b *Buf) Pinned() bool { return b.pins > 0 }
+
+// Ovfl returns the resident successor overflow buffer, or nil.
+func (b *Buf) Ovfl() *Buf { return b.ovfl }
+
+// MapFunc translates a logical address into a physical page number in the
+// store. The hash table supplies BUCKET_TO_PAGE / OADDR_TO_PAGE here.
+type MapFunc func(Addr) uint32
+
+// Pool is an LRU buffer pool. It is not safe for concurrent use; the
+// owning table serializes access.
+type Pool struct {
+	store    pagefile.Store
+	mapAddr  MapFunc
+	pagesize int
+	max      int // maximum resident buffers (soft: see Overcommits)
+
+	table map[Addr]*Buf
+	lru   Buf    // sentinel: lru.next is most recent, lru.prev least recent
+	free  []*Buf // evicted buffers kept for reuse, as in the C package
+
+	// Counters for tests and the benchmark harness.
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	NewPages    int64
+	Overcommits int64
+}
+
+// MinBuffers is the floor on pool size: a bucket split can touch the old
+// chain, the new chain and an allocation simultaneously, so the pool must
+// always be able to hold a handful of pinned pages.
+const MinBuffers = 8
+
+// New creates a pool of at most maxBytes of page buffers (rounded up to
+// MinBuffers pages) over store, using mapAddr to place logical pages.
+func New(store pagefile.Store, maxBytes int, mapAddr MapFunc) *Pool {
+	ps := store.PageSize()
+	n := maxBytes / ps
+	if n < MinBuffers {
+		n = MinBuffers
+	}
+	p := &Pool{
+		store:    store,
+		mapAddr:  mapAddr,
+		pagesize: ps,
+		max:      n,
+		table:    make(map[Addr]*Buf, n),
+	}
+	p.lru.next = &p.lru
+	p.lru.prev = &p.lru
+	return p
+}
+
+// MaxBuffers reports the pool's capacity in pages.
+func (p *Pool) MaxBuffers() int { return p.max }
+
+// Resident reports the number of buffers currently held.
+func (p *Pool) Resident() int { return len(p.table) }
+
+func (p *Pool) lruInsert(b *Buf) {
+	b.next = p.lru.next
+	b.prev = &p.lru
+	p.lru.next.prev = b
+	p.lru.next = b
+}
+
+func (p *Pool) lruRemove(b *Buf) {
+	b.prev.next = b.next
+	b.next.prev = b.prev
+	b.prev, b.next = nil, nil
+}
+
+func (p *Pool) touch(b *Buf) {
+	p.lruRemove(b)
+	p.lruInsert(b)
+}
+
+// Get returns a pinned buffer for addr. prev, if non-nil, is the
+// predecessor buffer of an overflow page and receives the chain link;
+// nil performs an unlinked fetch. prev must be nil for primary pages.
+// If create is set and the page is not in the store, a zeroed page is
+// returned, marked dirty so it will eventually be written.
+func (p *Pool) Get(addr Addr, prev *Buf, create bool) (*Buf, error) {
+	if !addr.Ovfl && prev != nil {
+		return nil, fmt.Errorf("buffer: primary page %v requested with predecessor", addr)
+	}
+	if b, ok := p.table[addr]; ok {
+		p.Hits++
+		p.touch(b)
+		b.Pin()
+		if prev != nil && prev.ovfl != b {
+			prev.ovfl = b
+		}
+		return b, nil
+	}
+	p.Misses++
+	b, err := p.alloc(addr)
+	if err != nil {
+		return nil, err
+	}
+	pageno := p.mapAddr(addr)
+	switch err := p.store.ReadPage(pageno, b.Page); {
+	case err == nil:
+	case errors.Is(err, pagefile.ErrNotAllocated) && create:
+		clear(b.Page)
+		b.Dirty = true
+		p.NewPages++
+	case errors.Is(err, pagefile.ErrNotAllocated):
+		return nil, fmt.Errorf("buffer: %v: %w", addr, err)
+	default:
+		return nil, err
+	}
+	p.table[addr] = b
+	p.lruInsert(b)
+	b.Pin()
+	if prev != nil {
+		prev.ovfl = b
+	}
+	return b, nil
+}
+
+// alloc obtains a free buffer, evicting the coldest evictable chain if
+// the pool is full. If everything is pinned, the pool overcommits.
+// Evicted buffers are recycled rather than reallocated.
+func (p *Pool) alloc(addr Addr) (*Buf, error) {
+	if len(p.table) >= p.max {
+		evicted := false
+		for cand := p.lru.prev; cand != &p.lru; cand = cand.prev {
+			if chainPinned(cand) {
+				continue
+			}
+			if err := p.evict(cand); err != nil {
+				return nil, err
+			}
+			evicted = true
+			break
+		}
+		if !evicted {
+			p.Overcommits++
+		}
+	}
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		*b = Buf{Addr: addr, Page: b.Page}
+		return b, nil
+	}
+	return &Buf{Addr: addr, Page: make([]byte, p.pagesize)}, nil
+}
+
+// recycle returns an evicted buffer's memory to the free list.
+func (p *Pool) recycle(b *Buf) {
+	if len(p.free) < p.max {
+		p.free = append(p.free, b)
+	}
+}
+
+// chainPinned reports whether b or any overflow buffer chained behind it
+// is pinned.
+func chainPinned(b *Buf) bool {
+	for ; b != nil; b = b.ovfl {
+		if b.Pinned() {
+			return true
+		}
+	}
+	return false
+}
+
+// evict flushes and drops b together with its resident overflow chain
+// (the paper: an overflow page cannot stay in the pool when its
+// predecessor leaves).
+func (p *Pool) evict(b *Buf) error {
+	for b != nil {
+		next := b.ovfl
+		if err := p.flushBuf(b); err != nil {
+			return err
+		}
+		if p.table[b.Addr] == b {
+			p.lruRemove(b)
+			delete(p.table, b.Addr)
+			p.Evictions++
+			b.ovfl = nil
+			p.recycle(b)
+		} else {
+			b.ovfl = nil
+		}
+		b = next
+	}
+	return nil
+}
+
+func (p *Pool) flushBuf(b *Buf) error {
+	if !b.Dirty {
+		return nil
+	}
+	if err := p.store.WritePage(p.mapAddr(b.Addr), b.Page); err != nil {
+		return err
+	}
+	b.Dirty = false
+	return nil
+}
+
+// Put unpins a buffer obtained from Get.
+func (p *Pool) Put(b *Buf) { b.Unpin() }
+
+// Drop removes b from its chain and from the pool without writing it
+// (its page was freed). prev, if non-nil, is re-linked to b's successor.
+// b must be unpinned by the caller before or be held only by the caller;
+// Drop clears its pins.
+func (p *Pool) Drop(prev, b *Buf) {
+	if prev != nil && prev.ovfl == b {
+		prev.ovfl = b.ovfl
+	}
+	if p.table[b.Addr] == b {
+		p.lruRemove(b)
+		delete(p.table, b.Addr)
+	}
+	b.ovfl = nil
+	b.Dirty = false
+	b.pins = 0
+}
+
+// Discard drops the buffer for addr without writing it, if resident.
+// Used for freed pages whose contents no longer matter.
+func (p *Pool) Discard(addr Addr) {
+	b, ok := p.table[addr]
+	if !ok {
+		return
+	}
+	for _, other := range p.table {
+		if other.ovfl == b {
+			other.ovfl = b.ovfl
+		}
+	}
+	p.Drop(nil, b)
+}
+
+// Flush writes every dirty buffer to the store. Buffers stay resident.
+func (p *Pool) Flush() error {
+	for b := p.lru.prev; b != &p.lru; b = b.prev {
+		if err := p.flushBuf(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InvalidateAll flushes and drops every buffer; pinned buffers are an
+// error. Used by Close and by tests that reopen stores.
+func (p *Pool) InvalidateAll() error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	for addr, b := range p.table {
+		if b.Pinned() {
+			return fmt.Errorf("buffer: invalidate with pinned buffer %v", addr)
+		}
+	}
+	for b := p.lru.next; b != &p.lru; {
+		next := b.next
+		b.prev, b.next, b.ovfl = nil, nil, nil
+		b = next
+	}
+	p.lru.next = &p.lru
+	p.lru.prev = &p.lru
+	p.table = make(map[Addr]*Buf)
+	return nil
+}
+
+// Lookup returns the resident buffer for addr without pinning it, or nil.
+// Intended for tests and the dump tool.
+func (p *Pool) Lookup(addr Addr) *Buf {
+	return p.table[addr]
+}

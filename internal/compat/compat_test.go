@@ -1,0 +1,185 @@
+package compat
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"unixhash/internal/core"
+)
+
+func TestDBMRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "compat.db")
+	db, err := DBMOpen(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if rc := db.Store(Datum("key"), Datum("value"), DBMReplace); rc != 0 {
+		t.Fatalf("Store = %d", rc)
+	}
+	if got := db.Fetch(Datum("key")); string(got) != "value" {
+		t.Fatalf("Fetch = %q", got)
+	}
+	if got := db.Fetch(Datum("missing")); got != nil {
+		t.Fatalf("Fetch missing = %q, want nil", got)
+	}
+}
+
+func TestDBMInsertFlag(t *testing.T) {
+	db, err := DBMOpen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if rc := db.Store(Datum("k"), Datum("v1"), DBMInsert); rc != 0 {
+		t.Fatalf("first insert = %d", rc)
+	}
+	if rc := db.Store(Datum("k"), Datum("v2"), DBMInsert); rc != 1 {
+		t.Fatalf("duplicate insert = %d, want 1", rc)
+	}
+	if got := db.Fetch(Datum("k")); string(got) != "v1" {
+		t.Fatalf("Fetch = %q, want v1 preserved", got)
+	}
+	if rc := db.Store(Datum("k"), Datum("v3"), DBMReplace); rc != 0 {
+		t.Fatalf("replace = %d", rc)
+	}
+	if got := db.Fetch(Datum("k")); string(got) != "v3" {
+		t.Fatalf("Fetch = %q", got)
+	}
+}
+
+func TestDBMDelete(t *testing.T) {
+	db, _ := DBMOpen("")
+	defer db.Close()
+	db.Store(Datum("k"), Datum("v"), DBMReplace)
+	if rc := db.Delete(Datum("k")); rc != 0 {
+		t.Fatalf("Delete = %d", rc)
+	}
+	if rc := db.Delete(Datum("k")); rc != -1 {
+		t.Fatalf("second Delete = %d, want -1", rc)
+	}
+}
+
+func TestDBMKeyScan(t *testing.T) {
+	db, _ := DBMOpen("")
+	defer db.Close()
+	want := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("key%d", i)
+		db.Store(Datum(k), Datum("v"), DBMReplace)
+		want[k] = true
+	}
+	got := map[string]bool{}
+	for k := db.Firstkey(); k != nil; k = db.Nextkey() {
+		if got[string(k)] {
+			t.Fatalf("scan repeated %q", k)
+		}
+		got[string(k)] = true
+	}
+	if db.Error() {
+		t.Fatal("scan error")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan saw %d keys, want %d", len(got), len(want))
+	}
+}
+
+func TestDBMBigPairsSucceed(t *testing.T) {
+	// Enhanced functionality: inserts never fail because the pair is too
+	// large — unlike real ndbm.
+	db, _ := DBMOpen("")
+	defer db.Close()
+	big := make(Datum, 100*1024)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if rc := db.Store(Datum("big"), big, DBMReplace); rc != 0 {
+		t.Fatalf("big Store = %d", rc)
+	}
+	got := db.Fetch(Datum("big"))
+	if len(got) != len(big) {
+		t.Fatalf("big Fetch returned %d bytes", len(got))
+	}
+}
+
+func TestDBMOverTable(t *testing.T) {
+	tbl, err := core.Open("", &core.Options{Bsize: 512, Ffactor: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := DBMOpenTable(tbl)
+	defer db.Close()
+	db.Store(Datum("k"), Datum("v"), DBMReplace)
+	if got := db.Fetch(Datum("k")); string(got) != "v" {
+		t.Fatalf("Fetch = %q", got)
+	}
+	if db.Table() != tbl {
+		t.Fatal("Table() did not return the wrapped table")
+	}
+}
+
+func TestHsearchInterface(t *testing.T) {
+	Hdestroy() // clean slate
+	if _, err := Hsearch(Entry{Key: "k"}, Find); err == nil {
+		t.Fatal("Hsearch before Hcreate succeeded")
+	}
+	if err := Hcreate(100); err != nil {
+		t.Fatal(err)
+	}
+	defer Hdestroy()
+	if err := Hcreate(100); err == nil {
+		t.Fatal("second Hcreate succeeded")
+	}
+
+	e, err := Hsearch(Entry{Key: "alpha", Data: []byte("1")}, Enter)
+	if err != nil || e == nil || string(e.Data) != "1" {
+		t.Fatalf("Enter = %+v, %v", e, err)
+	}
+	// Enter of an existing key returns the existing entry.
+	e, err = Hsearch(Entry{Key: "alpha", Data: []byte("2")}, Enter)
+	if err != nil || string(e.Data) != "1" {
+		t.Fatalf("re-Enter = %+v, %v; want existing data", e, err)
+	}
+	e, err = Hsearch(Entry{Key: "alpha"}, Find)
+	if err != nil || e == nil || string(e.Data) != "1" {
+		t.Fatalf("Find = %+v, %v", e, err)
+	}
+	e, err = Hsearch(Entry{Key: "missing"}, Find)
+	if err != nil || e != nil {
+		t.Fatalf("Find missing = %+v, %v", e, err)
+	}
+}
+
+func TestHsearchGrowsPastNelem(t *testing.T) {
+	Hdestroy()
+	if err := Hcreate(8); err != nil {
+		t.Fatal(err)
+	}
+	defer Hdestroy()
+	// System V hsearch would fail with "table full"; the shim grows.
+	for i := 0; i < 1000; i++ {
+		if _, err := Hsearch(Entry{Key: fmt.Sprintf("key%d", i), Data: []byte("v")}, Enter); err != nil {
+			t.Fatalf("Enter %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		e, err := Hsearch(Entry{Key: fmt.Sprintf("key%d", i)}, Find)
+		if err != nil || e == nil {
+			t.Fatalf("Find %d = %v, %v", i, e, err)
+		}
+	}
+}
+
+func TestHdestroyAllowsRecreate(t *testing.T) {
+	Hdestroy()
+	if err := Hcreate(10); err != nil {
+		t.Fatal(err)
+	}
+	Hdestroy()
+	if err := Hcreate(10); err != nil {
+		t.Fatalf("Hcreate after Hdestroy: %v", err)
+	}
+	Hdestroy()
+}

@@ -1,0 +1,89 @@
+package compat
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"unixhash/internal/core"
+)
+
+// The hsearch-compatible interface. As in System V, the notion of a
+// single global hash table is embedded in the interface — one of the
+// shortcomings the paper lists. The shim reproduces that single-table
+// model faithfully (Hcreate/Hsearch/Hdestroy act on one package-level
+// table) while the native core.Table API offers multiple concurrent
+// tables, growth beyond nelem, disk residence and runtime hash choice.
+
+// Action selects Hsearch's behaviour, as in <search.h>.
+type Action int
+
+// Hsearch actions.
+const (
+	Find  Action = iota // FIND: look up only
+	Enter               // ENTER: insert if absent
+)
+
+// Entry mirrors hsearch's ENTRY: a key string and associated data.
+type Entry struct {
+	Key  string
+	Data []byte
+}
+
+var (
+	hmu    sync.Mutex
+	global *core.Table
+)
+
+// Hcreate allocates the single global hash table sized for about nelem
+// entries. It fails if a table already exists (as hcreate does).
+func Hcreate(nelem int) error {
+	hmu.Lock()
+	defer hmu.Unlock()
+	if global != nil {
+		return errors.New("hsearch: table already exists")
+	}
+	t, err := core.Open("", &core.Options{Nelem: nelem})
+	if err != nil {
+		return err
+	}
+	global = t
+	return nil
+}
+
+// Hsearch finds or enters item in the global table. For Find it returns
+// the stored entry or nil; for Enter it returns the (possibly
+// pre-existing) entry. Unlike System V hsearch, entering into a full
+// table cannot fail: the underlying table grows — the paper's "files may
+// grow beyond nelem elements" enhancement.
+func Hsearch(item Entry, action Action) (*Entry, error) {
+	hmu.Lock()
+	defer hmu.Unlock()
+	if global == nil {
+		return nil, errors.New("hsearch: no table (call Hcreate)")
+	}
+	got, err := global.Get([]byte(item.Key))
+	switch {
+	case err == nil:
+		return &Entry{Key: item.Key, Data: got}, nil
+	case !errors.Is(err, core.ErrNotFound):
+		return nil, err
+	}
+	if action == Find {
+		return nil, nil
+	}
+	if err := global.Put([]byte(item.Key), item.Data); err != nil {
+		return nil, fmt.Errorf("hsearch: enter: %w", err)
+	}
+	return &Entry{Key: item.Key, Data: item.Data}, nil
+}
+
+// Hdestroy frees the global table.
+func Hdestroy() {
+	hmu.Lock()
+	defer hmu.Unlock()
+	if global != nil {
+		global.Close()
+		global = nil
+	}
+}

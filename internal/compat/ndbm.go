@@ -1,0 +1,112 @@
+// Package compat provides the compatibility interfaces the paper's
+// package ships alongside its native API: an ndbm-style interface and an
+// hsearch-style interface, both implemented on the new hashing package.
+// When the native interface is used instead, the additional functionality
+// the paper lists becomes available (inserts never fail for size or
+// collision reasons, user hash functions, multiple cached pages, multiple
+// concurrent tables, disk-resident hsearch tables).
+package compat
+
+import (
+	"errors"
+
+	"unixhash/internal/core"
+)
+
+// Datum is the ndbm datum: a byte string. A nil Datum from Fetch or the
+// key cursor means "not found" / "end", as with ndbm's null dptr.
+type Datum []byte
+
+// Store flags, as in <ndbm.h>.
+const (
+	DBMInsert  = 0 // DBM_INSERT: store fails on an existing key
+	DBMReplace = 1 // DBM_REPLACE: store overwrites
+)
+
+// DBM is an ndbm-compatible handle over a hash Table.
+type DBM struct {
+	t      *core.Table
+	cursor *core.Iterator
+}
+
+// DBMOpen opens path as an ndbm-style database. Unlike ndbm there is one
+// file, not a .pag/.dir pair; the underlying table's defaults apply.
+func DBMOpen(path string) (*DBM, error) {
+	t, err := core.Open(path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &DBM{t: t}, nil
+}
+
+// DBMOpenTable wraps an already-open table (used to pass options).
+func DBMOpenTable(t *core.Table) *DBM { return &DBM{t: t} }
+
+// Fetch returns the datum stored under key, or nil if absent.
+func (d *DBM) Fetch(key Datum) Datum {
+	v, err := d.t.Get(key)
+	if err != nil {
+		return nil
+	}
+	return v
+}
+
+// Store inserts key/content. With DBMInsert it returns 1 if the key
+// already exists (ndbm's convention); 0 on success; -1 on error.
+func (d *DBM) Store(key, content Datum, mode int) int {
+	var err error
+	if mode == DBMInsert {
+		err = d.t.PutNew(key, content)
+		if errors.Is(err, core.ErrKeyExists) {
+			return 1
+		}
+	} else {
+		err = d.t.Put(key, content)
+	}
+	if err != nil {
+		return -1
+	}
+	return 0
+}
+
+// Delete removes key; 0 on success, -1 if absent or on error.
+func (d *DBM) Delete(key Datum) int {
+	if err := d.t.Delete(key); err != nil {
+		return -1
+	}
+	return 0
+}
+
+// Firstkey starts a key scan and returns the first key (nil if empty).
+func (d *DBM) Firstkey() Datum {
+	d.cursor = d.t.Iter()
+	return d.advance()
+}
+
+// Nextkey continues the scan begun by Firstkey.
+func (d *DBM) Nextkey() Datum {
+	if d.cursor == nil {
+		return d.Firstkey()
+	}
+	return d.advance()
+}
+
+func (d *DBM) advance() Datum {
+	if !d.cursor.Next() {
+		return nil
+	}
+	// ndbm's nextkey returns only the key; callers needing data issue a
+	// second Fetch — the asymmetry the paper's sequential test measures.
+	return append(Datum(nil), d.cursor.Key()...)
+}
+
+// Error reports whether the underlying cursor hit an error (dbm_error).
+func (d *DBM) Error() bool {
+	return d.cursor != nil && d.cursor.Err() != nil
+}
+
+// Close closes the database (dbm_close).
+func (d *DBM) Close() error { return d.t.Close() }
+
+// Table exposes the native table beneath the compatibility shim.
+func (d *DBM) Table() *core.Table { return d.t }

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Big key/data pairs. A pair whose key and data cannot fit on a single
+// bucket page is stored on a dedicated chain of overflow pages — the same
+// pages, allocated by the same buddy-in-waiting mechanism, that handle
+// bucket overflow, so one mechanism serves both purposes as the paper
+// prescribes. The bucket page holds only a two-slot reference
+// [markBig, chain-start].
+//
+// Chain page layout:
+//
+//	bytes 0..1  uint16 bigMagic
+//	bytes 2..3  uint16 next overflow address (0 on the last page)
+//	bytes 4..   payload
+//
+// The first page's payload begins with uint32 key length and uint32 data
+// length, followed by the key bytes and then the data bytes, streaming
+// across the chain. Chain pages are write-once and read sequentially, so
+// they bypass the LRU pool and go straight to the store; caching them
+// would only evict hot bucket pages.
+const (
+	bigHdrSize     = 4
+	bigLenPrefix   = 8 // uint32 klen + uint32 dlen on the first page
+	bigNextOffset  = 2
+	bigMagicOffset = 0
+)
+
+// bigPayload is the payload capacity of one chain page.
+func (t *Table) bigPayload() int { return int(t.hdr.bsize) - bigHdrSize }
+
+// isBig reports whether a pair must be stored on a big-pair chain: a
+// regular pair needs two slots, its bytes, and the link reserve on an
+// otherwise empty page.
+func (t *Table) isBig(klen, dlen int) bool {
+	return 2*slotSize+klen+dlen > int(t.hdr.bsize)-pageHdrSize-linkReserve
+}
+
+// putBigPair writes key and data to a fresh chain and returns its start
+// address.
+func (t *Table) putBigPair(key, data []byte) (oaddr, error) {
+	payload := make([]byte, bigLenPrefix, bigLenPrefix+len(key)+len(data))
+	le.PutUint32(payload[0:], uint32(len(key)))
+	le.PutUint32(payload[4:], uint32(len(data)))
+	payload = append(payload, key...)
+	payload = append(payload, data...)
+
+	cap_ := t.bigPayload()
+	npages := (len(payload) + cap_ - 1) / cap_
+	if npages == 0 {
+		npages = 1
+	}
+	addrs := make([]oaddr, npages)
+	for i := range addrs {
+		o, err := t.allocOvfl()
+		if err != nil {
+			// Roll back pages already claimed.
+			for _, a := range addrs[:i] {
+				_ = t.freeOvfl(a)
+			}
+			return 0, err
+		}
+		addrs[i] = o
+	}
+	buf := t.scratch
+	for i, o := range addrs {
+		clear(buf)
+		le.PutUint16(buf[bigMagicOffset:], bigMagic)
+		next := oaddr(0)
+		if i+1 < npages {
+			next = addrs[i+1]
+		}
+		le.PutUint16(buf[bigNextOffset:], uint16(next))
+		lo := i * cap_
+		hi := lo + cap_
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		copy(buf[bigHdrSize:], payload[lo:hi])
+		if err := t.store.WritePage(t.hdr.oaddrToPage(o), buf); err != nil {
+			return 0, err
+		}
+	}
+	t.stats.BigPairs++
+	return addrs[0], nil
+}
+
+// readBigChainPage fetches one chain page into the scratch buffer and
+// returns (payload view, next address).
+func (t *Table) readBigChainPage(o oaddr) ([]byte, oaddr, error) {
+	if err := t.store.ReadPage(t.hdr.oaddrToPage(o), t.scratch); err != nil {
+		return nil, 0, fmt.Errorf("hash: big pair chain page %v: %w", o, err)
+	}
+	if !isBigPage(t.scratch) {
+		return nil, 0, fmt.Errorf("%w: page %v is not a big-pair page", ErrCorrupt, o)
+	}
+	next := oaddr(le.Uint16(t.scratch[bigNextOffset:]))
+	return t.scratch[bigHdrSize:], next, nil
+}
+
+// readBig materializes the whole pair stored on the chain at o.
+func (t *Table) readBig(o oaddr) (key, data []byte, err error) {
+	payload, next, err := t.readBigChainPage(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	klen := int(le.Uint32(payload[0:]))
+	dlen := int(le.Uint32(payload[4:]))
+	out := make([]byte, 0, klen+dlen)
+	out = append(out, payload[bigLenPrefix:]...)
+	for len(out) < klen+dlen {
+		if next == 0 {
+			return nil, nil, fmt.Errorf("%w: big-pair chain truncated (%d of %d bytes)", ErrCorrupt, len(out), klen+dlen)
+		}
+		payload, next, err = t.readBigChainPage(next)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, payload...)
+	}
+	out = out[:klen+dlen]
+	return out[:klen:klen], out[klen:], nil
+}
+
+// bigKeyEquals streams the chain's key bytes, comparing against key
+// without materializing the data.
+func (t *Table) bigKeyEquals(o oaddr, key []byte) (bool, error) {
+	payload, next, err := t.readBigChainPage(o)
+	if err != nil {
+		return false, err
+	}
+	klen := int(le.Uint32(payload[0:]))
+	if klen != len(key) {
+		return false, nil
+	}
+	rest := key
+	chunk := payload[bigLenPrefix:]
+	for {
+		n := len(chunk)
+		if n > len(rest) {
+			n = len(rest)
+		}
+		if !bytes.Equal(chunk[:n], rest[:n]) {
+			return false, nil
+		}
+		rest = rest[n:]
+		if len(rest) == 0 {
+			return true, nil
+		}
+		if next == 0 {
+			return false, fmt.Errorf("%w: big-pair chain truncated during key compare", ErrCorrupt)
+		}
+		chunk, next, err = t.readBigChainPage(next)
+		if err != nil {
+			return false, err
+		}
+	}
+}
+
+// bigKey materializes just the key of the chain at o (used when splitting
+// a bucket, where the key must be rehashed).
+func (t *Table) bigKey(o oaddr) ([]byte, error) {
+	payload, next, err := t.readBigChainPage(o)
+	if err != nil {
+		return nil, err
+	}
+	klen := int(le.Uint32(payload[0:]))
+	key := make([]byte, 0, klen)
+	chunk := payload[bigLenPrefix:]
+	for {
+		n := len(chunk)
+		if n > klen-len(key) {
+			n = klen - len(key)
+		}
+		key = append(key, chunk[:n]...)
+		if len(key) == klen {
+			return key, nil
+		}
+		if next == 0 {
+			return nil, fmt.Errorf("%w: big-pair chain truncated during key read", ErrCorrupt)
+		}
+		chunk, next, err = t.readBigChainPage(next)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// freeBigChain reclaims every page of the chain starting at o.
+func (t *Table) freeBigChain(o oaddr) error {
+	for o != 0 {
+		_, next, err := t.readBigChainPage(o)
+		if err != nil {
+			return err
+		}
+		if err := t.freeOvfl(o); err != nil {
+			return err
+		}
+		o = next
+	}
+	return nil
+}

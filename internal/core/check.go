@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"unixhash/internal/buffer"
+)
+
+// Check walks the whole table verifying its structural invariants:
+//
+//   - every key hashes to the bucket whose chain holds it;
+//   - chains are acyclic and every linked overflow page is marked
+//     allocated in its split point's bitmap;
+//   - big-pair chains are intact, marked allocated, and not shared;
+//   - no overflow page is referenced twice;
+//   - every allocated bitmap bit is accounted for by a chain page, a
+//     big-pair page or the bitmap page itself (no leaked pages);
+//   - the key count matches the header.
+//
+// It is exported for tests and the hashdump -check command.
+func (t *Table) Check() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkOpen(); err != nil {
+		return err
+	}
+
+	used := make(map[oaddr]string) // page -> what references it
+	claim := func(o oaddr, what string) error {
+		if prev, dup := used[o]; dup {
+			return fmt.Errorf("hash check: overflow page %v used by both %s and %s", o, prev, what)
+		}
+		if err := t.checkAllocated(o); err != nil {
+			return err
+		}
+		used[o] = what
+		return nil
+	}
+
+	var count int64
+	for b := uint32(0); b <= t.hdr.maxBucket; b++ {
+		if err := t.checkBucket(b, claim, &count); err != nil {
+			return err
+		}
+	}
+	if count != t.hdr.nkeys {
+		return fmt.Errorf("hash check: %d keys found, header says %d", count, t.hdr.nkeys)
+	}
+
+	// Leak detection: every allocated bit must be claimed or be a
+	// bitmap page.
+	for s := uint32(0); s < maxSplits; s++ {
+		if t.hdr.bitmaps[s] == 0 {
+			continue
+		}
+		bm, err := t.bitmapFor(s)
+		if err != nil {
+			return err
+		}
+		for pn := uint32(1); pn <= t.hdr.allocatedAt(s); pn++ {
+			if !bitmapGet(bm, pn-1) {
+				continue
+			}
+			o := makeOaddr(s, pn)
+			if uint16(o) == t.hdr.bitmaps[s] {
+				continue
+			}
+			if _, ok := used[o]; !ok {
+				return fmt.Errorf("hash check: overflow page %v allocated but unreferenced (leak)", o)
+			}
+		}
+	}
+	return nil
+}
+
+// checkAllocated verifies o's bitmap bit is set.
+func (t *Table) checkAllocated(o oaddr) error {
+	s, pn := o.split(), o.pagenum()
+	if s >= maxSplits || pn == 0 || pn > t.hdr.allocatedAt(s) {
+		return fmt.Errorf("hash check: overflow address %v out of allocated range", o)
+	}
+	bm, err := t.bitmapFor(s)
+	if err != nil {
+		return err
+	}
+	if bm == nil || !bitmapGet(bm, pn-1) {
+		return fmt.Errorf("hash check: overflow page %v referenced but not allocated", o)
+	}
+	return nil
+}
+
+// checkBucket walks one bucket's chain.
+func (t *Table) checkBucket(bucket uint32, claim func(oaddr, string) error, count *int64) error {
+	seen := 0
+	var chainErr error
+	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
+		if seen++; seen > 1<<16 {
+			return false, fmt.Errorf("hash check: bucket %d chain exceeds 65536 pages (cycle?)", bucket)
+		}
+		if buf.Addr.Ovfl {
+			if err := claim(oaddr(buf.Addr.N), fmt.Sprintf("bucket %d chain", bucket)); err != nil {
+				return false, err
+			}
+		}
+		pg := page(buf.Page)
+		ferr := pg.forEach(func(i int, e entry) bool {
+			switch e.kind {
+			case entryRegular:
+				if want := t.calcBucket(t.hash(e.key)); want != bucket {
+					chainErr = fmt.Errorf("hash check: key %q stored in bucket %d, hashes to %d",
+						truncKey(e.key), bucket, want)
+					return false
+				}
+				*count++
+			case entryBig:
+				key, pages, err := t.bigChainPages(e.ref)
+				if err != nil {
+					chainErr = err
+					return false
+				}
+				for _, p := range pages {
+					if err := claim(p, fmt.Sprintf("big pair %q", truncKey(key))); err != nil {
+						chainErr = err
+						return false
+					}
+				}
+				if want := t.calcBucket(t.hash(key)); want != bucket {
+					chainErr = fmt.Errorf("hash check: big key %q referenced from bucket %d, hashes to %d",
+						truncKey(key), bucket, want)
+					return false
+				}
+				*count++
+			}
+			return true
+		})
+		if ferr != nil {
+			return false, ferr
+		}
+		if chainErr != nil {
+			return false, chainErr
+		}
+		return false, nil
+	})
+	return err
+}
+
+// bigChainPages returns a big pair's key and the chain's page list,
+// validating chain integrity along the way.
+func (t *Table) bigChainPages(start oaddr) ([]byte, []oaddr, error) {
+	key, err := t.bigKey(start)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pages []oaddr
+	o := start
+	for o != 0 {
+		if len(pages) > 1<<16 {
+			return nil, nil, fmt.Errorf("hash check: big chain at %v exceeds 65536 pages (cycle?)", start)
+		}
+		pages = append(pages, o)
+		_, next, err := t.readBigChainPage(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		o = next
+	}
+	return key, pages, nil
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Compact rebuilds the table into dst, which must be empty. The paper
+// notes the file "does not contract when keys are deleted, so the number
+// of buckets is actually equal to the maximum number of keys ever
+// present in the table divided by the fill factor"; Compact is the
+// recovery from that: the destination is created pre-sized for the
+// *current* key count, so dead buckets, reclaimed-but-allocated overflow
+// pages and loose page fill all disappear.
+//
+// Typical use:
+//
+//	dst, _ := core.Open(newPath, &core.Options{
+//		Bsize: g.Bsize, Ffactor: g.Ffactor, Nelem: src.Len(),
+//	})
+//	err := src.Compact(dst)
+//
+// Compact does not close either table and copies through the iterator,
+// so src may be read-only.
+func (t *Table) Compact(dst *Table) error {
+	if dst.Len() != 0 {
+		return fmt.Errorf("hash: compact destination is not empty (%d keys)", dst.Len())
+	}
+	it := t.Iter()
+	for it.Next() {
+		if err := dst.Put(it.Key(), it.Value()); err != nil {
+			return fmt.Errorf("hash: compact: %w", err)
+		}
+	}
+	if err := it.Err(); err != nil {
+		return fmt.Errorf("hash: compact scan: %w", err)
+	}
+	if dst.Len() != t.Len() {
+		return fmt.Errorf("hash: compact copied %d of %d keys", dst.Len(), t.Len())
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestCompactShrinksAChurnedTable(t *testing.T) {
+	src := mustOpen(t, "", &Options{Bsize: 256, Ffactor: 8})
+	defer src.Close()
+
+	// Grow big, then delete most of it: the bucket count stays at its
+	// high-water mark (the paper's footnote 6).
+	const n = 8000
+	for i := 0; i < n; i++ {
+		if err := src.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Put([]byte("big"), bytes.Repeat([]byte("B"), 20000))
+	for i := 0; i < n; i++ {
+		if i%10 != 0 {
+			if err := src.Delete(key(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	gSrc := src.Geometry()
+
+	dst := mustOpen(t, filepath.Join(t.TempDir(), "compacted.db"),
+		&Options{Bsize: 256, Ffactor: 8, Nelem: src.Len()})
+	defer dst.Close()
+	if err := src.Compact(dst); err != nil {
+		t.Fatal(err)
+	}
+
+	gDst := dst.Geometry()
+	if gDst.MaxBucket >= gSrc.MaxBucket/2 {
+		t.Fatalf("compaction kept %d of %d buckets", gDst.MaxBucket+1, gSrc.MaxBucket+1)
+	}
+	// Content preserved exactly.
+	if dst.Len() != src.Len() {
+		t.Fatalf("Len: dst %d, src %d", dst.Len(), src.Len())
+	}
+	it := src.Iter()
+	for it.Next() {
+		got, err := dst.Get(it.Key())
+		if err != nil || !bytes.Equal(got, it.Value()) {
+			t.Fatalf("dst lost %q: %v", it.Key(), err)
+		}
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if err := dst.Check(); err != nil {
+		t.Fatalf("compacted table fails check: %v", err)
+	}
+}
+
+func TestCompactRejectsNonEmptyDestination(t *testing.T) {
+	src := mustOpen(t, "", nil)
+	defer src.Close()
+	src.Put([]byte("k"), []byte("v"))
+	dst := mustOpen(t, "", nil)
+	defer dst.Close()
+	dst.Put([]byte("existing"), nil)
+	if err := src.Compact(dst); err == nil {
+		t.Fatal("Compact into a non-empty table succeeded")
+	}
+}
+
+func TestCompactFromReadOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "src.db")
+	w := mustOpen(t, path, nil)
+	for i := 0; i < 200; i++ {
+		w.Put(key(i), val(i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	src := mustOpen(t, path, &Options{ReadOnly: true})
+	defer src.Close()
+	dst := mustOpen(t, "", &Options{Nelem: 200})
+	defer dst.Close()
+	if err := src.Compact(dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 200 {
+		t.Fatalf("dst.Len = %d", dst.Len())
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"unixhash/internal/pagefile"
+)
+
+func TestOpenCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.db")
+	if err := os.WriteFile(path, make([]byte, 512), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, nil); err == nil {
+		t.Fatal("opened an all-zero file as a hash table")
+	}
+}
+
+func TestOpenTruncatedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trunc.db")
+	tbl := mustOpen(t, path, nil)
+	for i := 0; i < 100; i++ {
+		if err := tbl.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate to a fraction of the header.
+	if err := os.Truncate(path, 40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, nil); err == nil {
+		t.Fatal("opened a truncated file")
+	}
+}
+
+func TestOpenNotAFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "short.db")
+	if err := os.WriteFile(path, []byte("not a hash db"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, nil); err == nil {
+		t.Fatal("opened a 13-byte text file")
+	}
+}
+
+func TestWriteFaultSurfaces(t *testing.T) {
+	inner := pagefile.NewMem(256, pagefile.CostModel{})
+	fs := pagefile.NewFault(inner)
+	tbl, err := Open("", &Options{Store: fs, Bsize: 256, CacheSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+
+	fs.Inject(pagefile.Fault{Op: pagefile.OpWrite, After: 5, Err: errors.New("disk full"), Page: pagefile.AnyPage})
+
+	// With a minimal cache, inserts force evictions and hence writes;
+	// the injected error must surface rather than be swallowed.
+	var sawErr bool
+	for i := 0; i < 5000; i++ {
+		if err := tbl.Put(key(i), val(i)); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		if err := tbl.Sync(); err == nil {
+			t.Fatal("write fault never surfaced through Put or Sync")
+		}
+	}
+}
+
+func TestReadFaultSurfaces(t *testing.T) {
+	inner := pagefile.NewMem(256, pagefile.CostModel{})
+	{
+		tbl, err := Open("", &Options{Store: inner, Bsize: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			if err := tbl.Put(key(i), val(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tbl.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fs := pagefile.NewFault(inner)
+	fs.Inject(pagefile.Fault{Op: pagefile.OpRead, After: 10, Err: errors.New("I/O error"), Page: pagefile.AnyPage})
+	tbl, err := Open("", &Options{Store: fs, Bsize: 256, CacheSize: 1})
+	if err != nil {
+		// The fault may hit during open; that is a valid surface too.
+		return
+	}
+	defer tbl.Close()
+	var sawErr bool
+	for i := 0; i < 2000; i++ {
+		if _, err := tbl.Get(key(i)); err != nil && !errors.Is(err, ErrNotFound) {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("read fault never surfaced through Get")
+	}
+}
+
+func TestCallerOwnedStoreStaysOpen(t *testing.T) {
+	store := pagefile.NewMem(256, pagefile.CostModel{})
+	tbl, err := Open("", &Options{Store: store, Bsize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The store is caller-owned: reopening over it must find the data.
+	tbl2, err := Open("", &Options{Store: store, Bsize: 256})
+	if err != nil {
+		t.Fatalf("reopen over caller store: %v", err)
+	}
+	defer tbl2.Close()
+	got, err := tbl2.Get([]byte("k"))
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Get after reopen = %q, %v", got, err)
+	}
+}
+
+func TestStorePageSizeMismatch(t *testing.T) {
+	store := pagefile.NewMem(256, pagefile.CostModel{})
+	tbl, err := Open("", &Options{Store: store, Bsize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Put([]byte("k"), []byte("v"))
+	tbl.Close()
+
+	// A store whose page size disagrees with the header must be refused.
+	// Simulate by wrapping the same pages in a differently-sized reader:
+	// here we simply corrupt the recorded bsize.
+	buf := make([]byte, 256)
+	if err := store.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	le.PutUint32(buf[12:], 512) // bsize field
+	le.PutUint32(buf[16:], 9)   // matching bshift
+	if err := store.WritePage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open("", &Options{Store: store}); err == nil {
+		t.Fatal("opened table whose header bsize disagrees with the store")
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFillStatsEmpty(t *testing.T) {
+	tbl := mustOpen(t, "", nil)
+	defer tbl.Close()
+	s, err := tbl.FillStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Keys != 0 || s.Buckets != 1 || s.OverflowPages != 0 || s.EmptyBuckets != 1 {
+		t.Fatalf("empty table stats = %+v", s)
+	}
+	if !strings.Contains(s.String(), "keys=0") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestFillStatsTracksLoad(t *testing.T) {
+	tbl := mustOpen(t, "", &Options{Bsize: 256, Ffactor: 8})
+	defer tbl.Close()
+	for i := 0; i < 2000; i++ {
+		if err := tbl.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := tbl.FillStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Keys != 2000 {
+		t.Fatalf("Keys = %d", s.Keys)
+	}
+	// The fill factor bounds average keys per page near 8.
+	if s.AvgKeysPerPage < 2 || s.AvgKeysPerPage > 10 {
+		t.Fatalf("AvgKeysPerPage = %.2f with ffactor 8", s.AvgKeysPerPage)
+	}
+	if s.AvgFill <= 0 || s.AvgFill > 1 {
+		t.Fatalf("AvgFill = %.2f", s.AvgFill)
+	}
+	if s.MaxChain < 1 {
+		t.Fatalf("MaxChain = %d", s.MaxChain)
+	}
+}
+
+func TestFillStatsSeparatesBigPairPages(t *testing.T) {
+	tbl := mustOpen(t, "", &Options{Bsize: 256, Ffactor: 8})
+	defer tbl.Close()
+	for i := 0; i < 100; i++ {
+		if err := tbl.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Put([]byte("big"), bytes.Repeat([]byte("B"), 10000)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := tbl.FillStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 KB on 252-byte payload pages: ~40 pages.
+	if s.BigPairPages < 30 {
+		t.Fatalf("BigPairPages = %d, want ~40", s.BigPairPages)
+	}
+	if s.BitmapPages < 1 {
+		t.Fatalf("BitmapPages = %d", s.BitmapPages)
+	}
+}
+
+func TestFillStatsChainLength(t *testing.T) {
+	// One bucket, no splits: the chain must grow and MaxChain see it.
+	tbl := mustOpen(t, "", &Options{Bsize: 64, Ffactor: 1000, ControlledOnly: true})
+	defer tbl.Close()
+	for i := 0; i < 200; i++ {
+		if err := tbl.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := tbl.FillStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Buckets != 1 {
+		t.Fatalf("Buckets = %d", s.Buckets)
+	}
+	if s.MaxChain < 10 {
+		t.Fatalf("MaxChain = %d for 200 keys on 64-byte pages", s.MaxChain)
+	}
+	if s.OverflowPages != s.MaxChain-1 {
+		t.Fatalf("OverflowPages = %d, MaxChain = %d", s.OverflowPages, s.MaxChain)
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// runModel drives a table and a map through the same operations and
+// checks equivalence after every step.
+func runModel(t *testing.T, tbl *Table, rng *rand.Rand, nops int) {
+	t.Helper()
+	model := make(map[string][]byte)
+	keyOf := func(i uint16) []byte { return []byte(fmt.Sprintf("k%05d", i%400)) }
+	valOf := func(i uint16, big bool) []byte {
+		if big {
+			return bytes.Repeat([]byte{byte(i)}, 1000+int(i%3000))
+		}
+		return []byte(fmt.Sprintf("v%d", i))
+	}
+
+	for op := 0; op < nops; op++ {
+		k := keyOf(uint16(rng.Intn(1 << 16)))
+		switch rng.Intn(4) {
+		case 0, 1: // put (twice as likely, so the table grows)
+			v := valOf(uint16(rng.Intn(1<<16)), rng.Intn(10) == 0)
+			if err := tbl.Put(k, v); err != nil {
+				t.Fatalf("op %d: Put(%q): %v", op, k, err)
+			}
+			model[string(k)] = v
+		case 2: // delete
+			err := tbl.Delete(k)
+			_, inModel := model[string(k)]
+			if inModel && err != nil {
+				t.Fatalf("op %d: Delete(%q) = %v, model has it", op, k, err)
+			}
+			if !inModel && !errors.Is(err, ErrNotFound) {
+				t.Fatalf("op %d: Delete(%q) = %v, want ErrNotFound", op, k, err)
+			}
+			delete(model, string(k))
+		case 3: // get
+			got, err := tbl.Get(k)
+			want, inModel := model[string(k)]
+			if inModel {
+				if err != nil || !bytes.Equal(got, want) {
+					t.Fatalf("op %d: Get(%q) = %d bytes, %v; want %d bytes", op, k, len(got), err, len(want))
+				}
+			} else if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("op %d: Get(%q) = %v, want ErrNotFound", op, k, err)
+			}
+		}
+		if tbl.Len() != len(model) {
+			t.Fatalf("op %d: Len = %d, model has %d", op, tbl.Len(), len(model))
+		}
+	}
+
+	// Final full equivalence via iterator.
+	seen := make(map[string]bool, len(model))
+	it := tbl.Iter()
+	for it.Next() {
+		k := string(it.Key())
+		if seen[k] {
+			t.Fatalf("iterator repeated key %q", k)
+		}
+		seen[k] = true
+		want, ok := model[k]
+		if !ok {
+			t.Fatalf("iterator returned key %q not in model", k)
+		}
+		if !bytes.Equal(it.Value(), want) {
+			t.Fatalf("iterator value for %q: %d bytes, want %d", k, len(it.Value()), len(want))
+		}
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("iterator: %v", err)
+	}
+	if len(seen) != len(model) {
+		t.Fatalf("iterator returned %d keys, model has %d", len(seen), len(model))
+	}
+}
+
+func TestModelRandomOpsMemory(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			opts := &Options{Bsize: 128, Ffactor: 4, CacheSize: 4 * 1024}
+			if seed%2 == 0 {
+				opts = &Options{Bsize: 512, Ffactor: 32}
+			}
+			tbl := mustOpen(t, "", opts)
+			defer tbl.Close()
+			runModel(t, tbl, rand.New(rand.NewSource(seed)), 3000)
+		})
+	}
+}
+
+func TestModelRandomOpsDisk(t *testing.T) {
+	tbl := mustOpen(t, filepath.Join(t.TempDir(), "model.db"),
+		&Options{Bsize: 256, Ffactor: 8, CacheSize: 2 * 1024})
+	defer tbl.Close()
+	runModel(t, tbl, rand.New(rand.NewSource(99)), 4000)
+}
+
+func TestModelSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model-reopen.db")
+	rng := rand.New(rand.NewSource(7))
+	model := make(map[string][]byte)
+
+	for round := 0; round < 4; round++ {
+		tbl := mustOpen(t, path, &Options{Bsize: 256, Ffactor: 8})
+		for op := 0; op < 800; op++ {
+			k := []byte(fmt.Sprintf("key%04d", rng.Intn(600)))
+			if rng.Intn(3) == 0 {
+				err := tbl.Delete(k)
+				if _, ok := model[string(k)]; ok && err != nil {
+					t.Fatalf("round %d: Delete: %v", round, err)
+				}
+				delete(model, string(k))
+			} else {
+				v := []byte(fmt.Sprintf("val-%d-%d", round, op))
+				if err := tbl.Put(k, v); err != nil {
+					t.Fatalf("round %d: Put: %v", round, err)
+				}
+				model[string(k)] = v
+			}
+		}
+		if err := tbl.Close(); err != nil {
+			t.Fatalf("round %d: Close: %v", round, err)
+		}
+
+		check := mustOpen(t, path, nil)
+		if check.Len() != len(model) {
+			t.Fatalf("round %d: Len = %d, model %d", round, check.Len(), len(model))
+		}
+		for k, v := range model {
+			got, err := check.Get([]byte(k))
+			if err != nil || !bytes.Equal(got, v) {
+				t.Fatalf("round %d: Get(%q) = %q, %v; want %q", round, k, got, err, v)
+			}
+		}
+		if err := check.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Property: any batch of distinct key/value pairs stores and reads back,
+// whatever the bytes look like.
+func TestQuickPutGet(t *testing.T) {
+	f := func(keys [][]byte, vals [][]byte) bool {
+		tbl, err := Open("", &Options{Bsize: 128, Ffactor: 4})
+		if err != nil {
+			return false
+		}
+		defer tbl.Close()
+		model := make(map[string][]byte)
+		for i, k := range keys {
+			if len(k) == 0 {
+				continue
+			}
+			var v []byte
+			if i < len(vals) {
+				v = vals[i]
+			}
+			if err := tbl.Put(k, v); err != nil {
+				t.Logf("Put(%x): %v", k, err)
+				return false
+			}
+			model[string(k)] = v
+		}
+		for k, v := range model {
+			got, err := tbl.Get([]byte(k))
+			if err != nil {
+				t.Logf("Get(%x): %v", k, err)
+				return false
+			}
+			if !bytes.Equal(got, v) {
+				t.Logf("Get(%x) = %x, want %x", k, got, v)
+				return false
+			}
+		}
+		return tbl.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: keys that differ only in their last byte never collide as
+// stored entries (bit-randomizing hash requirement made observable).
+func TestQuickSimilarKeys(t *testing.T) {
+	f := func(prefix []byte, n uint8) bool {
+		tbl, err := Open("", nil)
+		if err != nil {
+			return false
+		}
+		defer tbl.Close()
+		count := int(n%64) + 2
+		for i := 0; i < count; i++ {
+			k := append(append([]byte(nil), prefix...), byte(i), 'k')
+			if err := tbl.Put(k, []byte{byte(i)}); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < count; i++ {
+			k := append(append([]byte(nil), prefix...), byte(i), 'k')
+			got, err := tbl.Get(k)
+			if err != nil || len(got) != 1 || got[0] != byte(i) {
+				return false
+			}
+		}
+		return tbl.Len() == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

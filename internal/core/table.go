@@ -1,0 +1,1099 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"unixhash/internal/buffer"
+	"unixhash/internal/hashfunc"
+	"unixhash/internal/pagefile"
+)
+
+// Options parameterizes a hash table at creation time, mirroring the
+// paper's create interface: bucket size, fill factor, the expected final
+// number of elements, the number of bytes of main memory used for
+// caching, and a user-defined hash function.
+type Options struct {
+	// Bsize is the bucket (page) size in bytes; power of two in
+	// [MinBsize, MaxBsize]. Default 256.
+	Bsize int
+	// Ffactor is the desired density: the approximate number of keys
+	// allowed to accumulate in one bucket before the table grows.
+	// Default 8. The paper's guidance: (avgPairLen+4)*ffactor >= bsize.
+	Ffactor int
+	// Nelem estimates the final number of elements. When given, keys
+	// hash into a full-sized table immediately instead of growing it
+	// from a single bucket. Default 1.
+	Nelem int
+	// CacheSize is the buffer pool budget in bytes. Default 64 KB.
+	CacheSize int
+	// Hash overrides the built-in hash function. A table remembers a
+	// check hash so that reopening it with a different function fails
+	// with ErrHashMismatch.
+	Hash hashfunc.Func
+	// ReadOnly opens an existing table for reading only.
+	ReadOnly bool
+	// Store overrides the backing store (for tests, fault injection and
+	// benchmarks with simulated disks). The caller retains ownership:
+	// Close leaves it open. When set, the path argument is ignored.
+	Store pagefile.Store
+	// Cost is the simulated I/O cost model for stores the table creates
+	// itself. Zero means no simulated cost.
+	Cost pagefile.CostModel
+	// ControlledOnly disables uncontrolled (overflow-triggered) splits,
+	// leaving only the fill-factor policy — dynahash's behaviour. It
+	// exists for the ablation benchmarks of the paper's hybrid split
+	// policy and is not part of the original interface.
+	ControlledOnly bool
+	// Lock takes an advisory whole-file lock on file-backed tables:
+	// shared for read-only opens, exclusive otherwise. Open fails with
+	// pagefile.ErrLocked if another process holds a conflicting lock.
+	// This implements the multi-user access the paper's conclusion says
+	// "could be incorporated relatively easily".
+	Lock bool
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	var opts Options
+	if o != nil {
+		opts = *o
+	}
+	if opts.Bsize == 0 {
+		opts.Bsize = DefaultBsize
+	}
+	if opts.Ffactor == 0 {
+		opts.Ffactor = DefaultFfactor
+	}
+	if opts.Nelem <= 0 {
+		opts.Nelem = 1
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	if opts.Hash == nil {
+		opts.Hash = hashfunc.Default
+	}
+	if opts.Bsize < MinBsize || opts.Bsize > MaxBsize || !isPow2(opts.Bsize) {
+		return opts, fmt.Errorf("hash: bucket size %d must be a power of two in [%d, %d]", opts.Bsize, MinBsize, MaxBsize)
+	}
+	if opts.Ffactor < 1 {
+		return opts, fmt.Errorf("hash: fill factor %d must be positive", opts.Ffactor)
+	}
+	return opts, nil
+}
+
+// Table is a linear-hash table of byte-string key/data pairs. All methods
+// are safe for concurrent use; operations are serialized internally (the
+// paper's package is single-user, and so is a Table — safety, not
+// parallelism).
+type Table struct {
+	mu sync.Mutex
+
+	hdr   header
+	hash  hashfunc.Func
+	store pagefile.Store
+	pool  *buffer.Pool
+
+	path           string
+	ownStore       bool
+	readonly       bool
+	closed         bool
+	dirtyHdr       bool
+	controlledOnly bool
+
+	// Bitmap pages are owned by the table, outside the LRU pool.
+	bitmapBuf   [maxSplits][]byte
+	bitmapDirty [maxSplits]bool
+	freeCount   [maxSplits]int
+
+	scratch []byte // one page, for big-pair chain I/O
+
+	addedOvfl bool // an insert grew a chain: uncontrolled split pending
+
+	stats TableStats
+}
+
+// TableStats counts structural events for tests and the bench harness.
+type TableStats struct {
+	Expansions int64 // bucket splits (table growth steps)
+	OvflAllocs int64 // fresh overflow pages allocated
+	OvflReuses int64 // reclaimed overflow pages reused
+	OvflFrees  int64 // overflow pages freed
+	BigPairs   int64 // big key/data pairs written
+	Gets       int64
+	Puts       int64
+	Dels       int64
+}
+
+// Open opens or creates the hash table at path. An empty path creates a
+// purely memory-resident table (the hsearch replacement mode); it behaves
+// identically but is discarded on Close.
+func Open(path string, o *Options) (*Table, error) {
+	opts, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{hash: opts.Hash, path: path, readonly: opts.ReadOnly, controlledOnly: opts.ControlledOnly}
+
+	existing := false
+	switch {
+	case opts.Store != nil:
+		t.store = opts.Store
+		existing = t.store.NPages() > 0
+	case path == "":
+		t.store = pagefile.NewMem(opts.Bsize, opts.Cost)
+		t.ownStore = true
+	default:
+		bsize, exists, err := peekBsize(path)
+		if err != nil {
+			return nil, err
+		}
+		if exists {
+			existing = true
+		} else {
+			bsize = opts.Bsize
+			if opts.ReadOnly {
+				return nil, fmt.Errorf("hash: %s: %w", path, os.ErrNotExist)
+			}
+		}
+		fs, err := pagefile.OpenFile(path, bsize, opts.Cost)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Lock {
+			if err := fs.Lock(!opts.ReadOnly); err != nil {
+				fs.Close()
+				return nil, err
+			}
+		}
+		t.store = fs
+		t.ownStore = true
+	}
+
+	if existing {
+		err = t.readHeader()
+	} else {
+		err = t.initHeader(opts)
+	}
+	if err != nil {
+		if t.ownStore {
+			t.store.Close()
+		}
+		return nil, err
+	}
+
+	t.scratch = make([]byte, t.hdr.bsize)
+	t.pool = buffer.New(t.store, opts.CacheSize, func(a buffer.Addr) uint32 {
+		if a.Ovfl {
+			return t.hdr.oaddrToPage(oaddr(a.N))
+		}
+		return t.hdr.bucketToPage(a.N)
+	})
+	return t, nil
+}
+
+// peekBsize reads an existing file's header prefix to learn its page size
+// before the page store is opened. It reports exists=false for missing or
+// empty files.
+func peekBsize(path string) (bsize int, exists bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, false, err
+	}
+	if fi.Size() == 0 {
+		return 0, false, nil
+	}
+	buf := make([]byte, headerSize)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return 0, false, fmt.Errorf("hash: %s: %w", path, ErrCorrupt)
+	}
+	var h header
+	if err := h.decode(buf); err != nil {
+		return 0, false, fmt.Errorf("hash: %s: %w", path, err)
+	}
+	return int(h.bsize), true, nil
+}
+
+// initHeader sets up a brand-new table. If an approximation of the number
+// of elements ultimately to be stored is known (Nelem), entries hash into
+// the full-sized table immediately rather than growing from one bucket.
+func (t *Table) initHeader(opts Options) error {
+	nbuckets := nextPow2(uint32((opts.Nelem + opts.Ffactor - 1) / opts.Ffactor))
+	if nbuckets < 1 {
+		nbuckets = 1
+	}
+	h := &t.hdr
+	h.lorder = lorderLittle
+	h.bsize = uint32(opts.Bsize)
+	h.bshift = ceilLog2(uint32(opts.Bsize))
+	h.ffactor = uint32(opts.Ffactor)
+	h.maxBucket = nbuckets - 1
+	h.lowMask = nbuckets - 1
+	h.highMask = nbuckets<<1 - 1
+	h.ovflPoint = ceilLog2(nbuckets)
+	h.nkeys = 0
+	h.hdrPages = (uint32(headerSize) + h.bsize - 1) / h.bsize
+	h.checkHash = t.hash(hashfunc.CheckKey)
+	t.dirtyHdr = true
+	return nil
+}
+
+// readHeader loads and verifies the header of an existing table and
+// checks that the supplied hash function matches the one the table was
+// created with.
+func (t *Table) readHeader() error {
+	ps := t.store.PageSize()
+	npg := (headerSize + ps - 1) / ps
+	buf := make([]byte, npg*ps)
+	for i := 0; i < npg; i++ {
+		if err := t.store.ReadPage(uint32(i), buf[i*ps:(i+1)*ps]); err != nil {
+			return fmt.Errorf("hash: read header: %w", err)
+		}
+	}
+	if err := t.hdr.decode(buf); err != nil {
+		return err
+	}
+	if int(t.hdr.bsize) != ps {
+		return fmt.Errorf("%w: store page size %d != header bucket size %d", ErrCorrupt, ps, t.hdr.bsize)
+	}
+	if t.hash(hashfunc.CheckKey) != t.hdr.checkHash {
+		return ErrHashMismatch
+	}
+	return nil
+}
+
+// writeHeader encodes the header into its pages and writes them.
+func (t *Table) writeHeader() error {
+	ps := int(t.hdr.bsize)
+	npg := int(t.hdr.hdrPages)
+	buf := make([]byte, npg*ps)
+	t.hdr.encode(buf)
+	for i := 0; i < npg; i++ {
+		if err := t.store.WritePage(uint32(i), buf[i*ps:(i+1)*ps]); err != nil {
+			return fmt.Errorf("hash: write header: %w", err)
+		}
+	}
+	t.dirtyHdr = false
+	return nil
+}
+
+// calcBucket implements the paper's lookup: mask the 32-bit hash value
+// with the high mask; if the result exceeds the maximum bucket, remask
+// with the low mask.
+func (t *Table) calcBucket(h uint32) uint32 {
+	b := h & t.hdr.highMask
+	if b > t.hdr.maxBucket {
+		b = h & t.hdr.lowMask
+	}
+	return b
+}
+
+func (t *Table) bucketAddr(b uint32) buffer.Addr { return buffer.Addr{N: b} }
+func ovflBufAddr(o oaddr) buffer.Addr            { return buffer.Addr{N: uint32(o), Ovfl: true} }
+
+// getPage pins the page at the head of bucket b's chain.
+func (t *Table) getBucketPage(b uint32) (*buffer.Buf, error) {
+	buf, err := t.pool.Get(t.bucketAddr(b), nil, true)
+	if err != nil {
+		return nil, err
+	}
+	if pg := page(buf.Page); pg.low() == 0 {
+		// Freshly created zero page: format it.
+		initPage(pg)
+		buf.Dirty = true
+	}
+	return buf, nil
+}
+
+func (t *Table) checkOpen() error {
+	if t.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (t *Table) checkWritable() error {
+	if t.closed {
+		return ErrClosed
+	}
+	if t.readonly {
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// Get returns a copy of the data stored under key, or ErrNotFound.
+func (t *Table) Get(key []byte) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkOpen(); err != nil {
+		return nil, err
+	}
+	if len(key) == 0 {
+		return nil, ErrEmptyKey
+	}
+	t.stats.Gets++
+	bucket := t.calcBucket(t.hash(key))
+
+	var out []byte
+	found := false
+	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
+		pg := page(buf.Page)
+		var inner error
+		ferr := pg.forEach(func(i int, e entry) bool {
+			switch e.kind {
+			case entryRegular:
+				if bytes.Equal(e.key, key) {
+					out = append([]byte(nil), e.data...)
+					found = true
+					return false
+				}
+			case entryBig:
+				eq, err := t.bigKeyEquals(e.ref, key)
+				if err != nil {
+					inner = err
+					return false
+				}
+				if eq {
+					_, data, err := t.readBig(e.ref)
+					if err != nil {
+						inner = err
+						return false
+					}
+					out = data
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if ferr != nil {
+			return false, ferr
+		}
+		if inner != nil {
+			return false, inner
+		}
+		return found, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, ErrNotFound
+	}
+	return out, nil
+}
+
+// Has reports whether key is present.
+func (t *Table) Has(key []byte) (bool, error) {
+	_, err := t.Get(key)
+	if errors.Is(err, ErrNotFound) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// walkChain pins each page of bucket's chain in order, calling fn; fn
+// returns done=true to stop early. The predecessor page stays pinned
+// while its successor is fetched, preserving the buffer-chain linkage.
+func (t *Table) walkChain(bucket uint32, fn func(*buffer.Buf) (bool, error)) error {
+	cur, err := t.getBucketPage(bucket)
+	if err != nil {
+		return err
+	}
+	var prev *buffer.Buf
+	defer func() {
+		if prev != nil {
+			t.pool.Put(prev)
+		}
+		if cur != nil {
+			t.pool.Put(cur)
+		}
+	}()
+	for {
+		done, err := fn(cur)
+		if err != nil || done {
+			return err
+		}
+		next := page(cur.Page).ovflLink()
+		if next == 0 {
+			return nil
+		}
+		nb, err := t.pool.Get(ovflBufAddr(next), cur, false)
+		if err != nil {
+			return err
+		}
+		if prev != nil {
+			t.pool.Put(prev)
+		}
+		prev, cur = cur, nb
+	}
+}
+
+// Put stores data under key, replacing any existing value.
+func (t *Table) Put(key, data []byte) error { return t.put(key, data, true) }
+
+// PutNew stores data under key, failing with ErrKeyExists if the key is
+// already present (the ndbm DBM_INSERT behaviour).
+func (t *Table) PutNew(key, data []byte) error { return t.put(key, data, false) }
+
+// putScan is what one pass over a bucket chain learns for an insert: the
+// existing entry if any, the first page with room, and the chain tail.
+type putScan struct {
+	found     bool
+	foundAddr buffer.Addr
+	foundIdx  int
+	foundRef  oaddr
+	room      bool
+	roomAddr  buffer.Addr
+	tailAddr  buffer.Addr
+}
+
+// scanBucket walks the chain once, locating key and an insertion point.
+// needRef selects whether "room" means space for a big-pair ref or for a
+// regular pair of the given sizes.
+func (t *Table) scanBucket(bucket uint32, key []byte, needRef bool, klen, dlen int) (putScan, error) {
+	var s putScan
+	s.foundIdx = -1
+	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
+		pg := page(buf.Page)
+		s.tailAddr = buf.Addr
+		if !s.found {
+			var inner error
+			ferr := pg.forEach(func(i int, e entry) bool {
+				switch e.kind {
+				case entryRegular:
+					if bytes.Equal(e.key, key) {
+						s.found, s.foundAddr, s.foundIdx = true, buf.Addr, i
+						return false
+					}
+				case entryBig:
+					eq, err := t.bigKeyEquals(e.ref, key)
+					if err != nil {
+						inner = err
+						return false
+					}
+					if eq {
+						s.found, s.foundAddr, s.foundIdx, s.foundRef = true, buf.Addr, i, e.ref
+						return false
+					}
+				}
+				return true
+			})
+			if ferr != nil {
+				return false, ferr
+			}
+			if inner != nil {
+				return false, inner
+			}
+		}
+		if !s.room {
+			fits := pg.fitsRegular(klen, dlen)
+			if needRef {
+				fits = pg.fitsRef()
+			}
+			if fits {
+				s.room, s.roomAddr = true, buf.Addr
+			}
+		}
+		return false, nil // continue: the tail address is needed
+	})
+	return s, err
+}
+
+// fetchAddr pins the page at a previously scanned address.
+func (t *Table) fetchAddr(a buffer.Addr) (*buffer.Buf, error) {
+	if a.Ovfl {
+		return t.pool.Get(a, nil, false)
+	}
+	return t.getBucketPage(a.N)
+}
+
+func (t *Table) put(key, data []byte, replace bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkWritable(); err != nil {
+		return err
+	}
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	t.stats.Puts++
+
+	bucket := t.calcBucket(t.hash(key))
+	big := t.isBig(len(key), len(data))
+	s, err := t.scanBucket(bucket, key, big, len(key), len(data))
+	if err != nil {
+		return err
+	}
+	if s.found && !replace {
+		return ErrKeyExists
+	}
+
+	// For big pairs the chain is written before the old entry is
+	// removed, so an allocation failure leaves the table unchanged.
+	var ref oaddr
+	if big {
+		if ref, err = t.putBigPair(key, data); err != nil {
+			return err
+		}
+	}
+
+	inserted := false
+	if s.found {
+		buf, err := t.fetchAddr(s.foundAddr)
+		if err != nil {
+			return err
+		}
+		if s.foundRef != 0 {
+			if err := t.freeBigChain(s.foundRef); err != nil {
+				t.pool.Put(buf)
+				return err
+			}
+		}
+		pg := page(buf.Page)
+		if err := pg.removeEntry(s.foundIdx); err != nil {
+			t.pool.Put(buf)
+			return err
+		}
+		buf.Dirty = true
+		t.hdr.nkeys--
+		// The vacated page is the preferred insertion point.
+		if big && pg.fitsRef() {
+			pg.addRef(ref)
+			inserted = true
+		} else if !big && pg.fitsRegular(len(key), len(data)) {
+			pg.addRegular(key, data)
+			inserted = true
+		}
+		t.pool.Put(buf)
+	}
+
+	if !inserted && s.room {
+		buf, err := t.fetchAddr(s.roomAddr)
+		if err != nil {
+			return err
+		}
+		pg := page(buf.Page)
+		switch {
+		case big && pg.fitsRef():
+			pg.addRef(ref)
+			inserted = true
+		case !big && pg.fitsRegular(len(key), len(data)):
+			pg.addRegular(key, data)
+			inserted = true
+		}
+		if inserted {
+			buf.Dirty = true
+		}
+		t.pool.Put(buf)
+	}
+
+	if !inserted {
+		tail, err := t.fetchAddr(s.tailAddr)
+		if err != nil {
+			return err
+		}
+		nb, err := t.appendOvfl(tail)
+		if err != nil {
+			t.pool.Put(tail)
+			return err
+		}
+		pg := page(nb.Page)
+		if big {
+			pg.addRef(ref)
+		} else {
+			if !pg.fitsRegular(len(key), len(data)) {
+				t.pool.Put(nb)
+				t.pool.Put(tail)
+				return fmt.Errorf("%w: pair does not fit on empty page", ErrCorrupt)
+			}
+			pg.addRegular(key, data)
+		}
+		nb.Dirty = true
+		t.pool.Put(nb)
+		t.pool.Put(tail)
+	}
+
+	t.hdr.nkeys++
+	t.dirtyHdr = true
+
+	// Hybrid split policy: split the next bucket in linear order when an
+	// insert grew an overflow chain (uncontrolled) or when the table
+	// exceeds its fill factor (controlled).
+	uncontrolled := t.addedOvfl && !t.controlledOnly
+	t.addedOvfl = false
+	if uncontrolled || t.hdr.nkeys > int64(t.hdr.ffactor)*int64(t.hdr.maxBucket+1) {
+		if err := t.expand(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// insert places a pair into bucket without checking for duplicates.
+func (t *Table) insert(bucket uint32, key, data []byte) error {
+	if t.isBig(len(key), len(data)) {
+		ref, err := t.putBigPair(key, data)
+		if err != nil {
+			return err
+		}
+		return t.insertRef(bucket, ref)
+	}
+
+	inserted := false
+	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
+		pg := page(buf.Page)
+		if pg.fitsRegular(len(key), len(data)) {
+			pg.addRegular(key, data)
+			buf.Dirty = true
+			inserted = true
+			return true, nil
+		}
+		if pg.ovflLink() == 0 {
+			// End of chain: grow it.
+			nb, err := t.appendOvfl(buf)
+			if err != nil {
+				return false, err
+			}
+			npg := page(nb.Page)
+			if !npg.fitsRegular(len(key), len(data)) {
+				t.pool.Put(nb)
+				return false, fmt.Errorf("%w: pair does not fit on empty page", ErrCorrupt)
+			}
+			npg.addRegular(key, data)
+			nb.Dirty = true
+			t.pool.Put(nb)
+			inserted = true
+			return true, nil
+		}
+		return false, nil
+	})
+	if err != nil {
+		return err
+	}
+	if !inserted {
+		return fmt.Errorf("%w: insert walked off chain", ErrCorrupt)
+	}
+	return nil
+}
+
+// insertRef places a big-pair reference into bucket's chain.
+func (t *Table) insertRef(bucket uint32, ref oaddr) error {
+	inserted := false
+	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
+		pg := page(buf.Page)
+		if pg.fitsRef() {
+			pg.addRef(ref)
+			buf.Dirty = true
+			inserted = true
+			return true, nil
+		}
+		if pg.ovflLink() == 0 {
+			nb, err := t.appendOvfl(buf)
+			if err != nil {
+				return false, err
+			}
+			page(nb.Page).addRef(ref)
+			nb.Dirty = true
+			t.pool.Put(nb)
+			inserted = true
+			return true, nil
+		}
+		return false, nil
+	})
+	if err != nil {
+		return err
+	}
+	if !inserted {
+		return fmt.Errorf("%w: ref insert walked off chain", ErrCorrupt)
+	}
+	return nil
+}
+
+// appendOvfl allocates an overflow page, links it after tail (which must
+// be the last page of a chain) and returns it pinned and initialized.
+// It records that an uncontrolled split is due.
+func (t *Table) appendOvfl(tail *buffer.Buf) (*buffer.Buf, error) {
+	o, err := t.allocOvfl()
+	if err != nil {
+		return nil, err
+	}
+	nb, err := t.pool.Get(ovflBufAddr(o), tail, true)
+	if err != nil {
+		return nil, err
+	}
+	// The page may hold stale contents (reclaimed page): reformat.
+	clear(nb.Page)
+	initPage(page(nb.Page))
+	nb.Dirty = true
+	if err := page(tail.Page).setOvflLink(o); err != nil {
+		t.pool.Put(nb)
+		return nil, err
+	}
+	tail.Dirty = true
+	t.addedOvfl = true
+	return nb, nil
+}
+
+// Delete removes key, returning ErrNotFound if absent.
+func (t *Table) Delete(key []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkWritable(); err != nil {
+		return err
+	}
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	t.stats.Dels++
+	bucket := t.calcBucket(t.hash(key))
+	removed, err := t.deleteFromBucket(bucket, key)
+	if err != nil {
+		return err
+	}
+	if !removed {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// deleteFromBucket removes key from bucket if present, freeing big-pair
+// chains and unlinking overflow pages that become empty. It decrements
+// nkeys when it removes something.
+func (t *Table) deleteFromBucket(bucket uint32, key []byte) (bool, error) {
+	removed := false
+	var prevBuf *buffer.Buf // predecessor of the page under examination
+
+	cur, err := t.getBucketPage(bucket)
+	if err != nil {
+		return false, err
+	}
+	defer func() {
+		if prevBuf != nil {
+			t.pool.Put(prevBuf)
+		}
+		if cur != nil {
+			t.pool.Put(cur)
+		}
+	}()
+
+	for {
+		pg := page(cur.Page)
+		idx := -1
+		var bigRef oaddr
+		var inner error
+		ferr := pg.forEach(func(i int, e entry) bool {
+			switch e.kind {
+			case entryRegular:
+				if bytes.Equal(e.key, key) {
+					idx = i
+					return false
+				}
+			case entryBig:
+				eq, err := t.bigKeyEquals(e.ref, key)
+				if err != nil {
+					inner = err
+					return false
+				}
+				if eq {
+					idx = i
+					bigRef = e.ref
+					return false
+				}
+			}
+			return true
+		})
+		if ferr != nil {
+			return false, ferr
+		}
+		if inner != nil {
+			return false, inner
+		}
+		if idx >= 0 {
+			if bigRef != 0 {
+				if err := t.freeBigChain(bigRef); err != nil {
+					return false, err
+				}
+			}
+			if err := pg.removeEntry(idx); err != nil {
+				return false, err
+			}
+			cur.Dirty = true
+			removed = true
+			t.hdr.nkeys--
+			t.dirtyHdr = true
+			// An overflow page left with no entries is unlinked from the
+			// chain and reclaimed.
+			if cur.Addr.Ovfl && pg.nentries() == 0 && prevBuf != nil {
+				if err := t.unlinkOvfl(prevBuf, cur); err != nil {
+					return false, err
+				}
+				cur = nil
+			}
+			return true, nil
+		}
+		next := pg.ovflLink()
+		if next == 0 {
+			return removed, nil
+		}
+		nb, err := t.pool.Get(ovflBufAddr(next), cur, false)
+		if err != nil {
+			return false, err
+		}
+		if prevBuf != nil {
+			t.pool.Put(prevBuf)
+		}
+		prevBuf, cur = cur, nb
+	}
+}
+
+// unlinkOvfl removes the empty overflow page held in buf from the chain:
+// prev's link is redirected to buf's successor and buf's page is freed.
+// buf is consumed (unpinned and dropped).
+func (t *Table) unlinkOvfl(prev, buf *buffer.Buf) error {
+	pg := page(buf.Page)
+	succ := pg.ovflLink()
+	ppg := page(prev.Page)
+	if succ != 0 {
+		if err := ppg.setOvflLink(succ); err != nil {
+			return err
+		}
+	} else {
+		ppg.clearOvflLink()
+	}
+	prev.Dirty = true
+	o := oaddr(buf.Addr.N)
+	t.pool.Put(buf) // unpin before dropping
+	t.pool.Drop(prev, buf)
+	return t.freeOvfl(o)
+}
+
+// expand performs one step of linear-hash growth: the next bucket in the
+// predefined split order is split into itself and a new bucket at the end
+// of the table.
+func (t *Table) expand() error {
+	if t.hdr.maxBucket == ^uint32(0) {
+		return fmt.Errorf("hash: table is at maximum size")
+	}
+	t.hdr.maxBucket++
+	newBucket := t.hdr.maxBucket
+	oldBucket := newBucket & t.hdr.lowMask
+	if newBucket > t.hdr.highMask {
+		// A generation completed: every bucket that existed at the start
+		// of the generation has split. Double the address space.
+		t.hdr.lowMask = t.hdr.highMask
+		t.hdr.highMask = newBucket | t.hdr.lowMask
+	}
+	// Advance the overflow split point when a new generation begins, so
+	// subsequent overflow pages are allocated after the new primaries.
+	if spareIdx := ceilLog2(newBucket + 1); spareIdx > t.hdr.ovflPoint {
+		t.hdr.spares[spareIdx] = t.hdr.spares[t.hdr.ovflPoint]
+		t.hdr.ovflPoint = spareIdx
+	}
+	t.dirtyHdr = true
+	t.stats.Expansions++
+	return t.splitBucket(oldBucket, newBucket)
+}
+
+// splitEntry is one entry gathered from a splitting bucket.
+type splitEntry struct {
+	key  []byte
+	data []byte
+	ref  oaddr // non-zero: big pair, key/data stay on their chain
+}
+
+// splitBucket redistributes oldBucket's entries between oldBucket and
+// newBucket by the newly revealed hash bit, reclaiming overflow pages
+// that the redistribution empties.
+func (t *Table) splitBucket(oldBucket, newBucket uint32) error {
+	// Gather all entries (copying bytes: the pages are about to be
+	// reformatted) and the chain's overflow page addresses.
+	var entries []splitEntry
+	var chain []oaddr
+	err := t.walkChain(oldBucket, func(buf *buffer.Buf) (bool, error) {
+		if buf.Addr.Ovfl {
+			chain = append(chain, oaddr(buf.Addr.N))
+		}
+		pg := page(buf.Page)
+		return false, pg.forEach(func(i int, e entry) bool {
+			switch e.kind {
+			case entryRegular:
+				entries = append(entries, splitEntry{
+					key:  append([]byte(nil), e.key...),
+					data: append([]byte(nil), e.data...),
+				})
+			case entryBig:
+				entries = append(entries, splitEntry{ref: e.ref})
+			}
+			return true
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Reset the old primary page and reclaim the chain (freeOvfl discards
+	// any resident buffer for each freed page).
+	ob, err := t.getBucketPage(oldBucket)
+	if err != nil {
+		return err
+	}
+	clear(ob.Page)
+	initPage(page(ob.Page))
+	ob.Dirty = true
+	t.pool.Put(ob)
+	for _, o := range chain {
+		if err := t.freeOvfl(o); err != nil {
+			return err
+		}
+	}
+
+	// Initialize the new bucket's primary page.
+	nb, err := t.getBucketPage(newBucket)
+	if err != nil {
+		return err
+	}
+	clear(nb.Page)
+	initPage(page(nb.Page))
+	nb.Dirty = true
+	t.pool.Put(nb)
+
+	// Redistribute.
+	for _, e := range entries {
+		key := e.key
+		if e.ref != 0 {
+			key, err = t.bigKey(e.ref)
+			if err != nil {
+				return err
+			}
+		}
+		dest := t.calcBucket(t.hash(key))
+		if dest != oldBucket && dest != newBucket {
+			return fmt.Errorf("%w: split of bucket %d sent key to bucket %d (new %d)", ErrCorrupt, oldBucket, dest, newBucket)
+		}
+		if e.ref != 0 {
+			if err := t.insertRef(dest, e.ref); err != nil {
+				return err
+			}
+		} else {
+			if err := t.insert(dest, key, e.data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Len returns the number of keys in the table.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int(t.hdr.nkeys)
+}
+
+// Sync flushes all dirty pages, bitmaps and the header to the store.
+func (t *Table) Sync() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkOpen(); err != nil {
+		return err
+	}
+	if t.readonly {
+		return nil
+	}
+	return t.syncLocked()
+}
+
+func (t *Table) syncLocked() error {
+	if err := t.pool.Flush(); err != nil {
+		return err
+	}
+	if err := t.flushBitmaps(); err != nil {
+		return err
+	}
+	if t.dirtyHdr {
+		if err := t.writeHeader(); err != nil {
+			return err
+		}
+	}
+	return t.store.Sync()
+}
+
+// Close flushes (unless read-only) and closes the table. Closing a
+// memory-resident table discards it.
+func (t *Table) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	var err error
+	if !t.readonly {
+		err = t.syncLocked()
+	}
+	if e := t.pool.InvalidateAll(); err == nil {
+		err = e
+	}
+	if t.ownStore {
+		if e := t.store.Close(); err == nil {
+			err = e
+		}
+	}
+	t.closed = true
+	return err
+}
+
+// Stats returns a copy of the table's structural counters.
+func (t *Table) Stats() TableStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Pool exposes the buffer pool for tests and the bench harness.
+func (t *Table) Pool() *buffer.Pool { return t.pool }
+
+// Store exposes the backing store for tests and the bench harness.
+func (t *Table) Store() pagefile.Store { return t.store }
+
+// Geometry reports the table's current shape.
+type Geometry struct {
+	Bsize     int
+	Ffactor   int
+	MaxBucket uint32
+	OvflPoint uint32
+	HdrPages  uint32
+	NKeys     int64
+	Spares    [maxSplits]uint32
+}
+
+// Geometry returns the table's current shape for tools and tests.
+func (t *Table) Geometry() Geometry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Geometry{
+		Bsize:     int(t.hdr.bsize),
+		Ffactor:   int(t.hdr.ffactor),
+		MaxBucket: t.hdr.maxBucket,
+		OvflPoint: t.hdr.ovflPoint,
+		HdrPages:  t.hdr.hdrPages,
+		NKeys:     t.hdr.nkeys,
+		Spares:    t.hdr.spares,
+	}
+}

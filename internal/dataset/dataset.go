@@ -1,0 +1,211 @@
+// Package dataset generates the paper's two evaluation workloads
+// deterministically, replacing data we cannot ship:
+//
+//   - The "online dictionary" data set: 24,474 unique words (the paper
+//     used /usr/dict/words); the data value for each key is an ASCII
+//     string for an integer from 1 to 24,474 inclusive.
+//   - The password file: roughly 300 accounts with two records per
+//     account — one keyed by login name with the remainder of the entry
+//     as data, one keyed by uid with the entire entry as data.
+//
+// The generators are seeded constants: every run of every benchmark sees
+// exactly the same keys, so comparisons between access methods and
+// parameter sweeps are apples-to-apples. The words follow an
+// English-like length distribution (mean near 7), which is what drives
+// page-fill behaviour; the actual spellings are irrelevant to a
+// bit-randomizing hash function.
+package dataset
+
+import (
+	"fmt"
+)
+
+// DictionarySize is the paper's dictionary key count.
+const DictionarySize = 24474
+
+// PasswdAccounts is the paper's approximate password-file size.
+const PasswdAccounts = 300
+
+// Pair is one key/data record.
+type Pair struct {
+	Key  []byte
+	Data []byte
+}
+
+// rng is a small deterministic xorshift64* generator, so the package
+// needs nothing beyond the standard library and never varies between
+// runs or platforms.
+type rng uint64
+
+func newRng(seed uint64) *rng {
+	r := rng(seed)
+	if r == 0 {
+		r = 0x9E3779B97F4A7C15
+	}
+	return &r
+}
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = rng(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// letterFreq approximates English letter frequency (per mille); words
+// drawn from it look like dictionary words to a page-fill calculation.
+var letterFreq = []struct {
+	c byte
+	w int
+}{
+	{'e', 127}, {'t', 91}, {'a', 82}, {'o', 75}, {'i', 70}, {'n', 67},
+	{'s', 63}, {'h', 61}, {'r', 60}, {'d', 43}, {'l', 40}, {'c', 28},
+	{'u', 28}, {'m', 24}, {'w', 24}, {'f', 22}, {'g', 20}, {'y', 20},
+	{'p', 19}, {'b', 15}, {'v', 10}, {'k', 8}, {'j', 2}, {'x', 2},
+	{'q', 1}, {'z', 1},
+}
+
+var letterTotal = func() int {
+	n := 0
+	for _, lf := range letterFreq {
+		n += lf.w
+	}
+	return n
+}()
+
+func (r *rng) letter() byte {
+	n := r.intn(letterTotal)
+	for _, lf := range letterFreq {
+		n -= lf.w
+		if n < 0 {
+			return lf.c
+		}
+	}
+	return 'e'
+}
+
+// wordLen draws an English-dictionary-like word length: roughly normal
+// around 7-8, clamped to [2, 18] (as in /usr/dict/words).
+func (r *rng) wordLen() int {
+	// Sum of three small uniforms approximates the bell shape.
+	n := 2 + r.intn(6) + r.intn(6) + r.intn(7)
+	return n
+}
+
+// Dictionary returns n unique pseudo-words with their 1-based ASCII
+// integer values, the paper's dictionary workload. Dictionary(0) returns
+// the full 24,474-entry data set.
+func Dictionary(n int) []Pair {
+	if n <= 0 {
+		n = DictionarySize
+	}
+	r := newRng(0x5eed5eed)
+	seen := make(map[string]bool, n)
+	out := make([]Pair, 0, n)
+	for len(out) < n {
+		l := r.wordLen()
+		w := make([]byte, l)
+		for i := range w {
+			w[i] = r.letter()
+		}
+		if seen[string(w)] {
+			continue
+		}
+		seen[string(w)] = true
+		out = append(out, Pair{Key: w, Data: []byte(fmt.Sprintf("%d", len(out)+1))})
+	}
+	return out
+}
+
+// PasswdEntry is one synthetic password-file account.
+type PasswdEntry struct {
+	Login string
+	UID   int
+	GID   int
+	Gecos string
+	Home  string
+	Shell string
+}
+
+// Line renders the entry in passwd(5) format.
+func (p PasswdEntry) Line() string {
+	return fmt.Sprintf("%s:*:%d:%d:%s:%s:%s", p.Login, p.UID, p.GID, p.Gecos, p.Home, p.Shell)
+}
+
+// Rest renders the entry without the login (the paper's first record
+// kind: login as key, "the remainder of the password entry" as data).
+func (p PasswdEntry) Rest() string {
+	return fmt.Sprintf("*:%d:%d:%s:%s:%s", p.UID, p.GID, p.Gecos, p.Home, p.Shell)
+}
+
+var shells = []string{"/bin/sh", "/bin/csh", "/usr/local/bin/tcsh", "/bin/ksh"}
+
+var firstNames = []string{
+	"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+	"ivan", "judy", "karl", "laura", "mallory", "nina", "oscar", "peggy",
+	"quentin", "rita", "steve", "trudy", "ursula", "victor", "wendy",
+	"xavier", "yolanda", "zach",
+}
+
+var lastNames = []string{
+	"smith", "jones", "brown", "taylor", "wilson", "davis", "clark",
+	"hall", "young", "king", "wright", "hill", "green", "baker", "adams",
+	"nelson", "carter", "moore", "allen", "scott",
+}
+
+// Passwd returns n synthetic accounts. Passwd(0) returns the paper's
+// ~300-account file.
+func Passwd(n int) []PasswdEntry {
+	if n <= 0 {
+		n = PasswdAccounts
+	}
+	r := newRng(0x9a55d011) // distinct seed from Dictionary
+	out := make([]PasswdEntry, 0, n)
+	seen := make(map[string]bool, n)
+	for len(out) < n {
+		fn := firstNames[r.intn(len(firstNames))]
+		ln := lastNames[r.intn(len(lastNames))]
+		login := fmt.Sprintf("%c%s%d", fn[0], ln, r.intn(100))
+		if seen[login] {
+			continue
+		}
+		seen[login] = true
+		uid := 1000 + len(out)
+		out = append(out, PasswdEntry{
+			Login: login,
+			UID:   uid,
+			GID:   100 + r.intn(20),
+			Gecos: fmt.Sprintf("%s %s", title(fn), title(ln)),
+			Home:  "/home/" + login,
+			Shell: shells[r.intn(len(shells))],
+		})
+	}
+	return out
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}
+
+// PasswdPairs renders the paper's two records per account: the first
+// keyed by login with the remainder of the entry as data, the second
+// keyed by uid with the entire entry as data.
+func PasswdPairs(entries []PasswdEntry) []Pair {
+	out := make([]Pair, 0, 2*len(entries))
+	for _, e := range entries {
+		out = append(out, Pair{Key: []byte(e.Login), Data: []byte(e.Rest())})
+		out = append(out, Pair{Key: []byte(fmt.Sprintf("%d", e.UID)), Data: []byte(e.Line())})
+	}
+	return out
+}

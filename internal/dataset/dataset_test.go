@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestDictionaryShape(t *testing.T) {
+	d := Dictionary(0)
+	if len(d) != DictionarySize {
+		t.Fatalf("len = %d, want %d", len(d), DictionarySize)
+	}
+	seen := make(map[string]bool, len(d))
+	totalLen := 0
+	for i, p := range d {
+		if len(p.Key) < 2 || len(p.Key) > 18 {
+			t.Fatalf("word %d has length %d", i, len(p.Key))
+		}
+		if seen[string(p.Key)] {
+			t.Fatalf("duplicate word %q", p.Key)
+		}
+		seen[string(p.Key)] = true
+		totalLen += len(p.Key)
+		// Data is the ASCII integer i+1, as in the paper.
+		if string(p.Data) != strconv.Itoa(i+1) {
+			t.Fatalf("data[%d] = %q", i, p.Data)
+		}
+		for _, c := range p.Key {
+			if c < 'a' || c > 'z' {
+				t.Fatalf("word %q contains %q", p.Key, c)
+			}
+		}
+	}
+	mean := float64(totalLen) / float64(len(d))
+	if mean < 5 || mean > 11 {
+		t.Fatalf("mean word length %.2f outside dictionary-like range", mean)
+	}
+}
+
+func TestDictionaryDeterministic(t *testing.T) {
+	a := Dictionary(1000)
+	b := Dictionary(1000)
+	for i := range a {
+		if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Fatalf("run difference at %d", i)
+		}
+	}
+	// A prefix request yields a prefix of the full set.
+	full := Dictionary(2000)
+	for i := range a {
+		if !bytes.Equal(a[i].Key, full[i].Key) {
+			t.Fatalf("prefix mismatch at %d", i)
+		}
+	}
+}
+
+func TestPasswdShape(t *testing.T) {
+	es := Passwd(0)
+	if len(es) != PasswdAccounts {
+		t.Fatalf("len = %d", len(es))
+	}
+	logins := map[string]bool{}
+	for _, e := range es {
+		if logins[e.Login] {
+			t.Fatalf("duplicate login %q", e.Login)
+		}
+		logins[e.Login] = true
+		line := e.Line()
+		if strings.Count(line, ":") != 6 {
+			t.Fatalf("Line %q not passwd(5) shaped", line)
+		}
+		if !strings.HasPrefix(line, e.Login+":") {
+			t.Fatalf("Line %q does not start with login", line)
+		}
+		if e.Rest() != line[len(e.Login)+1:] {
+			t.Fatalf("Rest %q is not line minus login", e.Rest())
+		}
+	}
+}
+
+func TestPasswdPairs(t *testing.T) {
+	es := Passwd(10)
+	pairs := PasswdPairs(es)
+	if len(pairs) != 20 {
+		t.Fatalf("pairs = %d, want 2 per account", len(pairs))
+	}
+	keys := map[string]bool{}
+	for _, p := range pairs {
+		if keys[string(p.Key)] {
+			t.Fatalf("duplicate pair key %q", p.Key)
+		}
+		keys[string(p.Key)] = true
+	}
+	// Even indexes keyed by login, odd by uid.
+	if string(pairs[0].Key) != es[0].Login {
+		t.Fatalf("pair 0 key = %q", pairs[0].Key)
+	}
+	if string(pairs[1].Key) != strconv.Itoa(es[0].UID) {
+		t.Fatalf("pair 1 key = %q", pairs[1].Key)
+	}
+	if string(pairs[1].Data) != es[0].Line() {
+		t.Fatalf("pair 1 data = %q", pairs[1].Data)
+	}
+}
+
+func TestRngDistribution(t *testing.T) {
+	r := newRng(12345)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[r.intn(10)]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("bucket %d count %d far from uniform", i, c)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package db is the generic database access interface the paper's
+// conclusion describes: "All of the access methods are based on a
+// key/data pair interface and appear identical to the application layer,
+// allowing application implementations to be largely independent of the
+// database type." It is the Go shape of 4.4BSD's dbopen(3).
+//
+// Three access methods implement the interface: Hash (this paper's
+// contribution), Btree, and Recno. Applications select one at Open and
+// use the uniform key/data operations; recno record numbers travel as
+// 8-byte big-endian keys (see RecnoKey).
+package db
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"unixhash/internal/btree"
+	"unixhash/internal/core"
+	"unixhash/internal/recno"
+)
+
+// Method selects an access method at Open.
+type Method int
+
+// The access methods of the package.
+const (
+	Hash Method = iota
+	Btree
+	Recno
+)
+
+func (m Method) String() string {
+	switch m {
+	case Hash:
+		return "hash"
+	case Btree:
+		return "btree"
+	case Recno:
+		return "recno"
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// Errors normalized across access methods.
+var (
+	ErrNotFound  = errors.New("db: key not found")
+	ErrKeyExists = errors.New("db: key already exists")
+)
+
+// Config carries per-method options to Open; only the field matching the
+// chosen method is consulted, and nil selects defaults.
+type Config struct {
+	Hash  *core.Options
+	Btree *btree.Options
+	Recno *recno.Options
+}
+
+// DB is the uniform key/data interface over all access methods.
+type DB interface {
+	// Get returns the data stored under key (ErrNotFound if absent).
+	Get(key []byte) ([]byte, error)
+	// Put stores data under key, replacing an existing value.
+	Put(key, data []byte) error
+	// PutNew stores data under key, failing with ErrKeyExists.
+	PutNew(key, data []byte) error
+	// Delete removes key (ErrNotFound if absent).
+	Delete(key []byte) error
+	// Seq returns a cursor over every pair. Hash yields bucket order,
+	// Btree ascending key order, Recno record order.
+	Seq() Cursor
+	// Len reports the number of stored pairs.
+	Len() int
+	// Sync flushes to stable storage.
+	Sync() error
+	// Close flushes and closes.
+	Close() error
+}
+
+// Cursor iterates key/data pairs. Key and Value are valid until the next
+// call to Next.
+type Cursor interface {
+	Next() bool
+	Key() []byte
+	Value() []byte
+	Err() error
+}
+
+// Open opens path with the chosen access method. An empty path is
+// memory-resident for every method.
+func Open(path string, m Method, cfg *Config) (DB, error) {
+	var c Config
+	if cfg != nil {
+		c = *cfg
+	}
+	switch m {
+	case Hash:
+		t, err := core.Open(path, c.Hash)
+		if err != nil {
+			return nil, err
+		}
+		return &hashDB{t}, nil
+	case Btree:
+		t, err := btree.Open(path, c.Btree)
+		if err != nil {
+			return nil, err
+		}
+		return &btreeDB{t}, nil
+	case Recno:
+		f, err := recno.Open(path, c.Recno)
+		if err != nil {
+			return nil, err
+		}
+		return &recnoDB{f}, nil
+	default:
+		return nil, fmt.Errorf("db: unknown access method %v", m)
+	}
+}
+
+// RecnoKey encodes a record number as a key for the Recno method.
+func RecnoKey(i int) []byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], uint64(i))
+	return k[:]
+}
+
+// ParseRecnoKey decodes a Recno cursor key back to a record number.
+func ParseRecnoKey(k []byte) (int, error) {
+	if len(k) != 8 {
+		return 0, fmt.Errorf("db: recno key is %d bytes, want 8", len(k))
+	}
+	return int(binary.BigEndian.Uint64(k)), nil
+}
+
+// --- hash adapter ---
+
+type hashDB struct{ t *core.Table }
+
+func (d *hashDB) Get(key []byte) ([]byte, error) {
+	v, err := d.t.Get(key)
+	if errors.Is(err, core.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+
+func (d *hashDB) Put(key, data []byte) error { return d.t.Put(key, data) }
+
+func (d *hashDB) PutNew(key, data []byte) error {
+	err := d.t.PutNew(key, data)
+	if errors.Is(err, core.ErrKeyExists) {
+		return ErrKeyExists
+	}
+	return err
+}
+
+func (d *hashDB) Delete(key []byte) error {
+	err := d.t.Delete(key)
+	if errors.Is(err, core.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+
+func (d *hashDB) Seq() Cursor  { return d.t.Iter() }
+func (d *hashDB) Len() int     { return d.t.Len() }
+func (d *hashDB) Sync() error  { return d.t.Sync() }
+func (d *hashDB) Close() error { return d.t.Close() }
+
+// --- btree adapter ---
+
+type btreeDB struct{ t *btree.Tree }
+
+func (d *btreeDB) Get(key []byte) ([]byte, error) {
+	v, err := d.t.Get(key)
+	if errors.Is(err, btree.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+
+func (d *btreeDB) Put(key, data []byte) error { return d.t.Put(key, data) }
+
+func (d *btreeDB) PutNew(key, data []byte) error {
+	err := d.t.PutNew(key, data)
+	if errors.Is(err, btree.ErrKeyExists) {
+		return ErrKeyExists
+	}
+	return err
+}
+
+func (d *btreeDB) Delete(key []byte) error {
+	err := d.t.Delete(key)
+	if errors.Is(err, btree.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+
+func (d *btreeDB) Seq() Cursor  { return d.t.Cursor() }
+func (d *btreeDB) Len() int     { return d.t.Len() }
+func (d *btreeDB) Sync() error  { return d.t.Sync() }
+func (d *btreeDB) Close() error { return d.t.Close() }
+
+// Tree exposes the underlying btree for method-specific operations
+// (ordered Seek, structural Check).
+func (d *btreeDB) Tree() *btree.Tree { return d.t }
+
+// --- recno adapter ---
+
+type recnoDB struct{ f *recno.File }
+
+func (d *recnoDB) recno(key []byte) (int, error) {
+	i, err := ParseRecnoKey(key)
+	if err != nil {
+		return 0, err
+	}
+	return i, nil
+}
+
+func (d *recnoDB) Get(key []byte) ([]byte, error) {
+	i, err := d.recno(key)
+	if err != nil {
+		return nil, err
+	}
+	v, err := d.f.Get(i)
+	if errors.Is(err, recno.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+
+func (d *recnoDB) Put(key, data []byte) error {
+	i, err := d.recno(key)
+	if err != nil {
+		return err
+	}
+	err = d.f.Put(i, data)
+	if errors.Is(err, recno.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+
+func (d *recnoDB) PutNew(key, data []byte) error {
+	i, err := d.recno(key)
+	if err != nil {
+		return err
+	}
+	if i < d.f.Len() {
+		return ErrKeyExists
+	}
+	err = d.f.Put(i, data)
+	if errors.Is(err, recno.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+
+func (d *recnoDB) Delete(key []byte) error {
+	i, err := d.recno(key)
+	if err != nil {
+		return err
+	}
+	err = d.f.Delete(i)
+	if errors.Is(err, recno.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+
+func (d *recnoDB) Seq() Cursor  { return &recnoCursor{f: d.f, i: -1} }
+func (d *recnoDB) Len() int     { return d.f.Len() }
+func (d *recnoDB) Sync() error  { return d.f.Sync() }
+func (d *recnoDB) Close() error { return d.f.Close() }
+
+type recnoCursor struct {
+	f   *recno.File
+	i   int
+	key []byte
+	val []byte
+	err error
+}
+
+func (c *recnoCursor) Next() bool {
+	if c.err != nil {
+		return false
+	}
+	c.i++
+	v, err := c.f.Get(c.i)
+	if errors.Is(err, recno.ErrNotFound) {
+		return false
+	}
+	if err != nil {
+		c.err = err
+		return false
+	}
+	c.key = RecnoKey(c.i)
+	c.val = v
+	return true
+}
+
+func (c *recnoCursor) Key() []byte   { return c.key }
+func (c *recnoCursor) Value() []byte { return c.val }
+func (c *recnoCursor) Err() error    { return c.err }
+
+// Static interface checks.
+var (
+	_ DB     = (*hashDB)(nil)
+	_ DB     = (*btreeDB)(nil)
+	_ DB     = (*recnoDB)(nil)
+	_ Cursor = (*core.Iterator)(nil)
+	_ Cursor = (*btree.Cursor)(nil)
+	_ Cursor = (*recnoCursor)(nil)
+)

@@ -1,0 +1,157 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"unixhash/internal/btree"
+	"unixhash/internal/core"
+	"unixhash/internal/recno"
+)
+
+func TestMethodString(t *testing.T) {
+	cases := map[Method]string{Hash: "hash", Btree: "btree", Recno: "recno", Method(42): "method(42)"}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestRecnoKeyRoundtrip(t *testing.T) {
+	for _, i := range []int{0, 1, 255, 1 << 20} {
+		k := RecnoKey(i)
+		got, err := ParseRecnoKey(k)
+		if err != nil || got != i {
+			t.Fatalf("roundtrip %d -> %d, %v", i, got, err)
+		}
+	}
+	if _, err := ParseRecnoKey([]byte("123")); err == nil {
+		t.Fatal("parsed a 3-byte recno key")
+	}
+}
+
+func TestSyncAllMethods(t *testing.T) {
+	dir := t.TempDir()
+	for _, m := range []Method{Hash, Btree, Recno} {
+		t.Run(m.String(), func(t *testing.T) {
+			path := filepath.Join(dir, "sync-"+m.String())
+			d, err := Open(path, m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			k := []byte("key")
+			if m == Recno {
+				k = RecnoKey(0)
+			}
+			if err := d.Put(k, []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Sync(); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			// A second read-only view sees the synced data.
+			var check DB
+			switch m {
+			case Recno:
+				check, err = Open(path, m, nil)
+			default:
+				check, err = Open(path, m, nil)
+			}
+			if err != nil {
+				t.Fatalf("second open: %v", err)
+			}
+			defer check.Close()
+			if got, err := check.Get(k); err != nil || string(got) != "v" {
+				t.Fatalf("synced read = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestRecnoDeleteErrors(t *testing.T) {
+	d, err := Open("", Recno, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Delete(RecnoKey(0)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete on empty = %v", err)
+	}
+	if err := d.Put([]byte("bad"), nil); err == nil {
+		t.Fatal("Put with malformed key succeeded")
+	}
+	if err := d.Delete([]byte("bad")); err == nil {
+		t.Fatal("Delete with malformed key succeeded")
+	}
+	if err := d.PutNew([]byte("bad"), nil); err == nil {
+		t.Fatal("PutNew with malformed key succeeded")
+	}
+}
+
+func TestConfigPassedThrough(t *testing.T) {
+	// A tiny page size from the config must reach the hash engine: a
+	// pair larger than one 64-byte page forces the big-pair path, which
+	// only exists below it.
+	d, err := Open("", Hash, &Config{Hash: &core.Options{Bsize: 64, Ffactor: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	big := make([]byte, 4096)
+	if err := d.Put([]byte("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Get([]byte("big"))
+	if err != nil || len(got) != len(big) {
+		t.Fatalf("Get big = %d bytes, %v", len(got), err)
+	}
+
+	// Likewise the btree page size.
+	b, err := Open("", Btree, &Config{Btree: &btree.Options{PageSize: 128}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Put([]byte("k"), make([]byte, 2000)); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the recno fixed record length.
+	r, err := Open("", Recno, &Config{Recno: &recno.Options{Reclen: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Put(RecnoKey(0), []byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = r.Get(RecnoKey(0))
+	if err != nil || len(got) != 4 {
+		t.Fatalf("fixed record = %q, %v", got, err)
+	}
+}
+
+func TestBtreeRangeThroughAdapter(t *testing.T) {
+	d, err := Open("", Btree, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 100; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("k%02d", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := d.(interface{ Tree() *btree.Tree }).Tree()
+	c := tr.Seek([]byte("k50"))
+	if !c.Next() || string(c.Key()) != "k50" {
+		t.Fatalf("Seek through adapter -> %q", c.Key())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+package db
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// keyedMethods are the methods with free-form keys; Recno has its own
+// record-number tests below.
+var keyedMethods = []Method{Hash, Btree}
+
+func TestUniformInterface(t *testing.T) {
+	for _, m := range keyedMethods {
+		t.Run(m.String(), func(t *testing.T) {
+			d, err := Open("", m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+
+			if err := d.Put([]byte("k"), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := d.Get([]byte("k"))
+			if err != nil || string(got) != "v" {
+				t.Fatalf("Get = %q, %v", got, err)
+			}
+			if _, err := d.Get([]byte("missing")); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get missing = %v", err)
+			}
+			if err := d.PutNew([]byte("k"), nil); !errors.Is(err, ErrKeyExists) {
+				t.Fatalf("PutNew dup = %v", err)
+			}
+			if err := d.Delete([]byte("k")); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Delete([]byte("k")); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("double delete = %v", err)
+			}
+			if d.Len() != 0 {
+				t.Fatalf("Len = %d", d.Len())
+			}
+		})
+	}
+}
+
+// TestApplicationIndependence runs the identical application workload
+// against hash and btree — the paper's claim that applications are
+// "largely independent of the database type".
+func TestApplicationIndependence(t *testing.T) {
+	results := make(map[Method]map[string]string)
+	for _, m := range keyedMethods {
+		d, err := Open("", m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(77)) // same seed for both methods
+		for op := 0; op < 5000; op++ {
+			k := []byte(fmt.Sprintf("k%04d", rng.Intn(700)))
+			switch rng.Intn(3) {
+			case 0, 1:
+				if err := d.Put(k, []byte(fmt.Sprintf("v%d", op))); err != nil {
+					t.Fatalf("%v Put: %v", m, err)
+				}
+			case 2:
+				if err := d.Delete(k); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Fatalf("%v Delete: %v", m, err)
+				}
+			}
+		}
+		final := map[string]string{}
+		c := d.Seq()
+		for c.Next() {
+			final[string(c.Key())] = string(c.Value())
+		}
+		if c.Err() != nil {
+			t.Fatalf("%v scan: %v", m, c.Err())
+		}
+		if len(final) != d.Len() {
+			t.Fatalf("%v: scan %d vs Len %d", m, len(final), d.Len())
+		}
+		results[m] = final
+		d.Close()
+	}
+	// Identical operations must leave identical contents.
+	h, b := results[Hash], results[Btree]
+	if len(h) != len(b) {
+		t.Fatalf("hash has %d pairs, btree %d", len(h), len(b))
+	}
+	for k, v := range h {
+		if b[k] != v {
+			t.Fatalf("divergence at %q: hash %q, btree %q", k, v, b[k])
+		}
+	}
+}
+
+func TestPersistenceAllMethods(t *testing.T) {
+	dir := t.TempDir()
+	for _, m := range []Method{Hash, Btree, Recno} {
+		t.Run(m.String(), func(t *testing.T) {
+			path := filepath.Join(dir, m.String()+".db")
+			d, err := Open(path, m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 100; i++ {
+				var k []byte
+				if m == Recno {
+					k = RecnoKey(i)
+				} else {
+					k = []byte(fmt.Sprintf("key%03d", i))
+				}
+				if err := d.Put(k, []byte(fmt.Sprintf("val%d", i))); err != nil {
+					t.Fatalf("Put %d: %v", i, err)
+				}
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			d, err = Open(path, m, nil)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer d.Close()
+			if d.Len() != 100 {
+				t.Fatalf("Len after reopen = %d", d.Len())
+			}
+			var k []byte
+			if m == Recno {
+				k = RecnoKey(42)
+			} else {
+				k = []byte("key042")
+			}
+			got, err := d.Get(k)
+			if err != nil || string(got) != "val42" {
+				t.Fatalf("Get after reopen = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestRecnoSemantics(t *testing.T) {
+	d, err := Open("", Recno, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Appending via Put at Len.
+	for i := 0; i < 5; i++ {
+		if err := d.Put(RecnoKey(i), []byte(fmt.Sprintf("rec%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// PutNew on an existing record number fails; at the end it appends.
+	if err := d.PutNew(RecnoKey(2), nil); !errors.Is(err, ErrKeyExists) {
+		t.Fatalf("PutNew existing = %v", err)
+	}
+	if err := d.PutNew(RecnoKey(5), []byte("rec5")); err != nil {
+		t.Fatal(err)
+	}
+	// Delete renumbers.
+	if err := d.Delete(RecnoKey(0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Get(RecnoKey(0))
+	if err != nil || string(got) != "rec1" {
+		t.Fatalf("Get(0) after delete = %q, %v", got, err)
+	}
+	// Cursor yields records in order with RecnoKey keys.
+	c := d.Seq()
+	i := 0
+	for c.Next() {
+		n, err := ParseRecnoKey(c.Key())
+		if err != nil || n != i {
+			t.Fatalf("cursor key = %v, %v; want %d", n, err, i)
+		}
+		i++
+	}
+	if c.Err() != nil || i != d.Len() {
+		t.Fatalf("cursor saw %d of %d: %v", i, d.Len(), c.Err())
+	}
+	// Malformed keys are rejected.
+	if _, err := d.Get([]byte("short")); err == nil {
+		t.Fatal("Get with malformed recno key succeeded")
+	}
+}
+
+func TestSeqOrderProperties(t *testing.T) {
+	// Btree scans ascending; hash scans complete (order unspecified).
+	const n = 2000
+	for _, m := range keyedMethods {
+		d, err := Open("", m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := d.Put([]byte(fmt.Sprintf("key%05d", i)), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c := d.Seq()
+		count := 0
+		var prev []byte
+		ordered := true
+		for c.Next() {
+			if prev != nil && bytes.Compare(prev, c.Key()) >= 0 {
+				ordered = false
+			}
+			prev = append(prev[:0], c.Key()...)
+			count++
+		}
+		if c.Err() != nil || count != n {
+			t.Fatalf("%v scan: %d, %v", m, count, c.Err())
+		}
+		if m == Btree && !ordered {
+			t.Fatal("btree scan not in ascending order")
+		}
+		d.Close()
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	if _, err := Open("", Method(99), nil); err == nil {
+		t.Fatal("opened unknown method")
+	}
+}

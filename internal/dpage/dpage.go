@@ -1,0 +1,146 @@
+// Package dpage implements the simple slotted-page layout shared by the
+// dbm-family baselines (ndbm, sdbm, gdbm). Unlike the new hashing
+// package's pages, these have no overflow links or big-pair references —
+// reproducing the limitation the paper calls out: a dbm page must hold
+// every colliding pair whole, or the store fails.
+package dpage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+var le = binary.LittleEndian
+
+// Layout:
+//
+//	bytes 0..1  uint16 n      — number of pairs
+//	bytes 2..3  uint16 low    — offset of lowest used data byte
+//	bytes 4..   uint16 slots, two per pair (key offset, data offset)
+//	...free...
+//	bytes low.. key/data bytes packed downward from the page end
+//
+// Pair i's key occupies [keyOff, prevLow) and data [dataOff, keyOff),
+// where prevLow is pair i-1's data offset (or the page size).
+const (
+	hdrSize  = 4
+	slotSize = 2
+)
+
+// Page is a view over one page buffer.
+type Page []byte
+
+// Init formats an empty page.
+func (p Page) Init() {
+	le.PutUint16(p[0:2], 0)
+	le.PutUint16(p[2:4], uint16(len(p)))
+}
+
+// InitIfNew formats the page if it is all-zero (fresh from the store).
+func (p Page) InitIfNew() {
+	if le.Uint16(p[2:4]) == 0 {
+		p.Init()
+	}
+}
+
+// N returns the number of pairs on the page.
+func (p Page) N() int { return int(le.Uint16(p[0:2])) }
+
+func (p Page) low() int     { return int(le.Uint16(p[2:4])) }
+func (p Page) setN(n int)   { le.PutUint16(p[0:2], uint16(n)) }
+func (p Page) setLow(n int) { le.PutUint16(p[2:4], uint16(n)) }
+
+func (p Page) slot(i int) int   { return int(le.Uint16(p[hdrSize+i*slotSize:])) }
+func (p Page) setSlot(i, v int) { le.PutUint16(p[hdrSize+i*slotSize:], uint16(v)) }
+
+// FreeBytes returns the space available for a new pair (slots + bytes).
+func (p Page) FreeBytes() int {
+	return p.low() - hdrSize - p.N()*2*slotSize
+}
+
+// Fits reports whether a pair of the given sizes fits.
+func (p Page) Fits(klen, dlen int) bool {
+	return 2*slotSize+klen+dlen <= p.FreeBytes()
+}
+
+// MaxPair returns the largest total key+data size an empty page of size
+// pagesize can hold.
+func MaxPair(pagesize int) int { return pagesize - hdrSize - 2*slotSize }
+
+// Pair returns views of pair i's key and data. The views alias the page.
+func (p Page) Pair(i int) (key, data []byte) {
+	bound := len(p)
+	for j := 0; j < i; j++ {
+		bound = p.slot(2*j + 1)
+	}
+	ko, do := p.slot(2*i), p.slot(2*i+1)
+	return p[ko:bound], p[do:ko]
+}
+
+// Find returns the index of key, or -1.
+func (p Page) Find(key []byte) int {
+	n := p.N()
+	bound := len(p)
+	for i := 0; i < n; i++ {
+		ko, do := p.slot(2*i), p.slot(2*i+1)
+		if bytes.Equal(p[ko:bound], key) {
+			return i
+		}
+		bound = do
+	}
+	return -1
+}
+
+// Insert appends a pair; the caller must have checked Fits.
+func (p Page) Insert(key, data []byte) {
+	n := p.N()
+	low := p.low()
+	ko := low - len(key)
+	do := ko - len(data)
+	copy(p[ko:low], key)
+	copy(p[do:ko], data)
+	p.setSlot(2*n, ko)
+	p.setSlot(2*n+1, do)
+	p.setN(n + 1)
+	p.setLow(do)
+}
+
+// Remove deletes pair i, compacting the page.
+func (p Page) Remove(i int) error {
+	n := p.N()
+	if i < 0 || i >= n {
+		return fmt.Errorf("dpage: remove %d of %d", i, n)
+	}
+	bound := len(p)
+	for j := 0; j < i; j++ {
+		bound = p.slot(2*j + 1)
+	}
+	do := p.slot(2*i + 1)
+	size := bound - do
+	low := p.low()
+	// Slide the packed region below this pair up by size.
+	copy(p[low+size:bound], p[low:do])
+	// Shift later slots down and adjust their offsets.
+	for j := i + 1; j < n; j++ {
+		p.setSlot(2*(j-1), p.slot(2*j)+size)
+		p.setSlot(2*(j-1)+1, p.slot(2*j+1)+size)
+	}
+	p.setN(n - 1)
+	p.setLow(low + size)
+	return nil
+}
+
+// ForEach calls fn for every pair in slot order; stop early by returning
+// false.
+func (p Page) ForEach(fn func(i int, key, data []byte) bool) {
+	n := p.N()
+	bound := len(p)
+	for i := 0; i < n; i++ {
+		ko, do := p.slot(2*i), p.slot(2*i+1)
+		if !fn(i, p[ko:bound], p[do:ko]) {
+			return
+		}
+		bound = do
+	}
+}

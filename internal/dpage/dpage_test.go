@@ -1,0 +1,156 @@
+package dpage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestInitAndEmpty(t *testing.T) {
+	p := Page(make([]byte, 256))
+	p.Init()
+	if p.N() != 0 {
+		t.Fatalf("N = %d", p.N())
+	}
+	if p.FreeBytes() != 256-hdrSize {
+		t.Fatalf("FreeBytes = %d", p.FreeBytes())
+	}
+	if p.Find([]byte("x")) != -1 {
+		t.Fatal("found key on empty page")
+	}
+}
+
+func TestInitIfNew(t *testing.T) {
+	p := Page(make([]byte, 128))
+	p.InitIfNew()
+	if p.low() != 128 {
+		t.Fatal("InitIfNew did not format zero page")
+	}
+	p.Insert([]byte("k"), []byte("v"))
+	p.InitIfNew()
+	if p.N() != 1 {
+		t.Fatal("InitIfNew reformatted a used page")
+	}
+}
+
+func TestInsertFindPair(t *testing.T) {
+	p := Page(make([]byte, 256))
+	p.Init()
+	pairs := map[string]string{"a": "1", "bb": "22", "ccc": "333", "": "empty-key-ok"}
+	keys := []string{"a", "bb", "ccc", ""}
+	for _, k := range keys {
+		if !p.Fits(len(k), len(pairs[k])) {
+			t.Fatalf("%q does not fit", k)
+		}
+		p.Insert([]byte(k), []byte(pairs[k]))
+	}
+	for _, k := range keys {
+		i := p.Find([]byte(k))
+		if i < 0 {
+			t.Fatalf("Find(%q) = -1", k)
+		}
+		key, data := p.Pair(i)
+		if string(key) != k || string(data) != pairs[k] {
+			t.Fatalf("Pair(%d) = %q=%q, want %q=%q", i, key, data, k, pairs[k])
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	p := Page(make([]byte, 256))
+	p.Init()
+	for i := 0; i < 6; i++ {
+		p.Insert([]byte(fmt.Sprintf("key%d", i)), []byte(fmt.Sprintf("val%d", i)))
+	}
+	if err := p.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remove(4); err != nil { // was last
+		t.Fatal(err)
+	}
+	if err := p.Remove(1); err != nil { // middle
+		t.Fatal(err)
+	}
+	left := map[string]string{}
+	p.ForEach(func(i int, k, v []byte) bool {
+		left[string(k)] = string(v)
+		return true
+	})
+	want := map[string]string{"key1": "val1", "key3": "val3", "key4": "val4"}
+	if len(left) != len(want) {
+		t.Fatalf("left = %v", left)
+	}
+	for k, v := range want {
+		if left[k] != v {
+			t.Fatalf("left[%q] = %q, want %q", k, left[k], v)
+		}
+	}
+	if err := p.Remove(5); err == nil {
+		t.Fatal("Remove out of range succeeded")
+	}
+}
+
+func TestSpaceReclaimed(t *testing.T) {
+	p := Page(make([]byte, 128))
+	p.Init()
+	free := p.FreeBytes()
+	p.Insert([]byte("key"), []byte("value"))
+	if err := p.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeBytes() != free {
+		t.Fatalf("FreeBytes = %d, want %d after remove", p.FreeBytes(), free)
+	}
+}
+
+func TestModelRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 100; round++ {
+		p := Page(make([]byte, 256))
+		p.Init()
+		type kv struct{ k, v []byte }
+		var model []kv
+		for op := 0; op < 200; op++ {
+			if rng.Intn(3) != 0 || len(model) == 0 {
+				k := make([]byte, rng.Intn(8)+1)
+				v := make([]byte, rng.Intn(16))
+				rng.Read(k)
+				rng.Read(v)
+				if p.Fits(len(k), len(v)) {
+					p.Insert(k, v)
+					model = append(model, kv{k, v})
+				}
+			} else {
+				i := rng.Intn(len(model))
+				if err := p.Remove(i); err != nil {
+					t.Fatal(err)
+				}
+				model = append(model[:i], model[i+1:]...)
+			}
+			if p.N() != len(model) {
+				t.Fatalf("N = %d, model %d", p.N(), len(model))
+			}
+			for i, kv := range model {
+				k, v := p.Pair(i)
+				if !bytes.Equal(k, kv.k) || !bytes.Equal(v, kv.v) {
+					t.Fatalf("round %d op %d: pair %d mismatch", round, op, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxPair(t *testing.T) {
+	for _, ps := range []int{64, 256, 1024} {
+		p := Page(make([]byte, ps))
+		p.Init()
+		m := MaxPair(ps)
+		if !p.Fits(m/2, m-m/2) {
+			t.Fatalf("MaxPair(%d)=%d does not fit", ps, m)
+		}
+		if p.Fits(m/2, m-m/2+1) {
+			t.Fatalf("MaxPair(%d)=%d is not maximal", ps, m)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package dynahash is a clean-room Go port of Esmond Pitt's dynahash
+// library as the paper describes it: Larson's in-memory adaptation
+// [LAR88] of linear hashing [LIT80] behind an hsearch-compatible
+// interface.
+//
+// The table begins as a single bucket and grows in generations, each
+// generation doubling the table by splitting every bucket that existed
+// at its start. Buckets are linked lists of elements; the directory of
+// bucket pointers is arranged in segments of 256. Splitting is purely
+// controlled: a bucket is split whenever the number of keys divided by
+// the number of buckets exceeds the fill factor — the half of the hybrid
+// policy that the new package combines with dbm-style overflow splitting.
+//
+// Since the hsearch create interface calls for an estimate of the final
+// table size (nelem), dynahash rounds it to the next higher power of two
+// for the initial bucket count.
+package dynahash
+
+import (
+	"unixhash/internal/hashfunc"
+)
+
+// DefaultFfactor is the default number of keys per bucket tolerated
+// before a split.
+const DefaultFfactor = 5
+
+const (
+	segmentSize  = 256 // bucket pointers per directory segment
+	segmentShift = 8
+)
+
+type element struct {
+	key  string
+	data []byte
+	next *element
+}
+
+// Table is a dynahash hash table.
+type Table struct {
+	directory [][]*element // segments of bucket heads
+
+	maxBucket uint32 // highest bucket in use
+	lowMask   uint32
+	highMask  uint32
+	ffactor   int
+	count     int
+	hash      hashfunc.Func
+
+	// Splits counts bucket splits for the comparison harness.
+	Splits int64
+}
+
+// New creates a table pre-sized for about nelem elements, with the given
+// fill factor (<=0 selects DefaultFfactor).
+func New(nelem, ffactor int) *Table {
+	if ffactor <= 0 {
+		ffactor = DefaultFfactor
+	}
+	if nelem < 1 {
+		nelem = 1
+	}
+	nbuckets := nextPow2(uint32((nelem + ffactor - 1) / ffactor))
+	t := &Table{
+		ffactor:   ffactor,
+		hash:      hashfunc.Default,
+		maxBucket: nbuckets - 1,
+		lowMask:   nbuckets - 1,
+		highMask:  nbuckets<<1 - 1,
+	}
+	t.ensureSegments(t.maxBucket)
+	return t
+}
+
+func nextPow2(x uint32) uint32 {
+	v := uint32(1)
+	for v < x {
+		v <<= 1
+	}
+	return v
+}
+
+// ensureSegments grows the directory to address bucket b.
+func (t *Table) ensureSegments(b uint32) {
+	need := int(b>>segmentShift) + 1
+	for len(t.directory) < need {
+		t.directory = append(t.directory, make([]*element, segmentSize))
+	}
+}
+
+func (t *Table) bucketPtr(b uint32) **element {
+	return &t.directory[b>>segmentShift][b&(segmentSize-1)]
+}
+
+// calc locates the bucket for a hash value: mask with the high mask,
+// remask with the low mask if the result exceeds the maximum bucket.
+func (t *Table) calc(h uint32) uint32 {
+	b := h & t.highMask
+	if b > t.maxBucket {
+		b = h & t.lowMask
+	}
+	return b
+}
+
+// Find returns the data stored under key.
+func (t *Table) Find(key string) ([]byte, bool) {
+	for e := *t.bucketPtr(t.calc(t.hash([]byte(key)))); e != nil; e = e.next {
+		if e.key == key {
+			return e.data, true
+		}
+	}
+	return nil, false
+}
+
+// Enter stores data under key, replacing an existing entry. Unlike
+// hsearch, the table grows instead of filling: inserting never fails.
+func (t *Table) Enter(key string, data []byte) {
+	head := t.bucketPtr(t.calc(t.hash([]byte(key))))
+	for e := *head; e != nil; e = e.next {
+		if e.key == key {
+			e.data = data
+			return
+		}
+	}
+	*head = &element{key: key, data: data, next: *head}
+	t.count++
+	// Controlled splitting: keep keys/buckets at or below the fill
+	// factor, splitting buckets in the predefined linear order.
+	if t.count > t.ffactor*int(t.maxBucket+1) {
+		t.expand()
+	}
+}
+
+// expand performs one linear-hashing split.
+func (t *Table) expand() {
+	newBucket := t.maxBucket + 1
+	oldBucket := newBucket & t.lowMask
+	t.maxBucket = newBucket
+	if newBucket > t.highMask {
+		t.lowMask = t.highMask
+		t.highMask = newBucket | t.lowMask
+	}
+	t.ensureSegments(newBucket)
+	t.Splits++
+
+	// Divide oldBucket's chain between oldBucket and newBucket by the
+	// newly revealed hash bit.
+	oldHead := t.bucketPtr(oldBucket)
+	newHead := t.bucketPtr(newBucket)
+	var keep, moved *element
+	for e := *oldHead; e != nil; {
+		next := e.next
+		if t.calc(t.hash([]byte(e.key))) == newBucket {
+			e.next = moved
+			moved = e
+		} else {
+			e.next = keep
+			keep = e
+		}
+		e = next
+	}
+	*oldHead = keep
+	*newHead = moved
+}
+
+// Delete removes key.
+func (t *Table) Delete(key string) bool {
+	head := t.bucketPtr(t.calc(t.hash([]byte(key))))
+	for e, prev := *head, (*element)(nil); e != nil; prev, e = e, e.next {
+		if e.key == key {
+			if prev == nil {
+				*head = e.next
+			} else {
+				prev.next = e.next
+			}
+			t.count--
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of stored entries.
+func (t *Table) Len() int { return t.count }
+
+// Buckets returns the current bucket count.
+func (t *Table) Buckets() int { return int(t.maxBucket) + 1 }
+
+// ForEach visits every entry.
+func (t *Table) ForEach(fn func(key string, data []byte) bool) {
+	for b := uint32(0); b <= t.maxBucket; b++ {
+		for e := *t.bucketPtr(b); e != nil; e = e.next {
+			if !fn(e.key, e.data) {
+				return
+			}
+		}
+	}
+}
+
+// MaxChain returns the longest bucket chain, for tests.
+func (t *Table) MaxChain() int {
+	maxLen := 0
+	for b := uint32(0); b <= t.maxBucket; b++ {
+		n := 0
+		for e := *t.bucketPtr(b); e != nil; e = e.next {
+			n++
+		}
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	return maxLen
+}

@@ -1,0 +1,155 @@
+package dynahash
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestEnterFind(t *testing.T) {
+	tbl := New(1, 0)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tbl.Enter(fmt.Sprintf("key%d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if tbl.Len() != n {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	for i := 0; i < n; i++ {
+		got, ok := tbl.Find(fmt.Sprintf("key%d", i))
+		if !ok || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Find %d = %q, %v", i, got, ok)
+		}
+	}
+	if _, ok := tbl.Find("missing"); ok {
+		t.Fatal("found missing key")
+	}
+}
+
+func TestGrowsUnboundedUnlikeHsearch(t *testing.T) {
+	// nelem is only a hint: the table keeps growing past it.
+	tbl := New(8, 2)
+	for i := 0; i < 5000; i++ {
+		tbl.Enter(fmt.Sprintf("key%d", i), nil)
+	}
+	if tbl.Len() != 5000 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if tbl.Splits == 0 {
+		t.Fatal("table never split")
+	}
+}
+
+func TestControlledSplittingBoundsLoad(t *testing.T) {
+	const ff = 4
+	tbl := New(1, ff)
+	for i := 0; i < 20000; i++ {
+		tbl.Enter(fmt.Sprintf("key-%d", i), nil)
+	}
+	load := float64(tbl.Len()) / float64(tbl.Buckets())
+	if load > ff+1 {
+		t.Fatalf("load factor %.2f exceeds fill factor %d", load, ff)
+	}
+	// Chains stay short when the hash behaves: generous bound.
+	if mc := tbl.MaxChain(); mc > ff*16 {
+		t.Fatalf("longest chain %d for fill factor %d", mc, ff)
+	}
+}
+
+func TestPresizingReducesSplits(t *testing.T) {
+	grown := New(1, 5)
+	sized := New(10000, 5)
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("key%d", i)
+		grown.Enter(k, nil)
+		sized.Enter(k, nil)
+	}
+	if sized.Splits >= grown.Splits {
+		t.Fatalf("pre-sized table split %d times, grown %d", sized.Splits, grown.Splits)
+	}
+}
+
+func TestEnterReplaces(t *testing.T) {
+	tbl := New(10, 0)
+	tbl.Enter("k", []byte("v1"))
+	tbl.Enter("k", []byte("v2"))
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	got, _ := tbl.Find("k")
+	if string(got) != "v2" {
+		t.Fatalf("Find = %q", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tbl := New(100, 0)
+	for i := 0; i < 1000; i++ {
+		tbl.Enter(fmt.Sprintf("key%d", i), nil)
+	}
+	for i := 0; i < 1000; i += 2 {
+		if !tbl.Delete(fmt.Sprintf("key%d", i)) {
+			t.Fatalf("Delete %d failed", i)
+		}
+	}
+	if tbl.Len() != 500 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if tbl.Delete("key0") {
+		t.Fatal("double delete succeeded")
+	}
+	for i := 1; i < 1000; i += 2 {
+		if _, ok := tbl.Find(fmt.Sprintf("key%d", i)); !ok {
+			t.Fatalf("kept key%d lost", i)
+		}
+	}
+}
+
+func TestModelEquivalence(t *testing.T) {
+	tbl := New(4, 3)
+	rng := rand.New(rand.NewSource(17))
+	model := map[string]string{}
+	for op := 0; op < 10000; op++ {
+		k := fmt.Sprintf("k%d", rng.Intn(700))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("v%d", op)
+			tbl.Enter(k, []byte(v))
+			model[k] = v
+		case 2:
+			ok := tbl.Delete(k)
+			if _, in := model[k]; in != ok {
+				t.Fatalf("op %d: Delete(%q) = %v, model %v", op, k, ok, in)
+			}
+			delete(model, k)
+		}
+		if tbl.Len() != len(model) {
+			t.Fatalf("op %d: Len = %d, model %d", op, tbl.Len(), len(model))
+		}
+	}
+	seen := 0
+	tbl.ForEach(func(k string, v []byte) bool {
+		want, ok := model[k]
+		if !ok || want != string(v) {
+			t.Fatalf("ForEach saw %q=%q, model %q,%v", k, v, want, ok)
+		}
+		seen++
+		return true
+	})
+	if seen != len(model) {
+		t.Fatalf("ForEach visited %d, model %d", seen, len(model))
+	}
+}
+
+func TestSegmentedDirectoryGrowth(t *testing.T) {
+	tbl := New(1, 1)
+	for i := 0; i < 3000; i++ {
+		tbl.Enter(fmt.Sprintf("key%d", i), nil)
+	}
+	if tbl.Buckets() <= segmentSize {
+		t.Fatalf("table with ffactor 1 and 3000 keys has only %d buckets", tbl.Buckets())
+	}
+	if len(tbl.directory) < 2 {
+		t.Fatalf("directory never grew past one segment (%d buckets)", tbl.Buckets())
+	}
+}

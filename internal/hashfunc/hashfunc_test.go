@@ -1,0 +1,176 @@
+package hashfunc
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func allFuncs() map[string]Func { return ByName }
+
+func TestDeterministic(t *testing.T) {
+	for name, f := range allFuncs() {
+		t.Run(name, func(t *testing.T) {
+			key := []byte("the quick brown fox")
+			a, b := f(key), f(key)
+			if a != b {
+				t.Fatalf("two calls disagree: %#x vs %#x", a, b)
+			}
+		})
+	}
+}
+
+func TestEmptyAndShortKeys(t *testing.T) {
+	for name, f := range allFuncs() {
+		t.Run(name, func(t *testing.T) {
+			// Must not panic and must distinguish small inputs at least
+			// sometimes.
+			_ = f(nil)
+			_ = f([]byte{})
+			if f([]byte{0}) == f([]byte{0, 0}) && f([]byte{1}) == f([]byte{1, 1}) && f([]byte{2}) == f([]byte{2, 2}) {
+				t.Fatalf("%s conflates length-1 and length-2 keys systematically", name)
+			}
+		})
+	}
+}
+
+// TestBitRandomizing checks the paper's requirement: nearly identical
+// keys (here, keys differing in a single byte) must get radically
+// different hash values, so they do not cluster in one bucket when only
+// a few bits of the hash are revealed.
+func TestBitRandomizing(t *testing.T) {
+	// Division and Knuth-multiplicative are used only by the hsearch
+	// baseline, which reduces hashes modulo a prime table size rather
+	// than masking low bits; the paper does not claim they bit-randomize.
+	randomizing := []string{"default", "sdbm", "dbm", "fnv1a"}
+	for _, name := range randomizing {
+		f := ByName[name]
+		t.Run(name, func(t *testing.T) {
+			const mask = 63 // 64 buckets
+			for pos := 0; pos < 3; pos++ {
+				counts := make(map[uint32]int)
+				maxCount := 0
+				base := []byte("nearly-identical")
+				for c := 0; c < 256; c++ {
+					k := append([]byte(nil), base...)
+					k[4+pos*4] = byte(c)
+					b := f(k) & mask
+					counts[b]++
+					if counts[b] > maxCount {
+						maxCount = counts[b]
+					}
+				}
+				// 256 keys over 64 buckets: a bit-randomizing hash hits
+				// many buckets and never funnels a large share into one.
+				if len(counts) < 24 {
+					t.Fatalf("pos %d: only %d/64 buckets hit by 256 single-byte variants", pos, len(counts))
+				}
+				if maxCount > 64 {
+					t.Fatalf("pos %d: %d of 256 single-byte variants share one bucket", pos, maxCount)
+				}
+			}
+		})
+	}
+}
+
+func TestCollisionRateOnWords(t *testing.T) {
+	for _, name := range []string{"default", "sdbm", "fnv1a", "knuth"} {
+		f := ByName[name]
+		t.Run(name, func(t *testing.T) {
+			const n = 20000
+			seen := make(map[uint32]int)
+			collisions := 0
+			for i := 0; i < n; i++ {
+				h := f([]byte(fmt.Sprintf("word%dsuffix", i*7)))
+				if seen[h] > 0 {
+					collisions++
+				}
+				seen[h]++
+			}
+			// Birthday bound: expected full-32-bit collisions for 20k keys
+			// is ~0.05; allow a generous margin.
+			if collisions > 10 {
+				t.Fatalf("%d full-width collisions across %d keys", collisions, n)
+			}
+		})
+	}
+}
+
+func TestDefaultMatchesPlainRecurrence(t *testing.T) {
+	// The unrolled loop must equal the plain per-byte recurrence.
+	plain := func(key []byte) uint32 {
+		var h uint32
+		for _, c := range key {
+			h = 0x63c63cd9*h + 0x9c39c33d + uint32(c)
+		}
+		return h
+	}
+	f := func(key []byte) bool { return Default(key) == plain(key) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSDBMMatches65599Recurrence(t *testing.T) {
+	// The shift form is exactly h*65599 + c.
+	plain := func(key []byte) uint32 {
+		var h uint32
+		for _, c := range key {
+			h = h*65599 + uint32(c)
+		}
+		return h
+	}
+	f := func(key []byte) bool { return SDBM(key) == plain(key) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFunctionsDisagree(t *testing.T) {
+	// The registry functions must actually be different functions (the
+	// check-hash mechanism depends on it).
+	key := CheckKey
+	vals := make(map[uint32][]string)
+	for name, f := range allFuncs() {
+		h := f(key)
+		vals[h] = append(vals[h], name)
+	}
+	if len(vals) < len(allFuncs()) {
+		t.Fatalf("some functions coincide on CheckKey: %v", vals)
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	// Flipping one input bit should flip a substantial fraction of
+	// output bits on average (weak avalanche, enough to catch mistakes).
+	for _, name := range []string{"default", "fnv1a", "knuth"} {
+		f := ByName[name]
+		t.Run(name, func(t *testing.T) {
+			base := []byte("avalanche-test-key")
+			total := 0.0
+			samples := 0
+			for i := range base {
+				for bit := 0; bit < 8; bit++ {
+					mod := append([]byte(nil), base...)
+					mod[i] ^= 1 << bit
+					diff := f(base) ^ f(mod)
+					total += float64(popcount(diff))
+					samples++
+				}
+			}
+			avg := total / float64(samples)
+			if avg < 4 || math.IsNaN(avg) {
+				t.Fatalf("average flipped output bits = %.2f, want >= 4", avg)
+			}
+		})
+	}
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

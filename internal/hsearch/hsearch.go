@@ -1,0 +1,410 @@
+// Package hsearch is a clean-room Go port of the System V hsearch(3)
+// routines as the paper describes them: a fixed-size, memory-resident
+// hash table created with an element-count estimate, using Knuth's
+// multiplicative hashing for the primary bucket address and a secondary
+// multiplicative hash for the probe interval (double hashing). If no
+// empty bucket is found an insertion fails with a "table full" condition.
+//
+// The AT&T compile-time options are reproduced as runtime options:
+//
+//	DIV      — division hashing with linear probing
+//	BRENT    — Brent's insertion-time rearrangement [BRE73], shortening
+//	           long probe sequences by lengthening short ones
+//	CHAINED  — linked-list collision resolution, optionally with
+//	           SORTUP/SORTDOWN chain ordering
+//
+// The port keeps hsearch's documented shortcomings, which the paper's
+// comparison depends on: one fixed-size table, inserts fail when it
+// fills, and nothing can be stored to disk.
+package hsearch
+
+import (
+	"errors"
+
+	"unixhash/internal/hashfunc"
+)
+
+// Errors returned by table operations.
+var (
+	ErrTableFull = errors.New("hsearch: table full")
+	ErrNotFound  = errors.New("hsearch: key not found")
+)
+
+// Method selects the collision-resolution strategy.
+type Method int
+
+// Collision-resolution strategies (the AT&T compile options).
+const (
+	DoubleHash Method = iota // default: multiplicative hash, secondary probe interval
+	Div                      // "DIV": division hash, linear probing
+	Chained                  // "CHAINED": linked lists
+)
+
+// ChainOrder orders chains in Chained mode.
+type ChainOrder int
+
+// Chain orderings ("SORTUP"/"SORTDOWN"); Unsorted prepends, the default.
+const (
+	Unsorted ChainOrder = iota
+	SortUp
+	SortDown
+)
+
+// Options configures a Table beyond the element-count estimate.
+type Options struct {
+	Method Method
+	// Brent enables Brent's rearrangement (open-addressing methods only).
+	Brent bool
+	// Order sorts chains in Chained mode.
+	Order ChainOrder
+	// Threshold is the probe-chain length beyond which Brent's
+	// rearrangement kicks in; Brent suggests 2 (the default).
+	Threshold int
+	// Hash overrides the primary hash function — the AT&T "USCR"
+	// compile option ("users may specify their own hash function"),
+	// exposed at runtime.
+	Hash hashfunc.Func
+}
+
+type slot struct {
+	key  string
+	data []byte
+	used bool
+}
+
+type chainNode struct {
+	key  string
+	data []byte
+	next *chainNode
+}
+
+// Table is a fixed-size hsearch hash table.
+type Table struct {
+	opts  Options
+	size  int
+	count int
+
+	slots  []slot       // open addressing
+	chains []*chainNode // chained
+
+	// Probes counts every slot inspection, for the comparison harness.
+	Probes int64
+}
+
+// New creates a table sized for about nelem elements. As in hsearch, the
+// size is fixed: for open addressing the table holds at most its size and
+// insertion beyond that fails. The size is rounded up to a prime so the
+// double-hashing probe interval is coprime with it.
+func New(nelem int, opts *Options) *Table {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 2
+	}
+	if nelem < 1 {
+		nelem = 1
+	}
+	t := &Table{opts: o, size: nextPrime(nelem)}
+	if o.Method == Chained {
+		t.chains = make([]*chainNode, t.size)
+	} else {
+		t.slots = make([]slot, t.size)
+	}
+	return t
+}
+
+// Size returns the (fixed) table size.
+func (t *Table) Size() int { return t.size }
+
+// Len returns the number of stored entries.
+func (t *Table) Len() int { return t.count }
+
+// primary returns the primary bucket index for key.
+func (t *Table) primary(key string) int {
+	if t.opts.Hash != nil {
+		return int(t.opts.Hash([]byte(key)) % uint32(t.size))
+	}
+	if t.opts.Method == Div {
+		return int(hashfunc.Division([]byte(key)) % uint32(t.size))
+	}
+	return int(hashfunc.KnuthMultiplicative([]byte(key)) % uint32(t.size))
+}
+
+// interval returns the probe interval for key: 1 for linear probing, a
+// secondary multiplicative hash otherwise. The table size is prime, so
+// any interval in [1, size) visits every slot.
+func (t *Table) interval(key string) int {
+	if t.opts.Method == Div {
+		return 1
+	}
+	if t.size <= 2 {
+		return 1
+	}
+	h2 := hashfunc.FNV1a([]byte(key)) // an independent mix for the interval
+	return 1 + int(h2%uint32(t.size-1))
+}
+
+// Find returns the data stored under key.
+func (t *Table) Find(key string) ([]byte, bool) {
+	if t.opts.Method == Chained {
+		for n := t.chains[t.primary(key)]; n != nil; n = n.next {
+			t.Probes++
+			if n.key == key {
+				return n.data, true
+			}
+			if t.opts.Order == SortUp && n.key > key {
+				return nil, false
+			}
+			if t.opts.Order == SortDown && n.key < key {
+				return nil, false
+			}
+		}
+		return nil, false
+	}
+	pos := t.primary(key)
+	step := t.interval(key)
+	for i := 0; i < t.size; i++ {
+		t.Probes++
+		s := &t.slots[pos]
+		if !s.used {
+			return nil, false
+		}
+		if s.key == key {
+			return s.data, true
+		}
+		pos = (pos + step) % t.size
+	}
+	return nil, false
+}
+
+// Enter stores data under key (hsearch's ENTER action). An existing
+// entry's data is replaced, matching hsearch's return-the-entry
+// behaviour. It fails with ErrTableFull when no slot is free.
+func (t *Table) Enter(key string, data []byte) error {
+	if t.opts.Method == Chained {
+		return t.enterChained(key, data)
+	}
+	return t.enterOpen(key, data)
+}
+
+func (t *Table) enterChained(key string, data []byte) error {
+	b := t.primary(key)
+	var prev *chainNode
+	for n := t.chains[b]; n != nil; n = n.next {
+		t.Probes++
+		if n.key == key {
+			n.data = data
+			return nil
+		}
+		if t.opts.Order == SortUp && n.key > key {
+			break
+		}
+		if t.opts.Order == SortDown && n.key < key {
+			break
+		}
+		prev = n
+	}
+	node := &chainNode{key: key, data: data}
+	switch {
+	case t.opts.Order == Unsorted || prev == nil:
+		// By default new entries go at the head of the chain; a sorted
+		// insertion before the first node also lands at the head.
+		node.next = t.chains[b]
+		t.chains[b] = node
+	default:
+		node.next = prev.next
+		prev.next = node
+	}
+	t.count++
+	return nil
+}
+
+func (t *Table) enterOpen(key string, data []byte) error {
+	pos := t.primary(key)
+	step := t.interval(key)
+	probeSeq := make([]int, 0, 8)
+	for i := 0; i < t.size; i++ {
+		t.Probes++
+		s := &t.slots[pos]
+		if !s.used {
+			if t.opts.Brent && i > t.opts.Threshold {
+				if t.brentRearrange(probeSeq, i, key, data) {
+					t.count++
+					return nil
+				}
+			}
+			t.slots[pos] = slot{key: key, data: data, used: true}
+			t.count++
+			return nil
+		}
+		if s.key == key {
+			s.data = data
+			return nil
+		}
+		probeSeq = append(probeSeq, pos)
+		pos = (pos + step) % t.size
+	}
+	return ErrTableFull
+}
+
+// brentRearrange attempts Brent's improvement: instead of placing the new
+// key at probe depth d, move a colliding key (one appearing earlier in
+// the new key's probe sequence) one or more steps along its own sequence
+// to a free slot, if the total probe cost drops. Returns true if the new
+// key was placed by rearrangement.
+func (t *Table) brentRearrange(probeSeq []int, d int, key string, data []byte) bool {
+	bestCost := d // cost of simply placing the new key at depth d
+	bestI, bestTarget := -1, -1
+	for i, pos := range probeSeq {
+		occ := t.slots[pos]
+		step := t.interval(occ.key)
+		// Try moving the occupant up to (bestCost - i - 1) further steps.
+		p := pos
+		for j := 1; i+j < bestCost; j++ {
+			p = (p + step) % t.size
+			t.Probes++
+			if !t.slots[p].used {
+				bestCost = i + j
+				bestI, bestTarget = i, p
+				break
+			}
+			if t.slots[p].key == key {
+				break // never hop over the key being inserted
+			}
+		}
+	}
+	if bestI < 0 {
+		return false
+	}
+	from := probeSeq[bestI]
+	t.slots[bestTarget] = t.slots[from]
+	t.slots[from] = slot{key: key, data: data, used: true}
+	return true
+}
+
+// Delete removes key. (System V hsearch had no delete; it is provided for
+// the test harness and marked as an extension. In open addressing the
+// slot is re-filled by re-inserting the cluster that follows it, keeping
+// probe sequences intact.)
+func (t *Table) Delete(key string) error {
+	if t.opts.Method == Chained {
+		b := t.primary(key)
+		var prev *chainNode
+		for n := t.chains[b]; n != nil; n = n.next {
+			if n.key == key {
+				if prev == nil {
+					t.chains[b] = n.next
+				} else {
+					prev.next = n.next
+				}
+				t.count--
+				return nil
+			}
+			prev = n
+		}
+		return ErrNotFound
+	}
+	// Open addressing: find the slot, vacate it, then re-enter every
+	// entry whose probe path could have crossed it. With double hashing
+	// the only safe general approach is to re-insert all entries that
+	// follow in any cluster; simplest correct form: rebuild.
+	pos := t.primary(key)
+	step := t.interval(key)
+	found := -1
+	for i := 0; i < t.size; i++ {
+		s := &t.slots[pos]
+		if !s.used {
+			break
+		}
+		if s.key == key {
+			found = pos
+			break
+		}
+		pos = (pos + step) % t.size
+	}
+	if found < 0 {
+		return ErrNotFound
+	}
+	old := t.slots
+	t.slots = make([]slot, t.size)
+	t.count = 0
+	for i, s := range old {
+		if !s.used || i == found {
+			continue
+		}
+		if err := t.enterOpen(s.key, s.data); err != nil {
+			// Cannot happen: we are re-inserting fewer entries.
+			t.slots = old
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEach visits every entry.
+func (t *Table) ForEach(fn func(key string, data []byte) bool) {
+	if t.opts.Method == Chained {
+		for _, c := range t.chains {
+			for n := c; n != nil; n = n.next {
+				if !fn(n.key, n.data) {
+					return
+				}
+			}
+		}
+		return
+	}
+	for i := range t.slots {
+		if t.slots[i].used {
+			if !fn(t.slots[i].key, t.slots[i].data) {
+				return
+			}
+		}
+	}
+}
+
+// MaxChain returns the longest chain (Chained) or 0; used by tests.
+func (t *Table) MaxChain() int {
+	maxLen := 0
+	for _, c := range t.chains {
+		n := 0
+		for node := c; node != nil; node = node.next {
+			n++
+		}
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	return maxLen
+}
+
+// nextPrime returns the smallest prime >= n.
+func nextPrime(n int) int {
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for ; ; n += 2 {
+		if isPrime(n) {
+			return n
+		}
+	}
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := 3; d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

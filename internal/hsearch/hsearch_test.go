@@ -1,0 +1,305 @@
+package hsearch
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allMethods() map[string]*Options {
+	return map[string]*Options{
+		"double":         {Method: DoubleHash},
+		"double+brent":   {Method: DoubleHash, Brent: true},
+		"div":            {Method: Div},
+		"div+brent":      {Method: Div, Brent: true},
+		"chained":        {Method: Chained},
+		"chained+sortup": {Method: Chained, Order: SortUp},
+		"chained+sortdn": {Method: Chained, Order: SortDown},
+	}
+}
+
+func TestEnterFind(t *testing.T) {
+	for name, opts := range allMethods() {
+		t.Run(name, func(t *testing.T) {
+			tbl := New(100, opts)
+			for i := 0; i < 50; i++ {
+				if err := tbl.Enter(fmt.Sprintf("key%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Fatalf("Enter %d: %v", i, err)
+				}
+			}
+			if tbl.Len() != 50 {
+				t.Fatalf("Len = %d", tbl.Len())
+			}
+			for i := 0; i < 50; i++ {
+				got, ok := tbl.Find(fmt.Sprintf("key%d", i))
+				if !ok || string(got) != fmt.Sprintf("v%d", i) {
+					t.Fatalf("Find %d = %q, %v", i, got, ok)
+				}
+			}
+			if _, ok := tbl.Find("missing"); ok {
+				t.Fatal("found missing key")
+			}
+		})
+	}
+}
+
+func TestEnterReplaces(t *testing.T) {
+	for name, opts := range allMethods() {
+		t.Run(name, func(t *testing.T) {
+			tbl := New(10, opts)
+			tbl.Enter("k", []byte("v1"))
+			tbl.Enter("k", []byte("v2"))
+			if tbl.Len() != 1 {
+				t.Fatalf("Len = %d", tbl.Len())
+			}
+			got, _ := tbl.Find("k")
+			if string(got) != "v2" {
+				t.Fatalf("Find = %q", got)
+			}
+		})
+	}
+}
+
+func TestTableFull(t *testing.T) {
+	// The paper: "If no bucket is found, an insertion fails with a
+	// 'table full' condition." Open addressing only; chains grow forever.
+	for _, name := range []string{"double", "double+brent", "div", "div+brent"} {
+		opts := allMethods()[name]
+		t.Run(name, func(t *testing.T) {
+			tbl := New(10, opts)
+			size := tbl.Size()
+			var fullErr error
+			for i := 0; i < size*2; i++ {
+				if err := tbl.Enter(fmt.Sprintf("key%d", i), []byte("v")); err != nil {
+					fullErr = err
+					break
+				}
+			}
+			if !errors.Is(fullErr, ErrTableFull) {
+				t.Fatalf("overfilling = %v, want ErrTableFull", fullErr)
+			}
+			if tbl.Len() != size {
+				t.Fatalf("Len = %d, want %d (size)", tbl.Len(), size)
+			}
+			// Everything entered before the failure is still findable.
+			for i := 0; i < tbl.Len(); i++ {
+				if _, ok := tbl.Find(fmt.Sprintf("key%d", i)); !ok {
+					t.Fatalf("key%d lost after table filled", i)
+				}
+			}
+		})
+	}
+}
+
+func TestChainedNeverFull(t *testing.T) {
+	tbl := New(4, &Options{Method: Chained})
+	for i := 0; i < 1000; i++ {
+		if err := tbl.Enter(fmt.Sprintf("key%d", i), []byte("v")); err != nil {
+			t.Fatalf("chained Enter %d: %v", i, err)
+		}
+	}
+	if tbl.Len() != 1000 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestSortedChains(t *testing.T) {
+	for _, order := range []ChainOrder{SortUp, SortDown} {
+		tbl := New(1, &Options{Method: Chained, Order: order}) // one bucket: everything chains
+		keys := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+		for _, k := range keys {
+			if err := tbl.Enter(k, []byte(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got []string
+		tbl.ForEach(func(k string, _ []byte) bool {
+			got = append(got, k)
+			return true
+		})
+		for i := 1; i < len(got); i++ {
+			if order == SortUp && got[i-1] > got[i] {
+				t.Fatalf("SortUp chain out of order: %v", got)
+			}
+			if order == SortDown && got[i-1] < got[i] {
+				t.Fatalf("SortDown chain out of order: %v", got)
+			}
+		}
+		// All keys present.
+		for _, k := range keys {
+			if _, ok := tbl.Find(k); !ok {
+				t.Fatalf("%q lost in sorted chain", k)
+			}
+		}
+	}
+}
+
+func TestBrentReducesRetrievalProbes(t *testing.T) {
+	// Brent's rearrangement exists to shorten retrieval probe sequences
+	// on loaded tables. Compare total Find probes with and without it.
+	keys := make([]string, 0, 900)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 900; i++ {
+		keys = append(keys, fmt.Sprintf("key-%d-%d", i, rng.Int()))
+	}
+
+	probes := func(brent bool) int64 {
+		tbl := New(1000, &Options{Method: DoubleHash, Brent: brent})
+		for _, k := range keys {
+			if err := tbl.Enter(k, []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tbl.Probes = 0
+		for _, k := range keys {
+			if _, ok := tbl.Find(k); !ok {
+				t.Fatalf("%q lost", k)
+			}
+		}
+		return tbl.Probes
+	}
+
+	plain := probes(false)
+	brent := probes(true)
+	if brent > plain {
+		t.Fatalf("Brent increased retrieval probes: %d > %d", brent, plain)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	for name, opts := range allMethods() {
+		t.Run(name, func(t *testing.T) {
+			tbl := New(200, opts)
+			for i := 0; i < 100; i++ {
+				tbl.Enter(fmt.Sprintf("key%d", i), []byte("v"))
+			}
+			for i := 0; i < 100; i += 2 {
+				if err := tbl.Delete(fmt.Sprintf("key%d", i)); err != nil {
+					t.Fatalf("Delete %d: %v", i, err)
+				}
+			}
+			if tbl.Len() != 50 {
+				t.Fatalf("Len = %d", tbl.Len())
+			}
+			for i := 0; i < 100; i++ {
+				_, ok := tbl.Find(fmt.Sprintf("key%d", i))
+				if i%2 == 0 && ok {
+					t.Fatalf("deleted key%d still found", i)
+				}
+				if i%2 == 1 && !ok {
+					t.Fatalf("kept key%d lost", i)
+				}
+			}
+			if err := tbl.Delete("key0"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("double delete = %v", err)
+			}
+		})
+	}
+}
+
+func TestModelEquivalence(t *testing.T) {
+	for name, opts := range allMethods() {
+		t.Run(name, func(t *testing.T) {
+			tbl := New(500, opts)
+			rng := rand.New(rand.NewSource(21))
+			model := map[string]string{}
+			for op := 0; op < 3000; op++ {
+				k := fmt.Sprintf("k%d", rng.Intn(200))
+				switch rng.Intn(3) {
+				case 0, 1:
+					v := fmt.Sprintf("v%d", op)
+					if err := tbl.Enter(k, []byte(v)); err != nil {
+						t.Fatalf("op %d: %v", op, err)
+					}
+					model[k] = v
+				case 2:
+					err := tbl.Delete(k)
+					if _, ok := model[k]; ok && err != nil {
+						t.Fatalf("op %d: Delete: %v", op, err)
+					}
+					delete(model, k)
+				}
+				if tbl.Len() != len(model) {
+					t.Fatalf("op %d: Len=%d model=%d", op, tbl.Len(), len(model))
+				}
+			}
+			for k, v := range model {
+				got, ok := tbl.Find(k)
+				if !ok || string(got) != v {
+					t.Fatalf("Find(%q) = %q,%v want %q", k, got, ok, v)
+				}
+			}
+		})
+	}
+}
+
+func TestUserHashFunction(t *testing.T) {
+	// The "USCR" option: a user hash function drives placement. A
+	// constant function forces every key through one probe chain —
+	// observable as a probe count far above the default's.
+	calls := 0
+	constant := func([]byte) uint32 { calls++; return 7 }
+	tbl := New(100, &Options{Hash: constant})
+	for i := 0; i < 50; i++ {
+		if err := tbl.Enter(fmt.Sprintf("key%d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls == 0 {
+		t.Fatal("user hash function never called")
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok := tbl.Find(fmt.Sprintf("key%d", i)); !ok {
+			t.Fatalf("key%d lost under user hash", i)
+		}
+	}
+	def := New(100, nil)
+	def.Probes = 0
+	for i := 0; i < 50; i++ {
+		def.Enter(fmt.Sprintf("key%d", i), nil)
+	}
+	if tbl.Probes <= def.Probes {
+		t.Fatalf("constant hash probes (%d) not above default (%d) — user hash ignored?",
+			tbl.Probes, def.Probes)
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	cases := map[int]int{1: 2, 2: 2, 3: 3, 4: 5, 10: 11, 100: 101, 1000: 1009}
+	for in, want := range cases {
+		if got := nextPrime(in); got != want {
+			t.Errorf("nextPrime(%d) = %d, want %d", in, got, want)
+		}
+	}
+	f := func(n uint16) bool {
+		p := nextPrime(int(n))
+		return p >= int(n) && isPrime(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	for name, opts := range allMethods() {
+		t.Run(name, func(t *testing.T) {
+			tbl := New(100, opts)
+			want := map[string]bool{}
+			for i := 0; i < 60; i++ {
+				k := fmt.Sprintf("key%d", i)
+				tbl.Enter(k, []byte("v"))
+				want[k] = true
+			}
+			got := map[string]bool{}
+			tbl.ForEach(func(k string, _ []byte) bool {
+				got[k] = true
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("ForEach visited %d, want %d", len(got), len(want))
+			}
+		})
+	}
+}

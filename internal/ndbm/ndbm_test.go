@@ -1,0 +1,249 @@
+package ndbm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"unixhash/internal/hashfunc"
+)
+
+func mustOpen(t *testing.T, path string, opts *Options) *DB {
+	t.Helper()
+	db, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+func TestStoreFetch(t *testing.T) {
+	db := mustOpen(t, "", nil)
+	defer db.Close()
+	if err := db.Store([]byte("key"), []byte("value"), true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Fetch([]byte("key"))
+	if err != nil || string(got) != "value" {
+		t.Fatalf("Fetch = %q, %v", got, err)
+	}
+	if _, err := db.Fetch([]byte("nope")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Fetch missing = %v", err)
+	}
+}
+
+func TestInsertVsReplace(t *testing.T) {
+	db := mustOpen(t, "", nil)
+	defer db.Close()
+	if err := db.Store([]byte("k"), []byte("v1"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Store([]byte("k"), []byte("v2"), false); !errors.Is(err, ErrKeyExists) {
+		t.Fatalf("insert over existing = %v", err)
+	}
+	if err := db.Store([]byte("k"), []byte("v3"), true); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := db.Fetch([]byte("k"))
+	if string(got) != "v3" {
+		t.Fatalf("Fetch = %q", got)
+	}
+}
+
+func TestManyKeysSplitting(t *testing.T) {
+	db := mustOpen(t, "", &Options{PageSize: 256})
+	defer db.Close()
+	const n = 3000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		if err := db.Store(k, []byte(fmt.Sprintf("val-%d", i)), true); err != nil {
+			t.Fatalf("Store %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		got, err := db.Fetch(k)
+		if err != nil || string(got) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Fetch %d = %q, %v", i, got, err)
+		}
+	}
+	cnt, err := db.Len()
+	if err != nil || cnt != n {
+		t.Fatalf("Len = %d, %v", cnt, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := mustOpen(t, "", &Options{PageSize: 256})
+	defer db.Close()
+	for i := 0; i < 500; i++ {
+		db.Store([]byte(fmt.Sprintf("k%d", i)), []byte("v"), true)
+	}
+	for i := 0; i < 500; i += 2 {
+		if err := db.Delete([]byte(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatalf("Delete %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		_, err := db.Fetch([]byte(fmt.Sprintf("k%d", i)))
+		if i%2 == 0 && !errors.Is(err, ErrNotFound) {
+			t.Fatalf("deleted key %d still present: %v", i, err)
+		}
+		if i%2 == 1 && err != nil {
+			t.Fatalf("kept key %d lost: %v", i, err)
+		}
+	}
+	if err := db.Delete([]byte("k0")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestTooBigRejected(t *testing.T) {
+	// The paper: "dbm cannot store data items whose total key and data
+	// size exceed the page size".
+	db := mustOpen(t, "", &Options{PageSize: 256})
+	defer db.Close()
+	big := bytes.Repeat([]byte("x"), 300)
+	if err := db.Store([]byte("k"), big, true); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("oversized store = %v, want ErrTooBig", err)
+	}
+	// Just-fits is accepted.
+	ok := bytes.Repeat([]byte("y"), 256-4-4-1)
+	if err := db.Store([]byte("k"), ok, true); err != nil {
+		t.Fatalf("max-size store: %v", err)
+	}
+}
+
+func TestCollidingKeysOverflowFails(t *testing.T) {
+	// The paper: "if two or more keys produce the same hash value and
+	// their total size exceeds the page size, the table cannot store all
+	// the colliding keys". Identical hashes cannot be split apart, so
+	// enough same-hash keys must eventually fail.
+	db := mustOpen(t, "", &Options{PageSize: 256})
+	defer db.Close()
+
+	// Splitting can reveal at most maxSplitBits hash bits, so two keys
+	// agreeing on their low 30 bits can never be separated. Find such a
+	// pair by birthday collision.
+	const mask = 1<<maxSplitBits - 1
+	seen := make(map[uint32][]byte)
+	var colliders [][]byte
+	for i := 0; i < 2_000_000; i++ {
+		k := []byte(fmt.Sprintf("collide-%d", i))
+		h := hash32(k) & mask
+		if prev, ok := seen[h]; ok {
+			colliders = [][]byte{prev, k}
+			break
+		}
+		seen[h] = k
+	}
+	if colliders == nil {
+		t.Skip("no 30-bit collision found in 2M keys")
+	}
+	// Each pair is ~124 bytes; two of them exceed the 256-byte page.
+	var failed bool
+	for _, k := range colliders {
+		if err := db.Store(k, bytes.Repeat([]byte("v"), 120), true); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("colliding keys exceeding a page were all stored")
+	}
+}
+
+// hash32 mirrors the package's hash for collision construction.
+func hash32(k []byte) uint32 { return hashfunc.DBM(k) }
+
+func TestPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db")
+	db := mustOpen(t, path, &Options{PageSize: 512})
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := db.Store([]byte(fmt.Sprintf("key%d", i)), []byte(fmt.Sprintf("val%d", i)), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db = mustOpen(t, path, &Options{PageSize: 512})
+	defer db.Close()
+	for i := 0; i < n; i++ {
+		got, err := db.Fetch([]byte(fmt.Sprintf("key%d", i)))
+		if err != nil || string(got) != fmt.Sprintf("val%d", i) {
+			t.Fatalf("Fetch %d after reopen = %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestCursor(t *testing.T) {
+	db := mustOpen(t, "", &Options{PageSize: 256})
+	defer db.Close()
+	want := map[string]bool{}
+	for i := 0; i < 800; i++ {
+		k := fmt.Sprintf("key%d", i)
+		if err := db.Store([]byte(k), []byte("v"), true); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = true
+	}
+	got := map[string]bool{}
+	c := db.First()
+	for {
+		k, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == nil {
+			break
+		}
+		if got[string(k)] {
+			t.Fatalf("cursor repeated %q", k)
+		}
+		got[string(k)] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor saw %d keys, want %d", len(got), len(want))
+	}
+}
+
+func TestModelEquivalence(t *testing.T) {
+	db := mustOpen(t, "", &Options{PageSize: 512})
+	defer db.Close()
+	rng := rand.New(rand.NewSource(3))
+	model := map[string]string{}
+	for op := 0; op < 4000; op++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(300))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("v%d", op)
+			if err := db.Store([]byte(k), []byte(v), true); err != nil {
+				t.Fatalf("op %d: Store: %v", op, err)
+			}
+			model[k] = v
+		case 2:
+			err := db.Delete([]byte(k))
+			if _, ok := model[k]; ok && err != nil {
+				t.Fatalf("op %d: Delete: %v", op, err)
+			}
+			delete(model, k)
+		}
+	}
+	for k, v := range model {
+		got, err := db.Fetch([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("Fetch(%q) = %q, %v; want %q", k, got, err, v)
+		}
+	}
+	n, err := db.Len()
+	if err != nil || n != len(model) {
+		t.Fatalf("Len = %d, %v; model %d", n, err, len(model))
+	}
+}

@@ -1,0 +1,86 @@
+package pagefile
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDefaultCostModel(t *testing.T) {
+	c := DefaultCostModel()
+	if c.ReadCost <= 0 || c.WriteCost <= 0 {
+		t.Fatalf("default cost model = %+v", c)
+	}
+	if c.Sleep {
+		t.Fatal("default cost model sleeps")
+	}
+}
+
+func TestSleepingCostModel(t *testing.T) {
+	// With Sleep set, operations really take at least their cost.
+	s := NewMem(64, CostModel{WriteCost: 5 * time.Millisecond, Sleep: true})
+	start := time.Now()
+	buf := make([]byte, 64)
+	for i := uint32(0); i < 4; i++ {
+		if err := s.WritePage(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("4 sleeping writes took %v, want >= 20ms", elapsed)
+	}
+	if got := s.Stats().Snapshot().IOTime; got != 20*time.Millisecond {
+		t.Fatalf("IOTime = %v", got)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := NewMem(64, CostModel{})
+	s.WritePage(0, make([]byte, 64))
+	out := s.Stats().Snapshot().String()
+	if !strings.Contains(out, "writes=1") {
+		t.Fatalf("String = %q", out)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{OpRead: "read", OpWrite: "write", OpSync: "sync", Op(9): "unknown"}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
+func TestInvalidPageSize(t *testing.T) {
+	if _, err := OpenFile("/tmp/never-created.pg", 0, CostModel{}); err == nil {
+		t.Fatal("OpenFile with page size 0 succeeded")
+	}
+	if _, err := OpenFile("/tmp/never-created.pg", -4, CostModel{}); err == nil {
+		t.Fatal("OpenFile with negative page size succeeded")
+	}
+}
+
+func TestFaultStorePassthroughMethods(t *testing.T) {
+	inner := NewMem(128, CostModel{})
+	f := NewFault(inner)
+	if f.PageSize() != 128 {
+		t.Fatalf("PageSize = %d", f.PageSize())
+	}
+	buf := make([]byte, 128)
+	if err := f.WritePage(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if f.NPages() != 4 {
+		t.Fatalf("NPages = %d", f.NPages())
+	}
+	if f.Stats() != inner.Stats() {
+		t.Fatal("Stats not passed through")
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

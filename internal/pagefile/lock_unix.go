@@ -1,0 +1,40 @@
+//go:build unix
+
+package pagefile
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+)
+
+// ErrLocked is returned when another process holds a conflicting lock.
+var ErrLocked = errors.New("pagefile: file is locked by another process")
+
+// Lock takes an advisory whole-file lock on the store's file: exclusive
+// for writers, shared for readers. It does not block; a conflicting
+// holder yields ErrLocked. The lock is released when the file is closed.
+//
+// This is the paper's "multi-user access could be incorporated
+// relatively easily" extension: many readers or one writer per table
+// file across processes.
+func (fs *FileStore) Lock(exclusive bool) error {
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	err := syscall.Flock(int(fs.f.Fd()), how|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return ErrLocked
+	}
+	if err != nil {
+		return fmt.Errorf("pagefile: flock: %w", err)
+	}
+	return nil
+}
+
+// Unlock drops the advisory lock before close (rarely needed: Close
+// releases it implicitly).
+func (fs *FileStore) Unlock() error {
+	return syscall.Flock(int(fs.f.Fd()), syscall.LOCK_UN)
+}

@@ -1,0 +1,498 @@
+// Package pagefile provides page-granular storage for the hashing package
+// and its disk-based baselines.
+//
+// The paper's system ran on a raw UNIX file over an HP7959S disk and
+// measured user/system/elapsed time with getrusage. This substrate
+// preserves what drives those measurements — the number of pages moved
+// between the buffer pool and the disk — by counting every page read,
+// write and sync, and by charging a configurable per-operation cost that
+// the benchmark harness reports as "system time". Stores may be backed by
+// a real file (FileStore) or by memory (MemStore), and a fault-injecting
+// wrapper (FaultStore) is provided for failure testing.
+package pagefile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrNotAllocated is returned by ReadPage when the requested page lies
+// entirely beyond the end of the store. Callers treat such pages as fresh
+// (all-zero) pages to be initialized.
+var ErrNotAllocated = errors.New("pagefile: page not allocated")
+
+// Store is a page-granular storage device. All pages have the same size,
+// fixed when the store is created. Implementations must be safe for
+// concurrent use by multiple goroutines.
+type Store interface {
+	// PageSize returns the fixed page size in bytes.
+	PageSize() int
+	// ReadPage fills buf (which must be PageSize bytes) with page pageno.
+	// It returns ErrNotAllocated if the page has never been written.
+	ReadPage(pageno uint32, buf []byte) error
+	// WritePage writes buf (PageSize bytes) as page pageno, extending the
+	// store if needed.
+	WritePage(pageno uint32, buf []byte) error
+	// NPages reports the current store length in pages.
+	NPages() uint32
+	// Sync forces written pages to stable storage.
+	Sync() error
+	// Close releases the store. For file-backed stores the file is synced
+	// and closed; the data remains on disk.
+	Close() error
+	// Stats returns the store's I/O accounting. The returned pointer is
+	// live: it keeps updating as the store is used.
+	Stats() *Stats
+}
+
+// CostModel assigns a simulated cost to each I/O operation, standing in
+// for the 1991 disk the paper measured. Costs accumulate in Stats.IOTime;
+// if Sleep is set the store also really sleeps, making wall-clock elapsed
+// time track the simulation (useful for demos, off for benchmarks).
+type CostModel struct {
+	ReadCost  time.Duration
+	WriteCost time.Duration
+	SyncCost  time.Duration
+	Sleep     bool
+}
+
+// DefaultCostModel approximates a late-1980s SCSI disk: dominated by
+// seek/rotation, identical for read and write at hash-page sizes.
+func DefaultCostModel() CostModel {
+	return CostModel{ReadCost: 20 * time.Millisecond, WriteCost: 20 * time.Millisecond, SyncCost: time.Millisecond}
+}
+
+// Stats counts the I/O a store has performed. All fields are protected by
+// mu; use the accessor methods from concurrent contexts.
+type Stats struct {
+	mu           sync.Mutex
+	Reads        int64
+	Writes       int64
+	Syncs        int64
+	BytesRead    int64
+	BytesWritten int64
+	IOTime       time.Duration // accumulated simulated cost
+	cost         CostModel
+}
+
+func (s *Stats) addRead(n int) {
+	s.mu.Lock()
+	s.Reads++
+	s.BytesRead += int64(n)
+	s.IOTime += s.cost.ReadCost
+	s.mu.Unlock()
+	if s.cost.Sleep && s.cost.ReadCost > 0 {
+		time.Sleep(s.cost.ReadCost)
+	}
+}
+
+func (s *Stats) addWrite(n int) {
+	s.mu.Lock()
+	s.Writes++
+	s.BytesWritten += int64(n)
+	s.IOTime += s.cost.WriteCost
+	s.mu.Unlock()
+	if s.cost.Sleep && s.cost.WriteCost > 0 {
+		time.Sleep(s.cost.WriteCost)
+	}
+}
+
+func (s *Stats) addSync() {
+	s.mu.Lock()
+	s.Syncs++
+	s.IOTime += s.cost.SyncCost
+	s.mu.Unlock()
+	if s.cost.Sleep && s.cost.SyncCost > 0 {
+		time.Sleep(s.cost.SyncCost)
+	}
+}
+
+// Snapshot returns a consistent copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StatsSnapshot{
+		Reads: s.Reads, Writes: s.Writes, Syncs: s.Syncs,
+		BytesRead: s.BytesRead, BytesWritten: s.BytesWritten, IOTime: s.IOTime,
+	}
+}
+
+// Reset zeroes the counters (the cost model is kept).
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Reads, s.Writes, s.Syncs = 0, 0, 0
+	s.BytesRead, s.BytesWritten = 0, 0
+	s.IOTime = 0
+}
+
+// StatsSnapshot is a point-in-time copy of a Stats.
+type StatsSnapshot struct {
+	Reads        int64
+	Writes       int64
+	Syncs        int64
+	BytesRead    int64
+	BytesWritten int64
+	IOTime       time.Duration
+}
+
+// Sub returns the component-wise difference s - o, for measuring the I/O
+// attributable to one phase of a benchmark.
+func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Reads: s.Reads - o.Reads, Writes: s.Writes - o.Writes, Syncs: s.Syncs - o.Syncs,
+		BytesRead: s.BytesRead - o.BytesRead, BytesWritten: s.BytesWritten - o.BytesWritten,
+		IOTime: s.IOTime - o.IOTime,
+	}
+}
+
+// Ops reports the total page operations in the snapshot.
+func (s StatsSnapshot) Ops() int64 { return s.Reads + s.Writes }
+
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("reads=%d writes=%d syncs=%d iotime=%v", s.Reads, s.Writes, s.Syncs, s.IOTime)
+}
+
+func validPageSize(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("pagefile: invalid page size %d", n)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// FileStore
+
+// FileStore is a Store backed by an operating-system file.
+type FileStore struct {
+	mu       sync.Mutex
+	f        *os.File
+	pagesize int
+	npages   uint32
+	stats    Stats
+	closed   bool
+}
+
+// OpenFile opens (creating if necessary) a file-backed store at path. An
+// existing file must have a length that is a multiple of pagesize.
+func OpenFile(path string, pagesize int, cost CostModel) (*FileStore, error) {
+	if err := validPageSize(pagesize); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi.Size()%int64(pagesize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("pagefile: %s: size %d is not a multiple of page size %d", path, fi.Size(), pagesize)
+	}
+	fs := &FileStore{f: f, pagesize: pagesize, npages: uint32(fi.Size() / int64(pagesize))}
+	fs.stats.cost = cost
+	return fs, nil
+}
+
+// PageSize implements Store.
+func (fs *FileStore) PageSize() int { return fs.pagesize }
+
+// NPages implements Store.
+func (fs *FileStore) NPages() uint32 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.npages
+}
+
+// Stats implements Store.
+func (fs *FileStore) Stats() *Stats { return &fs.stats }
+
+// ReadPage implements Store.
+func (fs *FileStore) ReadPage(pageno uint32, buf []byte) error {
+	if len(buf) != fs.pagesize {
+		return fmt.Errorf("pagefile: read buffer is %d bytes, want %d", len(buf), fs.pagesize)
+	}
+	fs.mu.Lock()
+	if fs.closed {
+		fs.mu.Unlock()
+		return os.ErrClosed
+	}
+	if pageno >= fs.npages {
+		fs.mu.Unlock()
+		return ErrNotAllocated
+	}
+	fs.mu.Unlock()
+	n, err := fs.f.ReadAt(buf, int64(pageno)*int64(fs.pagesize))
+	if err == io.EOF && n == fs.pagesize {
+		err = nil
+	}
+	if err != nil {
+		return fmt.Errorf("pagefile: read page %d: %w", pageno, err)
+	}
+	fs.stats.addRead(fs.pagesize)
+	return nil
+}
+
+// WritePage implements Store.
+func (fs *FileStore) WritePage(pageno uint32, buf []byte) error {
+	if len(buf) != fs.pagesize {
+		return fmt.Errorf("pagefile: write buffer is %d bytes, want %d", len(buf), fs.pagesize)
+	}
+	fs.mu.Lock()
+	if fs.closed {
+		fs.mu.Unlock()
+		return os.ErrClosed
+	}
+	fs.mu.Unlock()
+	if _, err := fs.f.WriteAt(buf, int64(pageno)*int64(fs.pagesize)); err != nil {
+		return fmt.Errorf("pagefile: write page %d: %w", pageno, err)
+	}
+	fs.mu.Lock()
+	if pageno >= fs.npages {
+		fs.npages = pageno + 1
+	}
+	fs.mu.Unlock()
+	fs.stats.addWrite(fs.pagesize)
+	return nil
+}
+
+// Sync implements Store.
+func (fs *FileStore) Sync() error {
+	fs.mu.Lock()
+	if fs.closed {
+		fs.mu.Unlock()
+		return os.ErrClosed
+	}
+	fs.mu.Unlock()
+	if err := fs.f.Sync(); err != nil {
+		return err
+	}
+	fs.stats.addSync()
+	return nil
+}
+
+// Close implements Store.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	if fs.closed {
+		fs.mu.Unlock()
+		return nil
+	}
+	fs.closed = true
+	fs.mu.Unlock()
+	return fs.f.Close()
+}
+
+// ---------------------------------------------------------------------------
+// MemStore
+
+// MemStore is a Store kept entirely in memory. It is used for pure
+// in-memory hash tables (the hsearch replacement mode) and for benchmarks
+// where the cost model, not a real disk, supplies the I/O cost.
+type MemStore struct {
+	mu       sync.Mutex
+	pages    map[uint32][]byte
+	pagesize int
+	npages   uint32
+	stats    Stats
+}
+
+// NewMem creates an empty in-memory store.
+func NewMem(pagesize int, cost CostModel) *MemStore {
+	ms := &MemStore{pages: make(map[uint32][]byte), pagesize: pagesize}
+	ms.stats.cost = cost
+	return ms
+}
+
+// PageSize implements Store.
+func (ms *MemStore) PageSize() int { return ms.pagesize }
+
+// NPages implements Store.
+func (ms *MemStore) NPages() uint32 {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.npages
+}
+
+// Stats implements Store.
+func (ms *MemStore) Stats() *Stats { return &ms.stats }
+
+// ReadPage implements Store.
+func (ms *MemStore) ReadPage(pageno uint32, buf []byte) error {
+	if len(buf) != ms.pagesize {
+		return fmt.Errorf("pagefile: read buffer is %d bytes, want %d", len(buf), ms.pagesize)
+	}
+	ms.mu.Lock()
+	p, ok := ms.pages[pageno]
+	ms.mu.Unlock()
+	if !ok {
+		return ErrNotAllocated
+	}
+	copy(buf, p)
+	ms.stats.addRead(ms.pagesize)
+	return nil
+}
+
+// WritePage implements Store.
+func (ms *MemStore) WritePage(pageno uint32, buf []byte) error {
+	if len(buf) != ms.pagesize {
+		return fmt.Errorf("pagefile: write buffer is %d bytes, want %d", len(buf), ms.pagesize)
+	}
+	ms.mu.Lock()
+	p, ok := ms.pages[pageno]
+	if !ok {
+		p = make([]byte, ms.pagesize)
+		ms.pages[pageno] = p
+	}
+	copy(p, buf)
+	if pageno >= ms.npages {
+		ms.npages = pageno + 1
+	}
+	ms.mu.Unlock()
+	ms.stats.addWrite(ms.pagesize)
+	return nil
+}
+
+// Sync implements Store.
+func (ms *MemStore) Sync() error {
+	ms.stats.addSync()
+	return nil
+}
+
+// Close implements Store.
+func (ms *MemStore) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// FaultStore
+
+// Op identifies a store operation for fault injection.
+type Op int
+
+// Operations that can be made to fail.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpSync
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	}
+	return "unknown"
+}
+
+// Fault describes one injected failure: the After'th occurrence (1-based)
+// of Op fails with Err. A Page of ^uint32(0) matches any page.
+type Fault struct {
+	Op    Op
+	After int64
+	Err   error
+	Page  uint32
+}
+
+// AnyPage matches every page number in a Fault.
+const AnyPage = ^uint32(0)
+
+// FaultStore wraps a Store, failing selected operations. It is only used
+// in tests and failure-injection benchmarks.
+type FaultStore struct {
+	Inner Store
+
+	mu     sync.Mutex
+	faults []Fault
+	counts map[Op]int64
+}
+
+// NewFault wraps inner with an empty fault set.
+func NewFault(inner Store) *FaultStore {
+	return &FaultStore{Inner: inner, counts: make(map[Op]int64)}
+}
+
+// Inject adds a fault to the set. Faults are permanent: once an
+// operation's count passes After, every matching operation fails.
+func (f *FaultStore) Inject(fl Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = append(f.faults, fl)
+}
+
+// Clear removes all injected faults.
+func (f *FaultStore) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = nil
+}
+
+func (f *FaultStore) check(op Op, page uint32) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	n := f.counts[op]
+	for _, fl := range f.faults {
+		if fl.Op != op {
+			continue
+		}
+		if fl.Page != AnyPage && fl.Page != page {
+			continue
+		}
+		if n >= fl.After {
+			return fl.Err
+		}
+	}
+	return nil
+}
+
+// PageSize implements Store.
+func (f *FaultStore) PageSize() int { return f.Inner.PageSize() }
+
+// NPages implements Store.
+func (f *FaultStore) NPages() uint32 { return f.Inner.NPages() }
+
+// Stats implements Store.
+func (f *FaultStore) Stats() *Stats { return f.Inner.Stats() }
+
+// ReadPage implements Store.
+func (f *FaultStore) ReadPage(pageno uint32, buf []byte) error {
+	if err := f.check(OpRead, pageno); err != nil {
+		return err
+	}
+	return f.Inner.ReadPage(pageno, buf)
+}
+
+// WritePage implements Store.
+func (f *FaultStore) WritePage(pageno uint32, buf []byte) error {
+	if err := f.check(OpWrite, pageno); err != nil {
+		return err
+	}
+	return f.Inner.WritePage(pageno, buf)
+}
+
+// Sync implements Store.
+func (f *FaultStore) Sync() error {
+	if err := f.check(OpSync, 0); err != nil {
+		return err
+	}
+	return f.Inner.Sync()
+}
+
+// Close implements Store.
+func (f *FaultStore) Close() error { return f.Inner.Close() }
+
+var (
+	_ Store = (*FileStore)(nil)
+	_ Store = (*MemStore)(nil)
+	_ Store = (*FaultStore)(nil)
+)

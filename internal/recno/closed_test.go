@@ -1,0 +1,44 @@
+package recno
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOperationsOnClosedFile(t *testing.T) {
+	f := mustOpen(t, "", nil)
+	f.Append([]byte("r"))
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("double Close = %v", err)
+	}
+	if _, err := f.Get(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get = %v", err)
+	}
+	if err := f.Put(0, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put = %v", err)
+	}
+	if _, err := f.Append(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append = %v", err)
+	}
+	if err := f.Delete(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Delete = %v", err)
+	}
+	if err := f.Insert(0, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Insert = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync = %v", err)
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	if _, err := Open("", &Options{Reclen: -1}); err == nil {
+		t.Fatal("negative reclen accepted")
+	}
+	if _, err := Open("", &Options{ReadOnly: true}); err == nil {
+		t.Fatal("read-only memory file accepted")
+	}
+}

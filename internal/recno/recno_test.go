@@ -1,0 +1,292 @@
+package recno
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, path string, opts *Options) *File {
+	t.Helper()
+	f, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return f
+}
+
+func TestVariableBasics(t *testing.T) {
+	f := mustOpen(t, "", nil)
+	defer f.Close()
+	for i := 0; i < 10; i++ {
+		n, err := f.Append([]byte(fmt.Sprintf("record %d", i)))
+		if err != nil || n != i {
+			t.Fatalf("Append %d = %d, %v", i, n, err)
+		}
+	}
+	if f.Len() != 10 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	for i := 0; i < 10; i++ {
+		got, err := f.Get(i)
+		if err != nil || string(got) != fmt.Sprintf("record %d", i) {
+			t.Fatalf("Get %d = %q, %v", i, got, err)
+		}
+	}
+	if _, err := f.Get(10); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get out of range = %v", err)
+	}
+	if _, err := f.Get(-1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(-1) = %v", err)
+	}
+}
+
+func TestPutReplaceAndExtend(t *testing.T) {
+	f := mustOpen(t, "", nil)
+	defer f.Close()
+	if err := f.Put(0, []byte("first")); err != nil { // append via Put at Len
+		t.Fatal(err)
+	}
+	if err := f.Put(0, []byte("replaced")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := f.Get(0)
+	if string(got) != "replaced" {
+		t.Fatalf("Get = %q", got)
+	}
+	if err := f.Put(5, []byte("gap")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Put past end = %v", err)
+	}
+}
+
+func TestDeleteRenumbers(t *testing.T) {
+	f := mustOpen(t, "", nil)
+	defer f.Close()
+	for i := 0; i < 5; i++ {
+		f.Append([]byte(fmt.Sprintf("r%d", i)))
+	}
+	if err := f.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"r0", "r2", "r3", "r4"}
+	for i, w := range want {
+		got, err := f.Get(i)
+		if err != nil || string(got) != w {
+			t.Fatalf("after delete, Get(%d) = %q, %v; want %q", i, got, err, w)
+		}
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestInsertRenumbers(t *testing.T) {
+	f := mustOpen(t, "", nil)
+	defer f.Close()
+	f.Append([]byte("a"))
+	f.Append([]byte("c"))
+	if err := f.Insert(1, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		got, _ := f.Get(i)
+		if string(got) != w {
+			t.Fatalf("Get(%d) = %q", i, got)
+		}
+	}
+	// Insert at both ends.
+	if err := f.Insert(0, []byte("head")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Insert(f.Len(), []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := f.Get(0)
+	if string(got) != "head" {
+		t.Fatalf("head = %q", got)
+	}
+	got, _ = f.Get(f.Len() - 1)
+	if string(got) != "tail" {
+		t.Fatalf("tail = %q", got)
+	}
+}
+
+func TestVariableRejectsDelimiter(t *testing.T) {
+	f := mustOpen(t, "", nil)
+	defer f.Close()
+	if _, err := f.Append([]byte("line\nwith newline")); !errors.Is(err, ErrHasBval) {
+		t.Fatalf("record with bval = %v", err)
+	}
+}
+
+func TestVariablePersistenceIsAFlatTextFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lines.txt")
+	f := mustOpen(t, path, nil)
+	f.Append([]byte("alpha"))
+	f.Append([]byte("beta"))
+	f.Append([]byte("")) // empty records are legal
+	f.Append([]byte("delta"))
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "alpha\nbeta\n\ndelta\n" {
+		t.Fatalf("flat file = %q", raw)
+	}
+
+	f = mustOpen(t, path, nil)
+	defer f.Close()
+	if f.Len() != 4 {
+		t.Fatalf("Len after reopen = %d", f.Len())
+	}
+	got, _ := f.Get(3)
+	if string(got) != "delta" {
+		t.Fatalf("Get(3) = %q", got)
+	}
+	got, _ = f.Get(2)
+	if len(got) != 0 {
+		t.Fatalf("empty record = %q", got)
+	}
+}
+
+func TestPlainTextFileIsARecnoDatabase(t *testing.T) {
+	// The 4.4BSD property: any text file is a recno database of lines.
+	path := filepath.Join(t.TempDir(), "plain.txt")
+	if err := os.WriteFile(path, []byte("one\ntwo\nthree"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := mustOpen(t, path, &Options{ReadOnly: true})
+	defer f.Close()
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	got, _ := f.Get(2) // no trailing newline: last record still counts
+	if string(got) != "three" {
+		t.Fatalf("Get(2) = %q", got)
+	}
+	if err := f.Put(0, []byte("x")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Put on read-only = %v", err)
+	}
+}
+
+func TestFixedLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fixed.db")
+	f := mustOpen(t, path, &Options{Reclen: 8, Bval: ' '})
+	if _, err := f.Append([]byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append([]byte("ab")); err != nil { // padded
+		t.Fatal(err)
+	}
+	if _, err := f.Append(bytes.Repeat([]byte("x"), 9)); !errors.Is(err, ErrBadReclen) {
+		t.Fatalf("oversized fixed record = %v", err)
+	}
+	got, _ := f.Get(1)
+	if string(got) != "ab      " {
+		t.Fatalf("padded record = %q", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The file is exactly 2 records of 8 bytes.
+	raw, _ := os.ReadFile(path)
+	if string(raw) != "12345678ab      " {
+		t.Fatalf("fixed flat file = %q", raw)
+	}
+
+	f = mustOpen(t, path, &Options{Reclen: 8, Bval: ' '})
+	defer f.Close()
+	if f.Len() != 2 {
+		t.Fatalf("Len after reopen = %d", f.Len())
+	}
+}
+
+func TestFixedRejectsMisalignedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.db")
+	os.WriteFile(path, []byte("12345"), 0o644)
+	if _, err := Open(path, &Options{Reclen: 4}); err == nil {
+		t.Fatal("opened misaligned fixed-length file")
+	}
+}
+
+func TestModelEquivalence(t *testing.T) {
+	f := mustOpen(t, "", nil)
+	defer f.Close()
+	rng := rand.New(rand.NewSource(31))
+	var model [][]byte
+	for op := 0; op < 5000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 4: // append
+			rec := []byte(fmt.Sprintf("rec-%d", op))
+			f.Append(rec)
+			model = append(model, rec)
+		case r < 6 && len(model) > 0: // replace
+			i := rng.Intn(len(model))
+			rec := []byte(fmt.Sprintf("rep-%d", op))
+			if err := f.Put(i, rec); err != nil {
+				t.Fatal(err)
+			}
+			model[i] = rec
+		case r < 8 && len(model) > 0: // delete
+			i := rng.Intn(len(model))
+			if err := f.Delete(i); err != nil {
+				t.Fatal(err)
+			}
+			model = append(model[:i], model[i+1:]...)
+		default: // insert
+			i := rng.Intn(len(model) + 1)
+			rec := []byte(fmt.Sprintf("ins-%d", op))
+			if err := f.Insert(i, rec); err != nil {
+				t.Fatal(err)
+			}
+			model = append(model, nil)
+			copy(model[i+1:], model[i:])
+			model[i] = rec
+		}
+		if f.Len() != len(model) {
+			t.Fatalf("op %d: Len = %d, model %d", op, f.Len(), len(model))
+		}
+	}
+	for i, want := range model {
+		got, err := f.Get(i)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%d) = %q, %v; want %q", i, got, err, want)
+		}
+	}
+	seen := 0
+	f.ForEach(func(i int, rec []byte) bool {
+		if !bytes.Equal(rec, model[i]) {
+			t.Fatalf("ForEach(%d) mismatch", i)
+		}
+		seen++
+		return true
+	})
+	if seen != len(model) {
+		t.Fatalf("ForEach visited %d of %d", seen, len(model))
+	}
+}
+
+func TestSyncDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sync.db")
+	f := mustOpen(t, path, nil)
+	defer f.Close()
+	f.Append([]byte("persisted"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// A second handle sees the synced state.
+	g := mustOpen(t, path, &Options{ReadOnly: true})
+	defer g.Close()
+	if g.Len() != 1 {
+		t.Fatalf("reader Len = %d", g.Len())
+	}
+}

@@ -1,0 +1,187 @@
+package sdbm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, path string, opts *Options) *DB {
+	t.Helper()
+	db, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+func TestStoreFetchDelete(t *testing.T) {
+	db := mustOpen(t, "", nil)
+	defer db.Close()
+	if err := db.Store([]byte("key"), []byte("value"), true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Fetch([]byte("key"))
+	if err != nil || string(got) != "value" {
+		t.Fatalf("Fetch = %q, %v", got, err)
+	}
+	if err := db.Delete([]byte("key")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Fetch([]byte("key")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Fetch after delete = %v", err)
+	}
+	if err := db.Delete([]byte("key")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestInsertVsReplace(t *testing.T) {
+	db := mustOpen(t, "", nil)
+	defer db.Close()
+	db.Store([]byte("k"), []byte("v1"), false)
+	if err := db.Store([]byte("k"), []byte("v2"), false); !errors.Is(err, ErrKeyExists) {
+		t.Fatalf("insert over existing = %v", err)
+	}
+	if err := db.Store([]byte("k"), []byte("v2"), true); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := db.Fetch([]byte("k"))
+	if string(got) != "v2" {
+		t.Fatalf("Fetch = %q", got)
+	}
+}
+
+func TestTrieSplitting(t *testing.T) {
+	db := mustOpen(t, "", &Options{PageSize: 128})
+	defer db.Close()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		if err := db.Store(k, []byte(fmt.Sprintf("v%d", i)), true); err != nil {
+			t.Fatalf("Store %d: %v", i, err)
+		}
+	}
+	if len(db.trie) == 0 {
+		t.Fatal("trie never grew")
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		got, err := db.Fetch(k)
+		if err != nil || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Fetch %d = %q, %v", i, got, err)
+		}
+	}
+	cnt, err := db.Len()
+	if err != nil || cnt != n {
+		t.Fatalf("Len = %d, %v", cnt, err)
+	}
+}
+
+func TestTooBig(t *testing.T) {
+	db := mustOpen(t, "", &Options{PageSize: 128})
+	defer db.Close()
+	if err := db.Store([]byte("k"), bytes.Repeat([]byte("x"), 200), true); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("oversized = %v", err)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db")
+	db := mustOpen(t, path, &Options{PageSize: 256})
+	const n = 800
+	for i := 0; i < n; i++ {
+		if err := db.Store([]byte(fmt.Sprintf("key%d", i)), []byte(fmt.Sprintf("val%d", i)), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db = mustOpen(t, path, &Options{PageSize: 256})
+	defer db.Close()
+	for i := 0; i < n; i++ {
+		got, err := db.Fetch([]byte(fmt.Sprintf("key%d", i)))
+		if err != nil || string(got) != fmt.Sprintf("val%d", i) {
+			t.Fatalf("Fetch %d after reopen = %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestCursorSeesEverything(t *testing.T) {
+	db := mustOpen(t, "", &Options{PageSize: 256})
+	defer db.Close()
+	want := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key%d", i)
+		db.Store([]byte(k), []byte("v"), true)
+		want[k] = true
+	}
+	got := map[string]bool{}
+	c := db.First()
+	for {
+		k, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == nil {
+			break
+		}
+		got[string(k)] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor saw %d, want %d", len(got), len(want))
+	}
+}
+
+func TestModelEquivalence(t *testing.T) {
+	db := mustOpen(t, "", &Options{PageSize: 512})
+	defer db.Close()
+	rng := rand.New(rand.NewSource(13))
+	model := map[string]string{}
+	for op := 0; op < 4000; op++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(300))
+		if rng.Intn(3) != 2 {
+			v := fmt.Sprintf("v%d", op)
+			if err := db.Store([]byte(k), []byte(v), true); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			model[k] = v
+		} else {
+			err := db.Delete([]byte(k))
+			if _, ok := model[k]; ok && err != nil {
+				t.Fatalf("op %d: Delete: %v", op, err)
+			}
+			delete(model, k)
+		}
+	}
+	for k, v := range model {
+		got, err := db.Fetch([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("Fetch(%q) = %q, %v; want %q", k, got, err, v)
+		}
+	}
+}
+
+func TestIncompatibleWithNdbmHash(t *testing.T) {
+	// The paper: sdbm and ndbm are "incompatible at the database level"
+	// because of different hash functions and address calculations. The
+	// trie walk must at least be deterministic for a given hash.
+	db := mustOpen(t, "", &Options{PageSize: 128})
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		db.Store([]byte(fmt.Sprintf("key%d", i)), []byte("v"), true)
+	}
+	b1, t1, h1 := db.calc(0xDEADBEEF)
+	b2, t2, h2 := db.calc(0xDEADBEEF)
+	if b1 != b2 || t1 != t2 || h1 != h2 {
+		t.Fatal("calc is not deterministic")
+	}
+	// The revealed bits must select the bucket.
+	if h1 > 0 && b1 != 0xDEADBEEF&(1<<uint(h1)-1) {
+		t.Fatalf("bucket %d disagrees with %d revealed bits", b1, h1)
+	}
+}
