@@ -1,0 +1,30 @@
+GO ?= go
+
+# Packages with dedicated concurrency stress tests; the full suite under
+# -race is slow, so check races where the locks actually live.
+RACE_PKGS = ./internal/core ./internal/buffer ./internal/db
+
+.PHONY: check build vet test race bench concurrency clean
+
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+concurrency:
+	$(GO) run ./cmd/hashbench -quick concurrency
+
+clean:
+	rm -f BENCH_concurrency.json

@@ -450,6 +450,100 @@ func BenchmarkGet(b *testing.B) {
 	}
 }
 
+// BenchmarkGetBuf is BenchmarkGet with a caller-supplied buffer; the
+// allocs/op delta against BenchmarkGet is the point (0 vs 1 per call).
+func BenchmarkGetBuf(b *testing.B) {
+	t, err := core.Open("", &core.Options{CacheSize: 8 << 20, Nelem: benchN})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer t.Close()
+	for _, p := range benchDict {
+		if err := t.Put(p.Key, p.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dst := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := benchDict[i%len(benchDict)]
+		if dst, err = t.GetBuf(p.Key, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetParallel measures read scaling over a warm table: every
+// goroutine takes the shared table lock and its bucket's pool shard
+// only. On a multi-core machine throughput should grow with
+// GOMAXPROCS; -cpu=1,2,4,8 sweeps the curve.
+func BenchmarkGetParallel(b *testing.B) {
+	t, err := core.Open("", &core.Options{CacheSize: 8 << 20, Nelem: benchN})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer t.Close()
+	for _, p := range benchDict {
+		if err := t.Put(p.Key, p.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range benchDict { // warm the pool
+		if _, err := t.Get(p.Key); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]byte, 0, 256)
+		i := 0
+		for pb.Next() {
+			p := benchDict[i%len(benchDict)]
+			i++
+			var err error
+			if dst, err = t.GetBuf(p.Key, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGetParallelMixed is the 95% read / 5% write workload: reads
+// share the lock while one in twenty operations takes it exclusively to
+// rewrite an existing pair.
+func BenchmarkGetParallelMixed(b *testing.B) {
+	t, err := core.Open("", &core.Options{CacheSize: 8 << 20, Nelem: benchN})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer t.Close()
+	for _, p := range benchDict {
+		if err := t.Put(p.Key, p.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]byte, 0, 256)
+		i := 0
+		for pb.Next() {
+			p := benchDict[i%len(benchDict)]
+			i++
+			var err error
+			if i%20 == 0 {
+				err = t.Put(p.Key, p.Data)
+			} else {
+				dst, err = t.GetBuf(p.Key, dst)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkBigPut(b *testing.B) {
 	t, err := core.Open("", &core.Options{CacheSize: 8 << 20})
 	if err != nil {

@@ -9,7 +9,9 @@
 //	hashbench fig8b           Figure 8b: password DB vs ndbm and hsearch
 //	hashbench methods         hash vs btree under the same workload
 //	hashbench ablate          ablations: split policy, hash functions
-//	hashbench all             everything above
+//	hashbench concurrency     read scaling at 1-8 goroutines; writes
+//	                          BENCH_concurrency.json
+//	hashbench all             everything above except concurrency
 //
 // Flags:
 //
@@ -93,6 +95,20 @@ func main() {
 				count = 24474
 			}
 			fmt.Print(bench.FormatHashFuncs(hf, count))
+		case "concurrency":
+			res, err := bench.Concurrency(*n, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			data, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile("BENCH_concurrency.json", data, 0o644); err != nil {
+				return err
+			}
+			fmt.Println("\nwrote BENCH_concurrency.json")
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -119,7 +135,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: hashbench [-n N | -quick] {fig5|fig6|fig7|fig8a|fig8b|methods|ablate|all}
+	fmt.Fprintf(os.Stderr, `usage: hashbench [-n N | -quick] {fig5|fig6|fig7|fig8a|fig8b|methods|ablate|concurrency|all}
 
 Regenerates the evaluation figures of "A New Hashing Package for UNIX"
 (Seltzer & Yigit, USENIX Winter 1991). See EXPERIMENTS.md for the

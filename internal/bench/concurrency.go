@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unixhash/internal/core"
+	"unixhash/internal/dataset"
+	"unixhash/internal/pagefile"
+)
+
+// Concurrency measures read-path scaling: ops/sec against a warm
+// memory-resident table at 1, 2, 4 and 8 goroutines, for a read-only
+// workload and for the classic 95% read / 5% write mix. Reads take the
+// table's shared lock and ride the lock-striped buffer pool; writes
+// serialize on the exclusive lock. Unlike the paper-figure experiments
+// this measures real wall-clock throughput, not simulated I/O time, so
+// the cost model is zero.
+
+// ConcurrencyPoint is one (goroutine count, workload) measurement.
+type ConcurrencyPoint struct {
+	Goroutines int     `json:"goroutines"`
+	Ops        int64   `json:"ops"`
+	Seconds    float64 `json:"seconds"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Speedup    float64 `json:"speedup_vs_1"`
+}
+
+// ConcurrencyResult aggregates both workloads plus the machine context
+// needed to interpret the scaling numbers (no speedup is possible when
+// GOMAXPROCS is 1).
+type ConcurrencyResult struct {
+	Keys       int                `json:"keys"`
+	Bsize      int                `json:"bsize"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	ReadOnly   []ConcurrencyPoint `json:"read_only"`
+	Mixed      []ConcurrencyPoint `json:"mixed_95_read_5_write"`
+}
+
+// concurrencyGoroutines are the fan-out levels measured.
+var concurrencyGoroutines = []int{1, 2, 4, 8}
+
+// Concurrency builds and warms an n-key table and measures both
+// workloads at every goroutine count. n <= 0 selects the paper's
+// dictionary size. dur is the sampling window per point (0 = 250ms).
+func Concurrency(n int, dur time.Duration) (*ConcurrencyResult, error) {
+	if dur <= 0 {
+		dur = 250 * time.Millisecond
+	}
+	pairs := dataset.Dictionary(n)
+	const bsize = 4096
+	r, err := newHashRun(HashParams{
+		Bsize: bsize, Ffactor: 32, CacheSize: 1 << 22,
+		Nelem: len(pairs), Cost: pagefile.CostModel{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+	for _, p := range pairs {
+		if err := r.t.Put(p.Key, p.Data); err != nil {
+			return nil, err
+		}
+	}
+	// Warm the pool so every point measures in-memory lookups.
+	for _, p := range pairs {
+		if _, err := r.t.Get(p.Key); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &ConcurrencyResult{
+		Keys:       len(pairs),
+		Bsize:      bsize,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, g := range concurrencyGoroutines {
+		pt, err := concurrencyPoint(r.t, pairs, g, dur, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.ReadOnly = append(res.ReadOnly, pt)
+	}
+	for _, g := range concurrencyGoroutines {
+		pt, err := concurrencyPoint(r.t, pairs, g, dur, 20)
+		if err != nil {
+			return nil, err
+		}
+		res.Mixed = append(res.Mixed, pt)
+	}
+	fillSpeedups(res.ReadOnly)
+	fillSpeedups(res.Mixed)
+	return res, nil
+}
+
+// concurrencyPoint runs g goroutines against t for roughly dur and
+// returns the throughput. writeOneIn = 0 means read-only; k > 0 makes
+// one op in k a Put that rewrites an existing pair (so the table never
+// grows and the point stays comparable across goroutine counts).
+func concurrencyPoint(t *core.Table, pairs []dataset.Pair, g int, dur time.Duration, writeOneIn int) (ConcurrencyPoint, error) {
+	var stop atomic.Bool
+	var ops atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			dst := make([]byte, 0, 256)
+			local := int64(0)
+			for !stop.Load() {
+				for i := 0; i < 64; i++ {
+					p := pairs[rng.Intn(len(pairs))]
+					var err error
+					if writeOneIn > 0 && rng.Intn(writeOneIn) == 0 {
+						err = t.Put(p.Key, p.Data)
+					} else {
+						dst, err = t.GetBuf(p.Key, dst)
+					}
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						stop.Store(true)
+						return
+					}
+					local++
+				}
+			}
+			ops.Add(local)
+		}(int64(seedBase(writeOneIn)) + int64(g)*1000 + int64(w))
+	}
+	timer := time.AfterFunc(dur, func() { stop.Store(true) })
+	wg.Wait()
+	timer.Stop()
+	elapsed := time.Since(start)
+
+	if err, _ := firstErr.Load().(error); err != nil {
+		return ConcurrencyPoint{}, err
+	}
+	n := ops.Load()
+	return ConcurrencyPoint{
+		Goroutines: g,
+		Ops:        n,
+		Seconds:    elapsed.Seconds(),
+		OpsPerSec:  float64(n) / elapsed.Seconds(),
+	}, nil
+}
+
+func seedBase(writeOneIn int) int {
+	if writeOneIn > 0 {
+		return 7919
+	}
+	return 104729
+}
+
+// fillSpeedups normalizes each point against the 1-goroutine baseline.
+func fillSpeedups(pts []ConcurrencyPoint) {
+	if len(pts) == 0 || pts[0].OpsPerSec == 0 {
+		return
+	}
+	base := pts[0].OpsPerSec
+	for i := range pts {
+		pts[i].Speedup = pts[i].OpsPerSec / base
+	}
+}
+
+// JSON renders the result as the machine-readable BENCH_concurrency.json
+// payload.
+func (r *ConcurrencyResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// String renders a human-readable table in the style of the other
+// hashbench experiments.
+func (r *ConcurrencyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Concurrent read scaling: %d keys, %d-byte pages, GOMAXPROCS=%d (NumCPU=%d)\n",
+		r.Keys, r.Bsize, r.GOMAXPROCS, r.NumCPU)
+	writeSection := func(title string, pts []ConcurrencyPoint) {
+		fmt.Fprintf(&b, "\n%s\n", title)
+		fmt.Fprintf(&b, "  %-11s %12s %10s\n", "goroutines", "ops/sec", "speedup")
+		for _, p := range pts {
+			fmt.Fprintf(&b, "  %-11d %12.0f %9.2fx\n", p.Goroutines, p.OpsPerSec, p.Speedup)
+		}
+	}
+	writeSection("read-only", r.ReadOnly)
+	writeSection("95% read / 5% write", r.Mixed)
+	if r.GOMAXPROCS == 1 {
+		b.WriteString("\n(GOMAXPROCS=1: goroutines cannot run in parallel on this host,\n so speedup is bounded at ~1.0x; rerun on a multi-core machine.)\n")
+	}
+	return b.String()
+}

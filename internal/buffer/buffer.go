@@ -1,21 +1,43 @@
 // Package buffer implements the hashing package's buffer manager: an LRU
 // pool of page buffers over a pagefile.Store, as described in the paper's
-// "Buffer Management" section.
+// "Buffer Management" section, rebuilt for concurrent readers.
+//
+// The pool is split into N lock-striped shards. A page's shard is chosen
+// by hashing the *bucket that owns it*: a primary page is owned by its own
+// bucket number, and an overflow page is owned by the bucket whose chain
+// it extends. Placing a whole chain in one shard preserves the paper's
+// invariant — an overflow buffer is evicted together with its predecessor
+// — with a single shard lock, and lets unrelated buckets fault, hit and
+// evict pages in parallel.
 //
 // Primary pages are addressed by bucket number; overflow pages by their
 // 16-bit overflow address. When an overflow page is fetched through its
 // predecessor page, the predecessor's buffer header records the link, and
 // evicting a buffer evicts the overflow buffers chained behind it — the
 // paper's invariant that an overflow page is resident only while its
-// predecessor is. Iterators and tools may also fetch overflow pages
-// unlinked. If every buffer is pinned when a new page is needed, the pool
-// temporarily overcommits rather than failing, so arbitrarily long
-// overflow chains work with small pools.
+// predecessor is. Iterators and tools fetch overflow pages unlinked with
+// GetOwned, naming the owning bucket so the fetch lands in the chain's
+// shard. The buffer budget is pool-wide: a miss evicts from its own
+// shard only once the whole pool is at capacity, so a skewed bucket
+// distribution cannot strand capacity in cold shards. If the faulting
+// shard has nothing evictable (everything pinned, or the pressure comes
+// from hotter shards), it temporarily overcommits rather than failing,
+// so arbitrarily long overflow chains work with small pools.
+//
+// Concurrency contract: all Pool methods are safe for concurrent use.
+// Pin counts are atomic; within a shard, the map, the LRU list, the chain
+// links and the Dirty flags are guarded by the shard mutex. Page contents
+// are NOT guarded by the pool — the owning table must ensure that a page
+// is never written while another goroutine reads it (the hash table does
+// so with its reader/writer table lock). The lock order is always
+// table lock → shard lock; the pool never takes two shard locks at once.
 package buffer
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"unixhash/internal/pagefile"
 )
@@ -35,129 +57,243 @@ func (a Addr) String() string {
 }
 
 // Buf is a buffer header: one page-sized buffer plus bookkeeping. The
-// caller owns the Page contents while the buffer is pinned.
+// caller owns the Page contents while the buffer is pinned. Dirty may only
+// be set by a caller that has exclusive use of the page (the table's
+// writer lock); concurrent readers must treat Page as read-only.
 type Buf struct {
 	Addr  Addr
 	Page  []byte
 	Dirty bool
 
-	pins int
-	ovfl *Buf // resident successor overflow buffer, if any
-	prev *Buf // LRU list
-	next *Buf
+	pins  atomic.Int32
+	owner uint32 // bucket whose chain this page belongs to (shard key)
+	sh    *shard
+	ovfl  *Buf // resident successor overflow buffer, if any
+	prev  *Buf // shard LRU list
+	next  *Buf
 }
 
 // Pin marks the buffer in-use; a pinned buffer (and any chain containing
 // it) cannot be evicted. Pins nest.
-func (b *Buf) Pin() { b.pins++ }
+func (b *Buf) Pin() { b.pins.Add(1) }
 
 // Unpin releases one pin.
 func (b *Buf) Unpin() {
-	if b.pins <= 0 {
+	if b.pins.Add(-1) < 0 {
 		panic("buffer: unpin of unpinned buffer " + b.Addr.String())
 	}
-	b.pins--
 }
 
 // Pinned reports whether the buffer is currently pinned.
-func (b *Buf) Pinned() bool { return b.pins > 0 }
+func (b *Buf) Pinned() bool { return b.pins.Load() > 0 }
 
 // Ovfl returns the resident successor overflow buffer, or nil.
 func (b *Buf) Ovfl() *Buf { return b.ovfl }
+
+// Owner returns the bucket that owns this page (its shard key).
+func (b *Buf) Owner() uint32 { return b.owner }
 
 // MapFunc translates a logical address into a physical page number in the
 // store. The hash table supplies BUCKET_TO_PAGE / OADDR_TO_PAGE here.
 type MapFunc func(Addr) uint32
 
-// Pool is an LRU buffer pool. It is not safe for concurrent use; the
-// owning table serializes access.
-type Pool struct {
-	store    pagefile.Store
-	mapAddr  MapFunc
-	pagesize int
-	max      int // maximum resident buffers (soft: see Overcommits)
+// LoadFunc is called under the shard lock after a page is faulted in
+// (whether read from the store or freshly created). It may initialize the
+// page in place; returning true marks the buffer dirty. It runs exactly
+// once per residency, so concurrent readers never race to format a page.
+type LoadFunc func(Addr, []byte) bool
 
+// Config carries optional pool parameters to NewConfig.
+type Config struct {
+	// Shards is the number of lock-striped shards; 0 picks a default.
+	// The count is clamped so every shard holds at least MinBuffers
+	// pages, and rounded down to a power of two.
+	Shards int
+	// OnLoad, if non-nil, post-processes every faulted-in page.
+	OnLoad LoadFunc
+}
+
+// shard is one lock stripe of the pool: a private hash table, LRU list
+// and free list over a slice of the buffer budget.
+type shard struct {
+	mu    sync.Mutex
 	table map[Addr]*Buf
 	lru   Buf    // sentinel: lru.next is most recent, lru.prev least recent
 	free  []*Buf // evicted buffers kept for reuse, as in the C package
-
-	// Counters for tests and the benchmark harness.
-	Hits        int64
-	Misses      int64
-	Evictions   int64
-	NewPages    int64
-	Overcommits int64
+	max   int    // this shard's slice of the budget (bounds the free list)
 }
 
-// MinBuffers is the floor on pool size: a bucket split can touch the old
-// chain, the new chain and an allocation simultaneously, so the pool must
-// always be able to hold a handful of pinned pages.
+// Pool is a sharded LRU buffer pool, safe for concurrent use.
+type Pool struct {
+	store      pagefile.Store
+	mapAddr    MapFunc
+	onLoad     LoadFunc
+	pagesize   int
+	shards     []shard
+	shardShift uint32       // 32 - log2(len(shards))
+	maxTotal   int          // pool-wide buffer budget
+	resident   atomic.Int64 // pool-wide resident count (fast path for alloc)
+
+	// Counters for tests and the benchmark harness.
+	Hits        atomic.Int64
+	Misses      atomic.Int64
+	Evictions   atomic.Int64
+	NewPages    atomic.Int64
+	Overcommits atomic.Int64
+}
+
+// MinBuffers is the floor on per-shard size: a bucket split can touch the
+// old chain, the new chain and an allocation simultaneously, so a shard
+// must always be able to hold a handful of pinned pages.
 const MinBuffers = 8
+
+// defaultShards is the shard-count ceiling when Config.Shards is zero.
+const defaultShards = 16
 
 // New creates a pool of at most maxBytes of page buffers (rounded up to
 // MinBuffers pages) over store, using mapAddr to place logical pages.
 func New(store pagefile.Store, maxBytes int, mapAddr MapFunc) *Pool {
+	return NewConfig(store, maxBytes, mapAddr, Config{})
+}
+
+// NewConfig creates a pool with explicit sharding and load-hook options.
+func NewConfig(store pagefile.Store, maxBytes int, mapAddr MapFunc, cfg Config) *Pool {
 	ps := store.PageSize()
-	n := maxBytes / ps
-	if n < MinBuffers {
-		n = MinBuffers
+	total := maxBytes / ps
+	if total < MinBuffers {
+		total = MinBuffers
 	}
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = defaultShards
+	}
+	if byBudget := total / MinBuffers; nshards > byBudget {
+		nshards = byBudget
+	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	nshards = 1 << floorLog2(nshards) // power of two for mask arithmetic
+
 	p := &Pool{
-		store:    store,
-		mapAddr:  mapAddr,
-		pagesize: ps,
-		max:      n,
-		table:    make(map[Addr]*Buf, n),
+		store:      store,
+		mapAddr:    mapAddr,
+		onLoad:     cfg.OnLoad,
+		pagesize:   ps,
+		shards:     make([]shard, nshards),
+		shardShift: 32 - uint32(floorLog2(nshards)),
+		maxTotal:   total,
 	}
-	p.lru.next = &p.lru
-	p.lru.prev = &p.lru
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.max = total / nshards
+		if i < total%nshards {
+			sh.max++
+		}
+		sh.table = make(map[Addr]*Buf, sh.max)
+		sh.lru.next = &sh.lru
+		sh.lru.prev = &sh.lru
+	}
 	return p
 }
 
-// MaxBuffers reports the pool's capacity in pages.
-func (p *Pool) MaxBuffers() int { return p.max }
-
-// Resident reports the number of buffers currently held.
-func (p *Pool) Resident() int { return len(p.table) }
-
-func (p *Pool) lruInsert(b *Buf) {
-	b.next = p.lru.next
-	b.prev = &p.lru
-	p.lru.next.prev = b
-	p.lru.next = b
+func floorLog2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
 }
 
-func (p *Pool) lruRemove(b *Buf) {
+// shardFor maps an owning bucket to its shard (Fibonacci hashing spreads
+// consecutive bucket numbers across shards).
+func (p *Pool) shardFor(owner uint32) *shard {
+	return &p.shards[(owner*0x9E3779B1)>>p.shardShift]
+}
+
+// ShardCount reports the number of lock stripes.
+func (p *Pool) ShardCount() int { return len(p.shards) }
+
+// MaxBuffers reports the pool's capacity in pages.
+func (p *Pool) MaxBuffers() int { return p.maxTotal }
+
+// Resident reports the number of buffers currently held.
+func (p *Pool) Resident() int {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		n += len(sh.table)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func (sh *shard) lruInsert(b *Buf) {
+	b.next = sh.lru.next
+	b.prev = &sh.lru
+	sh.lru.next.prev = b
+	sh.lru.next = b
+}
+
+func (sh *shard) lruRemove(b *Buf) {
 	b.prev.next = b.next
 	b.next.prev = b.prev
 	b.prev, b.next = nil, nil
 }
 
-func (p *Pool) touch(b *Buf) {
-	p.lruRemove(b)
-	p.lruInsert(b)
+func (sh *shard) touch(b *Buf) {
+	sh.lruRemove(b)
+	sh.lruInsert(b)
 }
 
 // Get returns a pinned buffer for addr. prev, if non-nil, is the
 // predecessor buffer of an overflow page and receives the chain link;
-// nil performs an unlinked fetch. prev must be nil for primary pages.
-// If create is set and the page is not in the store, a zeroed page is
-// returned, marked dirty so it will eventually be written.
+// it also determines the shard, keeping a whole chain in its owning
+// bucket's stripe. prev must be nil for primary pages and non-nil for
+// overflow pages (use GetOwned for an unlinked overflow fetch). If create
+// is set and the page is not in the store, a zeroed page is returned,
+// marked dirty so it will eventually be written.
 func (p *Pool) Get(addr Addr, prev *Buf, create bool) (*Buf, error) {
 	if !addr.Ovfl && prev != nil {
 		return nil, fmt.Errorf("buffer: primary page %v requested with predecessor", addr)
 	}
-	if b, ok := p.table[addr]; ok {
-		p.Hits++
-		p.touch(b)
+	if addr.Ovfl && prev == nil {
+		return nil, fmt.Errorf("buffer: overflow page %v requested without predecessor (use GetOwned)", addr)
+	}
+	owner := addr.N
+	if prev != nil {
+		owner = prev.owner
+	}
+	return p.get(addr, owner, prev, create)
+}
+
+// GetOwned returns a pinned buffer for an overflow page fetched outside
+// its chain (iterators, tools), naming the bucket that owns it so the
+// fetch uses the chain's shard.
+func (p *Pool) GetOwned(addr Addr, owner uint32, create bool) (*Buf, error) {
+	if !addr.Ovfl {
+		return nil, fmt.Errorf("buffer: GetOwned of primary page %v", addr)
+	}
+	return p.get(addr, owner, nil, create)
+}
+
+func (p *Pool) get(addr Addr, owner uint32, prev *Buf, create bool) (*Buf, error) {
+	sh := p.shardFor(owner)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if b, ok := sh.table[addr]; ok {
+		p.Hits.Add(1)
+		sh.touch(b)
 		b.Pin()
 		if prev != nil && prev.ovfl != b {
 			prev.ovfl = b
 		}
 		return b, nil
 	}
-	p.Misses++
-	b, err := p.alloc(addr)
+	p.Misses.Add(1)
+	b, err := p.alloc(sh, addr, owner)
 	if err != nil {
 		return nil, err
 	}
@@ -167,14 +303,20 @@ func (p *Pool) Get(addr Addr, prev *Buf, create bool) (*Buf, error) {
 	case errors.Is(err, pagefile.ErrNotAllocated) && create:
 		clear(b.Page)
 		b.Dirty = true
-		p.NewPages++
+		p.NewPages.Add(1)
 	case errors.Is(err, pagefile.ErrNotAllocated):
+		sh.recycle(b)
 		return nil, fmt.Errorf("buffer: %v: %w", addr, err)
 	default:
+		sh.recycle(b)
 		return nil, err
 	}
-	p.table[addr] = b
-	p.lruInsert(b)
+	if p.onLoad != nil && p.onLoad(addr, b.Page) {
+		b.Dirty = true
+	}
+	sh.table[addr] = b
+	sh.lruInsert(b)
+	p.resident.Add(1)
 	b.Pin()
 	if prev != nil {
 		prev.ovfl = b
@@ -182,39 +324,53 @@ func (p *Pool) Get(addr Addr, prev *Buf, create bool) (*Buf, error) {
 	return b, nil
 }
 
-// alloc obtains a free buffer, evicting the coldest evictable chain if
-// the pool is full. If everything is pinned, the pool overcommits.
-// Evicted buffers are recycled rather than reallocated.
-func (p *Pool) alloc(addr Addr) (*Buf, error) {
-	if len(p.table) >= p.max {
+// alloc obtains a free buffer, evicting this shard's coldest evictable
+// chain when the pool as a whole is at capacity — the budget is global,
+// so a skewed bucket distribution cannot strand capacity in cold
+// shards. If the shard has nothing evictable, it overcommits. Evicted
+// buffers are recycled rather than reallocated. Called with sh.mu held.
+func (p *Pool) alloc(sh *shard, addr Addr, owner uint32) (*Buf, error) {
+	if int(p.resident.Load()) >= p.maxTotal {
 		evicted := false
-		for cand := p.lru.prev; cand != &p.lru; cand = cand.prev {
+		for cand := sh.lru.prev; cand != &sh.lru; cand = cand.prev {
 			if chainPinned(cand) {
 				continue
 			}
-			if err := p.evict(cand); err != nil {
+			if err := p.evict(sh, cand); err != nil {
 				return nil, err
 			}
 			evicted = true
 			break
 		}
 		if !evicted {
-			p.Overcommits++
+			p.Overcommits.Add(1)
 		}
 	}
-	if n := len(p.free); n > 0 {
-		b := p.free[n-1]
-		p.free = p.free[:n-1]
-		*b = Buf{Addr: addr, Page: b.Page}
+	if n := len(sh.free); n > 0 {
+		b := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		b.reset(addr, owner, sh)
 		return b, nil
 	}
-	return &Buf{Addr: addr, Page: make([]byte, p.pagesize)}, nil
+	return &Buf{Addr: addr, Page: make([]byte, p.pagesize), owner: owner, sh: sh}, nil
 }
 
-// recycle returns an evicted buffer's memory to the free list.
-func (p *Pool) recycle(b *Buf) {
-	if len(p.free) < p.max {
-		p.free = append(p.free, b)
+// reset reinitializes a recycled buffer header in place (a struct
+// assignment would copy the atomic pin counter, which go vet rejects).
+func (b *Buf) reset(addr Addr, owner uint32, sh *shard) {
+	b.Addr = addr
+	b.Dirty = false
+	b.pins.Store(0)
+	b.owner = owner
+	b.sh = sh
+	b.ovfl, b.prev, b.next = nil, nil, nil
+}
+
+// recycle returns an evicted buffer's memory to the shard free list.
+// Called with sh.mu held.
+func (sh *shard) recycle(b *Buf) {
+	if len(sh.free) < sh.max {
+		sh.free = append(sh.free, b)
 	}
 }
 
@@ -231,19 +387,21 @@ func chainPinned(b *Buf) bool {
 
 // evict flushes and drops b together with its resident overflow chain
 // (the paper: an overflow page cannot stay in the pool when its
-// predecessor leaves).
-func (p *Pool) evict(b *Buf) error {
+// predecessor leaves). The whole chain lives in sh by construction.
+// Called with sh.mu held.
+func (p *Pool) evict(sh *shard, b *Buf) error {
 	for b != nil {
 		next := b.ovfl
 		if err := p.flushBuf(b); err != nil {
 			return err
 		}
-		if p.table[b.Addr] == b {
-			p.lruRemove(b)
-			delete(p.table, b.Addr)
-			p.Evictions++
+		if sh.table[b.Addr] == b {
+			sh.lruRemove(b)
+			delete(sh.table, b.Addr)
+			p.resident.Add(-1)
+			p.Evictions.Add(1)
 			b.ovfl = nil
-			p.recycle(b)
+			sh.recycle(b)
 		} else {
 			b.ovfl = nil
 		}
@@ -271,39 +429,61 @@ func (p *Pool) Put(b *Buf) { b.Unpin() }
 // b must be unpinned by the caller before or be held only by the caller;
 // Drop clears its pins.
 func (p *Pool) Drop(prev, b *Buf) {
+	sh := b.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p.dropLocked(sh, prev, b)
+}
+
+// dropLocked is Drop with sh.mu held.
+func (p *Pool) dropLocked(sh *shard, prev, b *Buf) {
 	if prev != nil && prev.ovfl == b {
 		prev.ovfl = b.ovfl
 	}
-	if p.table[b.Addr] == b {
-		p.lruRemove(b)
-		delete(p.table, b.Addr)
+	if sh.table[b.Addr] == b {
+		sh.lruRemove(b)
+		delete(sh.table, b.Addr)
+		p.resident.Add(-1)
 	}
 	b.ovfl = nil
 	b.Dirty = false
-	b.pins = 0
+	b.pins.Store(0)
 }
 
 // Discard drops the buffer for addr without writing it, if resident.
-// Used for freed pages whose contents no longer matter.
+// Used for freed pages whose contents no longer matter. The owning shard
+// is not known to every caller (a freed overflow page's bucket is gone),
+// so all shards are searched; any predecessor links pointing at the
+// buffer are cleared in its own shard, where the whole chain lives.
 func (p *Pool) Discard(addr Addr) {
-	b, ok := p.table[addr]
-	if !ok {
-		return
-	}
-	for _, other := range p.table {
-		if other.ovfl == b {
-			other.ovfl = b.ovfl
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		b, ok := sh.table[addr]
+		if ok {
+			for _, other := range sh.table {
+				if other.ovfl == b {
+					other.ovfl = b.ovfl
+				}
+			}
+			p.dropLocked(sh, nil, b)
 		}
+		sh.mu.Unlock()
 	}
-	p.Drop(nil, b)
 }
 
 // Flush writes every dirty buffer to the store. Buffers stay resident.
 func (p *Pool) Flush() error {
-	for b := p.lru.prev; b != &p.lru; b = b.prev {
-		if err := p.flushBuf(b); err != nil {
-			return err
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for b := sh.lru.prev; b != &sh.lru; b = b.prev {
+			if err := p.flushBuf(b); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -314,24 +494,40 @@ func (p *Pool) InvalidateAll() error {
 	if err := p.Flush(); err != nil {
 		return err
 	}
-	for addr, b := range p.table {
-		if b.Pinned() {
-			return fmt.Errorf("buffer: invalidate with pinned buffer %v", addr)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for addr, b := range sh.table {
+			if b.Pinned() {
+				sh.mu.Unlock()
+				return fmt.Errorf("buffer: invalidate with pinned buffer %v", addr)
+			}
 		}
+		for b := sh.lru.next; b != &sh.lru; {
+			next := b.next
+			b.prev, b.next, b.ovfl = nil, nil, nil
+			b = next
+		}
+		sh.lru.next = &sh.lru
+		sh.lru.prev = &sh.lru
+		p.resident.Add(-int64(len(sh.table)))
+		sh.table = make(map[Addr]*Buf)
+		sh.mu.Unlock()
 	}
-	for b := p.lru.next; b != &p.lru; {
-		next := b.next
-		b.prev, b.next, b.ovfl = nil, nil, nil
-		b = next
-	}
-	p.lru.next = &p.lru
-	p.lru.prev = &p.lru
-	p.table = make(map[Addr]*Buf)
 	return nil
 }
 
 // Lookup returns the resident buffer for addr without pinning it, or nil.
-// Intended for tests and the dump tool.
+// Intended for tests and the dump tool; it searches every shard.
 func (p *Pool) Lookup(addr Addr) *Buf {
-	return p.table[addr]
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		b := sh.table[addr]
+		sh.mu.Unlock()
+		if b != nil {
+			return b
+		}
+	}
+	return nil
 }

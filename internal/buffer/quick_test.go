@@ -28,7 +28,15 @@ func TestPoolCoherence(t *testing.T) {
 				if rng.Intn(4) == 0 && n < 100 {
 					addr = Addr{N: n, Ovfl: true}
 				}
-				b, err := p.Get(addr, nil, true)
+				var b *Buf
+				var err error
+				if addr.Ovfl {
+					// The pool requires overflow fetches to name their owning
+					// bucket; use the page number itself as a stable owner.
+					b, err = p.GetOwned(addr, addr.N, true)
+				} else {
+					b, err = p.Get(addr, nil, true)
+				}
 				if err != nil {
 					t.Fatalf("op %d: Get(%v): %v", op, addr, err)
 				}

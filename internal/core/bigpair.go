@@ -22,7 +22,9 @@ import (
 // length, followed by the key bytes and then the data bytes, streaming
 // across the chain. Chain pages are write-once and read sequentially, so
 // they bypass the LRU pool and go straight to the store; caching them
-// would only evict hot bucket pages.
+// would only evict hot bucket pages. Chain I/O borrows a page-sized
+// scratch buffer per call (t.getScratch), so concurrent readers never
+// share a buffer.
 const (
 	bigHdrSize     = 4
 	bigLenPrefix   = 8 // uint32 klen + uint32 dlen on the first page
@@ -66,7 +68,8 @@ func (t *Table) putBigPair(key, data []byte) (oaddr, error) {
 		}
 		addrs[i] = o
 	}
-	buf := t.scratch
+	buf := t.getScratch()
+	defer t.putScratch(buf)
 	for i, o := range addrs {
 		clear(buf)
 		le.PutUint16(buf[bigMagicOffset:], bigMagic)
@@ -89,22 +92,24 @@ func (t *Table) putBigPair(key, data []byte) (oaddr, error) {
 	return addrs[0], nil
 }
 
-// readBigChainPage fetches one chain page into the scratch buffer and
-// returns (payload view, next address).
-func (t *Table) readBigChainPage(o oaddr) ([]byte, oaddr, error) {
-	if err := t.store.ReadPage(t.hdr.oaddrToPage(o), t.scratch); err != nil {
+// readBigChainPage fetches one chain page into buf (a page-sized scratch
+// buffer owned by the caller) and returns (payload view, next address).
+func (t *Table) readBigChainPage(o oaddr, buf []byte) ([]byte, oaddr, error) {
+	if err := t.store.ReadPage(t.hdr.oaddrToPage(o), buf); err != nil {
 		return nil, 0, fmt.Errorf("hash: big pair chain page %v: %w", o, err)
 	}
-	if !isBigPage(t.scratch) {
+	if !isBigPage(buf) {
 		return nil, 0, fmt.Errorf("%w: page %v is not a big-pair page", ErrCorrupt, o)
 	}
-	next := oaddr(le.Uint16(t.scratch[bigNextOffset:]))
-	return t.scratch[bigHdrSize:], next, nil
+	next := oaddr(le.Uint16(buf[bigNextOffset:]))
+	return buf[bigHdrSize:], next, nil
 }
 
 // readBig materializes the whole pair stored on the chain at o.
 func (t *Table) readBig(o oaddr) (key, data []byte, err error) {
-	payload, next, err := t.readBigChainPage(o)
+	buf := t.getScratch()
+	defer t.putScratch(buf)
+	payload, next, err := t.readBigChainPage(o, buf)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -116,7 +121,7 @@ func (t *Table) readBig(o oaddr) (key, data []byte, err error) {
 		if next == 0 {
 			return nil, nil, fmt.Errorf("%w: big-pair chain truncated (%d of %d bytes)", ErrCorrupt, len(out), klen+dlen)
 		}
-		payload, next, err = t.readBigChainPage(next)
+		payload, next, err = t.readBigChainPage(next, buf)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -126,10 +131,56 @@ func (t *Table) readBig(o oaddr) (key, data []byte, err error) {
 	return out[:klen:klen], out[klen:], nil
 }
 
+// readBigData appends just the data bytes of the chain at o to dst,
+// skipping the key — the GetBuf path, which avoids materializing the key
+// a second time after bigKeyEquals has already matched it.
+func (t *Table) readBigData(o oaddr, dst []byte) ([]byte, error) {
+	buf := t.getScratch()
+	defer t.putScratch(buf)
+	payload, next, err := t.readBigChainPage(o, buf)
+	if err != nil {
+		return nil, err
+	}
+	klen := int(le.Uint32(payload[0:]))
+	dlen := int(le.Uint32(payload[4:]))
+	if cap(dst)-len(dst) < dlen {
+		grown := make([]byte, len(dst), len(dst)+dlen)
+		copy(grown, dst)
+		dst = grown
+	}
+	skip := klen // key bytes still to skip before data starts
+	chunk := payload[bigLenPrefix:]
+	need := dlen
+	for {
+		if skip > 0 {
+			n := min(skip, len(chunk))
+			chunk = chunk[n:]
+			skip -= n
+		}
+		if skip == 0 && len(chunk) > 0 {
+			n := min(need, len(chunk))
+			dst = append(dst, chunk[:n]...)
+			need -= n
+			if need == 0 {
+				return dst, nil
+			}
+		}
+		if next == 0 {
+			return nil, fmt.Errorf("%w: big-pair chain truncated (%d data bytes missing)", ErrCorrupt, need)
+		}
+		chunk, next, err = t.readBigChainPage(next, buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
 // bigKeyEquals streams the chain's key bytes, comparing against key
 // without materializing the data.
 func (t *Table) bigKeyEquals(o oaddr, key []byte) (bool, error) {
-	payload, next, err := t.readBigChainPage(o)
+	buf := t.getScratch()
+	defer t.putScratch(buf)
+	payload, next, err := t.readBigChainPage(o, buf)
 	if err != nil {
 		return false, err
 	}
@@ -154,7 +205,7 @@ func (t *Table) bigKeyEquals(o oaddr, key []byte) (bool, error) {
 		if next == 0 {
 			return false, fmt.Errorf("%w: big-pair chain truncated during key compare", ErrCorrupt)
 		}
-		chunk, next, err = t.readBigChainPage(next)
+		chunk, next, err = t.readBigChainPage(next, buf)
 		if err != nil {
 			return false, err
 		}
@@ -164,7 +215,9 @@ func (t *Table) bigKeyEquals(o oaddr, key []byte) (bool, error) {
 // bigKey materializes just the key of the chain at o (used when splitting
 // a bucket, where the key must be rehashed).
 func (t *Table) bigKey(o oaddr) ([]byte, error) {
-	payload, next, err := t.readBigChainPage(o)
+	buf := t.getScratch()
+	defer t.putScratch(buf)
+	payload, next, err := t.readBigChainPage(o, buf)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +236,7 @@ func (t *Table) bigKey(o oaddr) ([]byte, error) {
 		if next == 0 {
 			return nil, fmt.Errorf("%w: big-pair chain truncated during key read", ErrCorrupt)
 		}
-		chunk, next, err = t.readBigChainPage(next)
+		chunk, next, err = t.readBigChainPage(next, buf)
 		if err != nil {
 			return nil, err
 		}
@@ -192,8 +245,10 @@ func (t *Table) bigKey(o oaddr) ([]byte, error) {
 
 // freeBigChain reclaims every page of the chain starting at o.
 func (t *Table) freeBigChain(o oaddr) error {
+	buf := t.getScratch()
+	defer t.putScratch(buf)
 	for o != 0 {
-		_, next, err := t.readBigChainPage(o)
+		_, next, err := t.readBigChainPage(o, buf)
 		if err != nil {
 			return err
 		}

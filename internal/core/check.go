@@ -152,13 +152,15 @@ func (t *Table) bigChainPages(start oaddr) ([]byte, []oaddr, error) {
 		return nil, nil, err
 	}
 	var pages []oaddr
+	buf := t.getScratch()
+	defer t.putScratch(buf)
 	o := start
 	for o != 0 {
 		if len(pages) > 1<<16 {
 			return nil, nil, fmt.Errorf("hash check: big chain at %v exceeds 65536 pages (cycle?)", start)
 		}
 		pages = append(pages, o)
-		_, next, err := t.readBigChainPage(o)
+		_, next, err := t.readBigChainPage(o, buf)
 		if err != nil {
 			return nil, nil, err
 		}

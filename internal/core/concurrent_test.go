@@ -1,0 +1,227 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadersOneWriter is the tentpole stress test: many
+// reader goroutines (point lookups and full scans) run against one
+// writer that replaces, deletes and inserts keys — forcing bucket
+// splits, overflow allocation and buffer-pool eviction while reads are
+// in flight. Run with -race; every read must see either a consistent
+// committed value or ErrNotFound for churned keys.
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	const (
+		stable = 1500 // keys written once, then immutable
+		churn  = 100  // keys the writer mutates throughout
+	)
+	tbl := mustOpen(t, "", &Options{
+		Bsize:     512,
+		Ffactor:   8,
+		CacheSize: 512 * 16, // small pool: reads fault and evict constantly
+	})
+	defer tbl.Close()
+
+	stableVal := func(i int) []byte {
+		if i%37 == 0 {
+			// A big pair: streams through the scratch-page chain reader.
+			return bytes.Repeat([]byte{byte(i), byte(i >> 8)}, 800+i%50)
+		}
+		return []byte(fmt.Sprintf("stable-value-%06d", i))
+	}
+	churnKey := func(i int) []byte { return []byte(fmt.Sprintf("churn-%04d", i)) }
+
+	for i := 0; i < stable; i++ {
+		if err := tbl.Put(key(i), stableVal(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < churn; i++ {
+		if err := tbl.Put(churnKey(i), []byte("churn-v0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	readers := runtime.GOMAXPROCS(0) * 2
+	if readers < 4 {
+		readers = 4
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+3)
+
+	// Point-lookup readers: stable keys must match exactly; churned keys
+	// may be absent or hold any well-formed churn value.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			dst := make([]byte, 0, 2048)
+			for i := 0; i < 4000; i++ {
+				if rng.Intn(4) > 0 {
+					k := rng.Intn(stable)
+					var err error
+					dst, err = tbl.GetBuf(key(k), dst)
+					if err != nil {
+						errs <- fmt.Errorf("reader %d: stable key %d: %w", r, k, err)
+						return
+					}
+					if !bytes.Equal(dst, stableVal(k)) {
+						errs <- fmt.Errorf("reader %d: stable key %d: got %d bytes, want %d",
+							r, k, len(dst), len(stableVal(k)))
+						return
+					}
+				} else {
+					k := rng.Intn(churn)
+					v, err := tbl.Get(churnKey(k))
+					switch {
+					case errors.Is(err, ErrNotFound):
+					case err != nil:
+						errs <- fmt.Errorf("reader %d: churn key %d: %w", r, k, err)
+						return
+					case !bytes.HasPrefix(v, []byte("churn-v")):
+						errs <- fmt.Errorf("reader %d: churn key %d: torn value %q", r, k, v)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Scanners: full sequential passes run in parallel with everything.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for pass := 0; pass < 3; pass++ {
+				n := 0
+				it := tbl.Iter()
+				for it.Next() {
+					n++
+				}
+				if err := it.Err(); err != nil {
+					errs <- fmt.Errorf("scanner %d: %w", s, err)
+					return
+				}
+				// Concurrent mutation may skip or repeat churned pairs, but
+				// the stable majority must always be seen.
+				if n < stable {
+					errs <- fmt.Errorf("scanner %d: saw %d pairs, want >= %d", s, n, stable)
+					return
+				}
+			}
+		}(s)
+	}
+
+	// The writer: replaces churn values, deletes and reinserts, and adds
+	// fresh keys so the table keeps splitting under the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		next := stable
+		for i := 0; i < 3000; i++ {
+			switch rng.Intn(4) {
+			case 0: // replace
+				k := rng.Intn(churn)
+				if err := tbl.Put(churnKey(k), []byte(fmt.Sprintf("churn-v%d", i))); err != nil {
+					errs <- fmt.Errorf("writer put: %w", err)
+					return
+				}
+			case 1: // delete (absent is fine: it may already be gone)
+				k := rng.Intn(churn)
+				if err := tbl.Delete(churnKey(k)); err != nil && !errors.Is(err, ErrNotFound) {
+					errs <- fmt.Errorf("writer delete: %w", err)
+					return
+				}
+			default: // grow: forces splits while readers hold the read path
+				if err := tbl.Put(key(next), stableVal(next)); err != nil {
+					errs <- fmt.Errorf("writer grow: %w", err)
+					return
+				}
+				next++
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+	if err := tbl.Check(); err != nil {
+		t.Fatalf("table corrupt after concurrent run: %v", err)
+	}
+}
+
+// TestConcurrentGetBufReuse verifies GetBuf's append-into-dst contract
+// under concurrency: each goroutine reuses one buffer across thousands
+// of lookups and must never observe another goroutine's data.
+func TestConcurrentGetBufReuse(t *testing.T) {
+	tbl := mustOpen(t, "", nil)
+	defer tbl.Close()
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tbl.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			var dst []byte
+			for i := 0; i < 5000; i++ {
+				k := rng.Intn(n)
+				var err error
+				dst, err = tbl.GetBuf(key(k), dst)
+				if err != nil || !bytes.Equal(dst, val(k)) {
+					errs <- fmt.Errorf("reader %d: key %d: %q, %v", r, k, dst, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestGetBufAppendSemantics pins down the non-concurrent contract: the
+// result reuses dst's storage when capacity suffices and dst may be nil.
+func TestGetBufAppendSemantics(t *testing.T) {
+	tbl := mustOpen(t, "", nil)
+	defer tbl.Close()
+	if err := tbl.Put([]byte("k"), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.GetBuf([]byte("k"), nil)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("GetBuf(nil dst) = %q, %v", got, err)
+	}
+	dst := make([]byte, 0, 64)
+	got2, err := tbl.GetBuf([]byte("k"), dst)
+	if err != nil || string(got2) != "hello" {
+		t.Fatalf("GetBuf = %q, %v", got2, err)
+	}
+	if &got2[0] != &dst[:1][0] {
+		t.Fatal("GetBuf did not reuse dst's storage")
+	}
+	if _, err := tbl.GetBuf([]byte("missing"), dst); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetBuf missing = %v, want ErrNotFound", err)
+	}
+}

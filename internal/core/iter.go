@@ -14,10 +14,12 @@ import (
 //
 // The iterator addresses pages logically and refetches them through the
 // buffer pool on each advance, so it holds no pins between calls and an
-// arbitrarily large table can be scanned with a small pool. Mutating the
-// table during a scan is permitted but the scan may then skip or repeat
-// entries, as with the original package; the iterator itself never
-// corrupts the table.
+// arbitrarily large table can be scanned with a small pool. Each Next
+// takes the table's shared lock, so scans run in parallel with Gets and
+// with other scans. Mutating the table during a scan is permitted but the
+// scan may then skip or repeat entries, as with the original package; the
+// iterator itself never corrupts the table. An Iterator value is not
+// itself safe for use from multiple goroutines; give each its own.
 type Iterator struct {
 	t        *Table
 	bucket   uint32
@@ -41,8 +43,8 @@ func (it *Iterator) Next() bool {
 	if it.done || it.err != nil {
 		return false
 	}
-	it.t.mu.Lock()
-	defer it.t.mu.Unlock()
+	it.t.mu.RLock()
+	defer it.t.mu.RUnlock()
 	if err := it.t.checkOpen(); err != nil {
 		it.err = err
 		return false
@@ -67,13 +69,15 @@ func (it *Iterator) Next() bool {
 // exists.
 func (it *Iterator) nextOnPage() (bool, error) {
 	t := it.t
-	var addr buffer.Addr
+	var buf *buffer.Buf
+	var err error
 	if it.o == 0 {
-		addr = t.bucketAddr(it.bucket)
+		buf, err = t.pool.Get(t.bucketAddr(it.bucket), nil, true)
 	} else {
-		addr = ovflBufAddr(it.o)
+		// An unlinked overflow fetch: name the owning bucket so the page
+		// lands in its chain's shard.
+		buf, err = t.pool.GetOwned(ovflBufAddr(it.o), it.bucket, false)
 	}
-	buf, err := t.pool.Get(addr, nil, it.o == 0)
 	if err != nil {
 		// A never-written primary page of a pre-sized table is empty.
 		if it.o == 0 && errors.Is(err, pagefile.ErrNotAllocated) {
@@ -83,10 +87,6 @@ func (it *Iterator) nextOnPage() (bool, error) {
 	}
 	defer t.pool.Put(buf)
 	pg := page(buf.Page)
-	if pg.low() == 0 {
-		initPage(pg)
-		buf.Dirty = true
-	}
 
 	e, n, err := entryAtWithCount(pg, it.idx)
 	if err != nil {

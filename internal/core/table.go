@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"unixhash/internal/buffer"
 	"unixhash/internal/hashfunc"
@@ -86,11 +87,15 @@ func (o *Options) withDefaults() (Options, error) {
 }
 
 // Table is a linear-hash table of byte-string key/data pairs. All methods
-// are safe for concurrent use; operations are serialized internally (the
-// paper's package is single-user, and so is a Table — safety, not
-// parallelism).
+// are safe for concurrent use. Read-only operations — Get, GetBuf, Has,
+// Len, Stats, Geometry and iteration — take a shared lock and run in
+// parallel with one another over the sharded buffer pool; writers (Put,
+// Delete, Sync, Close and anything that can split a bucket, grow the
+// bucket array or dirty the header) are exclusive, because a split moves
+// pairs between buckets and must not be observed half-done. The lock
+// order is table lock → buffer shard lock, and never the reverse.
 type Table struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 
 	hdr   header
 	hash  hashfunc.Func
@@ -104,12 +109,15 @@ type Table struct {
 	dirtyHdr       bool
 	controlledOnly bool
 
-	// Bitmap pages are owned by the table, outside the LRU pool.
+	// Bitmap pages are owned by the table, outside the LRU pool. They are
+	// only touched by writers (allocation, free, dump), under mu.Lock.
 	bitmapBuf   [maxSplits][]byte
 	bitmapDirty [maxSplits]bool
 	freeCount   [maxSplits]int
 
-	scratch []byte // one page, for big-pair chain I/O
+	// scratch recycles page-sized buffers for big-pair chain I/O; each
+	// operation takes its own so concurrent readers never share one.
+	scratch sync.Pool
 
 	addedOvfl bool // an insert grew a chain: uncontrolled split pending
 
@@ -117,6 +125,8 @@ type Table struct {
 }
 
 // TableStats counts structural events for tests and the bench harness.
+// Gets is maintained atomically (reads run concurrently); the remaining
+// counters only move under the exclusive table lock.
 type TableStats struct {
 	Expansions int64 // bucket splits (table growth steps)
 	OvflAllocs int64 // fresh overflow pages allocated
@@ -186,15 +196,35 @@ func Open(path string, o *Options) (*Table, error) {
 		return nil, err
 	}
 
-	t.scratch = make([]byte, t.hdr.bsize)
-	t.pool = buffer.New(t.store, opts.CacheSize, func(a buffer.Addr) uint32 {
+	t.scratch.New = func() any { return make([]byte, t.hdr.bsize) }
+	t.pool = buffer.NewConfig(t.store, opts.CacheSize, func(a buffer.Addr) uint32 {
 		if a.Ovfl {
 			return t.hdr.oaddrToPage(oaddr(a.N))
 		}
 		return t.hdr.bucketToPage(a.N)
-	})
+	}, buffer.Config{OnLoad: onPageLoad})
 	return t, nil
 }
+
+// onPageLoad runs under the shard lock whenever the pool faults a page
+// in. A primary page that has never been written (all zeros — a fresh
+// create, or a hole in a pre-sized table) is formatted here, exactly
+// once, so concurrent readers never race to initialize it.
+func onPageLoad(a buffer.Addr, pg []byte) bool {
+	if a.Ovfl {
+		return false // overflow pages are formatted by their allocator
+	}
+	if p := page(pg); p.low() == 0 {
+		initPage(p)
+		return true
+	}
+	return false
+}
+
+// getScratch borrows a page-sized buffer for big-pair chain I/O.
+func (t *Table) getScratch() []byte { return t.scratch.Get().([]byte) }
+
+func (t *Table) putScratch(buf []byte) { t.scratch.Put(buf) }
 
 // peekBsize reads an existing file's header prefix to learn its page size
 // before the page store is opened. It reports exists=false for missing or
@@ -303,18 +333,10 @@ func (t *Table) calcBucket(h uint32) uint32 {
 func (t *Table) bucketAddr(b uint32) buffer.Addr { return buffer.Addr{N: b} }
 func ovflBufAddr(o oaddr) buffer.Addr            { return buffer.Addr{N: uint32(o), Ovfl: true} }
 
-// getPage pins the page at the head of bucket b's chain.
+// getPage pins the page at the head of bucket b's chain. Fresh zero
+// pages were already formatted by the pool's load hook.
 func (t *Table) getBucketPage(b uint32) (*buffer.Buf, error) {
-	buf, err := t.pool.Get(t.bucketAddr(b), nil, true)
-	if err != nil {
-		return nil, err
-	}
-	if pg := page(buf.Page); pg.low() == 0 {
-		// Freshly created zero page: format it.
-		initPage(pg)
-		buf.Dirty = true
-	}
-	return buf, nil
+	return t.pool.Get(t.bucketAddr(b), nil, true)
 }
 
 func (t *Table) checkOpen() error {
@@ -335,19 +357,28 @@ func (t *Table) checkWritable() error {
 }
 
 // Get returns a copy of the data stored under key, or ErrNotFound.
+// Gets may run concurrently with one another and with iteration.
 func (t *Table) Get(key []byte) ([]byte, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	return t.GetBuf(key, nil)
+}
+
+// GetBuf is Get with a caller-supplied destination: the value is appended
+// to dst[:0] and the resulting slice returned, so a reader looping over
+// keys with a reused buffer performs no per-call value allocation. A nil
+// dst behaves like Get.
+func (t *Table) GetBuf(key, dst []byte) ([]byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if err := t.checkOpen(); err != nil {
 		return nil, err
 	}
 	if len(key) == 0 {
 		return nil, ErrEmptyKey
 	}
-	t.stats.Gets++
+	atomic.AddInt64(&t.stats.Gets, 1)
 	bucket := t.calcBucket(t.hash(key))
 
-	var out []byte
+	out := dst[:0]
 	found := false
 	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
 		pg := page(buf.Page)
@@ -356,7 +387,7 @@ func (t *Table) Get(key []byte) ([]byte, error) {
 			switch e.kind {
 			case entryRegular:
 				if bytes.Equal(e.key, key) {
-					out = append([]byte(nil), e.data...)
+					out = append(out, e.data...)
 					found = true
 					return false
 				}
@@ -367,13 +398,8 @@ func (t *Table) Get(key []byte) ([]byte, error) {
 					return false
 				}
 				if eq {
-					_, data, err := t.readBig(e.ref)
-					if err != nil {
-						inner = err
-						return false
-					}
-					out = data
-					found = true
+					out, inner = t.readBigData(e.ref, out)
+					found = inner == nil
 					return false
 				}
 			}
@@ -516,10 +542,11 @@ func (t *Table) scanBucket(bucket uint32, key []byte, needRef bool, klen, dlen i
 	return s, err
 }
 
-// fetchAddr pins the page at a previously scanned address.
-func (t *Table) fetchAddr(a buffer.Addr) (*buffer.Buf, error) {
+// fetchAddr pins the page at a previously scanned address on bucket's
+// chain (the owning bucket routes overflow pages to the chain's shard).
+func (t *Table) fetchAddr(a buffer.Addr, bucket uint32) (*buffer.Buf, error) {
 	if a.Ovfl {
-		return t.pool.Get(a, nil, false)
+		return t.pool.GetOwned(a, bucket, false)
 	}
 	return t.getBucketPage(a.N)
 }
@@ -556,7 +583,7 @@ func (t *Table) put(key, data []byte, replace bool) error {
 
 	inserted := false
 	if s.found {
-		buf, err := t.fetchAddr(s.foundAddr)
+		buf, err := t.fetchAddr(s.foundAddr, bucket)
 		if err != nil {
 			return err
 		}
@@ -585,7 +612,7 @@ func (t *Table) put(key, data []byte, replace bool) error {
 	}
 
 	if !inserted && s.room {
-		buf, err := t.fetchAddr(s.roomAddr)
+		buf, err := t.fetchAddr(s.roomAddr, bucket)
 		if err != nil {
 			return err
 		}
@@ -605,7 +632,7 @@ func (t *Table) put(key, data []byte, replace bool) error {
 	}
 
 	if !inserted {
-		tail, err := t.fetchAddr(s.tailAddr)
+		tail, err := t.fetchAddr(s.tailAddr, bucket)
 		if err != nil {
 			return err
 		}
@@ -1002,8 +1029,8 @@ func (t *Table) splitBucket(oldBucket, newBucket uint32) error {
 
 // Len returns the number of keys in the table.
 func (t *Table) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return int(t.hdr.nkeys)
 }
 
@@ -1061,9 +1088,20 @@ func (t *Table) Close() error {
 
 // Stats returns a copy of the table's structural counters.
 func (t *Table) Stats() TableStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	// Gets moves under the shared lock, so it must be read atomically;
+	// the rest only moves under the exclusive lock, which RLock excludes.
+	return TableStats{
+		Expansions: t.stats.Expansions,
+		OvflAllocs: t.stats.OvflAllocs,
+		OvflReuses: t.stats.OvflReuses,
+		OvflFrees:  t.stats.OvflFrees,
+		BigPairs:   t.stats.BigPairs,
+		Gets:       atomic.LoadInt64(&t.stats.Gets),
+		Puts:       t.stats.Puts,
+		Dels:       t.stats.Dels,
+	}
 }
 
 // Pool exposes the buffer pool for tests and the bench harness.
@@ -1085,8 +1123,8 @@ type Geometry struct {
 
 // Geometry returns the table's current shape for tools and tests.
 func (t *Table) Geometry() Geometry {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return Geometry{
 		Bsize:     int(t.hdr.bsize),
 		Ffactor:   int(t.hdr.ffactor),

@@ -432,7 +432,7 @@ func TestTinyCache(t *testing.T) {
 			t.Fatalf("Get %d = %q, %v", i, got, err)
 		}
 	}
-	if tbl.Pool().Evictions == 0 {
+	if tbl.Pool().Evictions.Load() == 0 {
 		t.Fatal("tiny cache produced no evictions")
 	}
 }

@@ -60,6 +60,10 @@ type Config struct {
 type DB interface {
 	// Get returns the data stored under key (ErrNotFound if absent).
 	Get(key []byte) ([]byte, error)
+	// GetBuf is Get with caller-supplied storage: the data is appended
+	// to dst[:0] and the resulting slice returned, so a hot read loop
+	// can run allocation-free by reusing one buffer.
+	GetBuf(key, dst []byte) ([]byte, error)
 	// Put stores data under key, replacing an existing value.
 	Put(key, data []byte) error
 	// PutNew stores data under key, failing with ErrKeyExists.
@@ -144,6 +148,14 @@ func (d *hashDB) Get(key []byte) ([]byte, error) {
 	return v, err
 }
 
+func (d *hashDB) GetBuf(key, dst []byte) ([]byte, error) {
+	v, err := d.t.GetBuf(key, dst)
+	if errors.Is(err, core.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+
 func (d *hashDB) Put(key, data []byte) error { return d.t.Put(key, data) }
 
 func (d *hashDB) PutNew(key, data []byte) error {
@@ -177,6 +189,16 @@ func (d *btreeDB) Get(key []byte) ([]byte, error) {
 		return nil, ErrNotFound
 	}
 	return v, err
+}
+
+// GetBuf copies into dst for interface parity; the btree has no
+// zero-copy read path.
+func (d *btreeDB) GetBuf(key, dst []byte) ([]byte, error) {
+	v, err := d.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst[:0], v...), nil
 }
 
 func (d *btreeDB) Put(key, data []byte) error { return d.t.Put(key, data) }
@@ -228,6 +250,15 @@ func (d *recnoDB) Get(key []byte) ([]byte, error) {
 		return nil, ErrNotFound
 	}
 	return v, err
+}
+
+// GetBuf copies into dst for interface parity.
+func (d *recnoDB) GetBuf(key, dst []byte) ([]byte, error) {
+	v, err := d.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst[:0], v...), nil
 }
 
 func (d *recnoDB) Put(key, data []byte) error {

@@ -1,0 +1,38 @@
+package hashfunc
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// BenchmarkHashFuncs measures every registered function over key lengths
+// spanning the short-key regime (where loop overhead dominates) through
+// page-sized keys (where per-byte throughput dominates). All functions
+// must run allocation-free.
+func BenchmarkHashFuncs(b *testing.B) {
+	names := make([]string, 0, len(ByName))
+	for name := range ByName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var sink uint32
+	for _, name := range names {
+		fn := ByName[name]
+		for _, size := range []int{8, 32, 256, 4096} {
+			key := make([]byte, size)
+			for i := range key {
+				key[i] = byte(i*131 + 7)
+			}
+			b.Run(fmt.Sprintf("%s/len=%d", name, size), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(size))
+				for i := 0; i < b.N; i++ {
+					sink = fn(key)
+				}
+			})
+		}
+	}
+	_ = sink
+}
