@@ -4,9 +4,9 @@ GO ?= go
 # -race is slow, so check races where the locks actually live.
 RACE_PKGS = ./internal/core ./internal/buffer ./internal/db
 
-.PHONY: check build vet test race bench concurrency clean
+.PHONY: check build vet test race crash fuzz-crash bench concurrency clean
 
-check: vet build test race
+check: vet build test race crash
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,14 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Power-cut simulation: every write prefix of a workload (torn pages
+# included) must recover to the last-synced state or fail loudly.
+crash:
+	$(GO) test -count=1 -run 'Crash|Fault|Recover|Durab|Sync' ./internal/core ./internal/pagefile
+
+fuzz-crash:
+	$(GO) test -run=NONE -fuzz=FuzzTableCrashRecovery -fuzztime=30s ./internal/core
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .

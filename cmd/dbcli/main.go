@@ -8,9 +8,12 @@
 //	dbcli -method btree file.db range FROM      # ordered scan from FROM
 //	dbcli -method recno file.db put 3 VALUE     # recno keys are numbers
 //	dbcli -method recno file.db append VALUE
-//	dbcli [...] del KEY | list | count | check
+//	dbcli [...] del KEY | list | count | check | verify
 //
-// check verifies structural invariants (btree only).
+// check verifies structural invariants (btree only). verify checks a
+// file without modifying it: for hash it also diagnoses files left
+// dirty by a crash (is the last-synced state intact?), exiting nonzero
+// on any problem.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"strconv"
 
 	"unixhash/internal/btree"
+	"unixhash/internal/core"
 	"unixhash/internal/db"
 )
 
@@ -49,7 +53,13 @@ func main() {
 		fatal(fmt.Errorf("unknown method %q", *method))
 	}
 
-	d, err := db.Open(path, m, nil)
+	var cfg *db.Config
+	if cmd == "verify" && m == db.Hash {
+		// verify must be able to open a file a crashed writer left dirty,
+		// and must not modify it.
+		cfg = &db.Config{Hash: &core.Options{ReadOnly: true, AllowDirty: true}}
+	}
+	d, err := db.Open(path, m, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -150,10 +160,42 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("ok")
+	case "verify":
+		need(0)
+		switch m {
+		case db.Hash:
+			ht, ok := underlyingHash(d)
+			if !ok {
+				fatal(errors.New("internal: hash db without a table"))
+			}
+			if err := ht.Verify(); err != nil {
+				fatal(err)
+			}
+		case db.Btree:
+			bt, ok := underlyingBtree(d)
+			if !ok {
+				fatal(errors.New("internal: btree db without a tree"))
+			}
+			if err := bt.Check(); err != nil {
+				fatal(err)
+			}
+		default:
+			fatal(errors.New("verify is not supported for recno"))
+		}
+		fmt.Println("ok")
 	default:
 		usage()
 		os.Exit(2)
 	}
+}
+
+// underlyingHash reaches through the db adapter for hash-only verbs.
+func underlyingHash(d db.DB) (*core.Table, bool) {
+	type tabler interface{ Table() *core.Table }
+	if t, ok := d.(tabler); ok {
+		return t.Table(), true
+	}
+	return nil, false
 }
 
 // underlyingBtree reaches through the db adapter for btree-only verbs.
@@ -181,6 +223,6 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dbcli [-method hash|btree|recno] file.db {put K V|append V|get K|del K|list|range FROM|count|check}`)
+	fmt.Fprintln(os.Stderr, `usage: dbcli [-method hash|btree|recno] file.db {put K V|append V|get K|del K|list|range FROM|count|check|verify}`)
 	flag.PrintDefaults()
 }

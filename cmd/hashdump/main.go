@@ -2,11 +2,15 @@
 // header geometry, the spares array, each bucket's chain shape and page
 // fill, and overflow bitmap occupancy.
 //
-//	hashdump [-v] [-stats] [-check] file.db
+//	hashdump [-v] [-stats] [-check] [-recover] file.db
 //
 // With -v every entry's key is listed. With -stats only aggregate
-// statistics are printed. With -check the file's structural invariants
-// are verified (key placement, chain and bitmap consistency, leaks).
+// statistics are printed. With -check the file is verified: a cleanly
+// synced file gets the full structural check (key placement, chain and
+// bitmap consistency, leaks, pair fingerprint); a file left dirty by a
+// crash gets a dry-run of recovery, reporting whether its last-synced
+// state is intact. With -recover a dirty file is restored to its
+// last-synced state and stamped clean. Any problem exits nonzero.
 package main
 
 import (
@@ -20,9 +24,10 @@ import (
 func main() {
 	verbose := flag.Bool("v", false, "list every entry's key")
 	statsOnly := flag.Bool("stats", false, "print aggregate statistics only")
-	check := flag.Bool("check", false, "verify structural invariants and exit")
+	check := flag.Bool("check", false, "verify structural and durability invariants and exit")
+	doRecover := flag.Bool("recover", false, "recover a crashed file to its last-synced state")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: hashdump [-v] [-stats] [-check] file.db")
+		fmt.Fprintln(os.Stderr, "usage: hashdump [-v] [-stats] [-check] [-recover] file.db")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -32,7 +37,23 @@ func main() {
 	}
 	path := flag.Arg(0)
 
-	t, err := core.Open(path, &core.Options{ReadOnly: true})
+	if *doRecover {
+		t, rep, err := core.Recover(path, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hashdump: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		if err := t.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hashdump: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Open tolerating the dirty flag: hashdump is an inspection tool, and
+	// -check must be able to diagnose a crashed file rather than refuse it.
+	t, err := core.Open(path, &core.Options{ReadOnly: true, AllowDirty: true})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hashdump: %v\n", err)
 		os.Exit(1)
@@ -40,12 +61,15 @@ func main() {
 	defer t.Close()
 
 	if *check {
-		if err := t.Check(); err != nil {
+		if err := t.Verify(); err != nil {
 			fmt.Fprintf(os.Stderr, "hashdump: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println("ok")
 		return
+	}
+	if g := t.Geometry(); g.Dirty {
+		fmt.Fprintf(os.Stderr, "hashdump: warning: %s was not cleanly closed; contents may predate the crash (run -recover)\n", path)
 	}
 	if *statsOnly {
 		g := t.Geometry()

@@ -80,9 +80,14 @@ func TestFig7Shape(t *testing.T) {
 		t.Errorf("sys time did not fall with pool size: %v (small) vs %v (1MB)",
 			small.T.Sys, large.T.Sys)
 	}
-	// ...and with 1 MB of buffer space the package performed no I/O.
-	if large.IOOps != 0 {
-		t.Errorf("1MB pool performed %d page I/Os, paper expects none", large.IOOps)
+	// ...and with 1 MB of buffer space the package performed no I/O for
+	// the data set. The durable dirty mark (one header write before the
+	// first mutation) is a constant durability cost on top of the paper's
+	// model, so allow exactly those header pages and nothing more.
+	hdrWrites := int64((276 + 255) / 256) // headerSize / bsize, rounded up
+	if large.IOOps > hdrWrites {
+		t.Errorf("1MB pool performed %d page I/Os, paper expects none beyond the %d-page dirty mark",
+			large.IOOps, hdrWrites)
 	}
 	// User time is virtually insensitive to the pool size (allow wide
 	// slack: wall-clock noise).

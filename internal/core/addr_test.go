@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hash/crc32"
 	"testing"
 	"testing/quick"
 )
@@ -151,6 +152,7 @@ func TestHeaderRoundtrip(t *testing.T) {
 		maxBucket: 77, highMask: 127, lowMask: 63, ovflPoint: 7,
 		lastFreed: uint32(makeOaddr(3, 9)), nkeys: 123456, hdrPages: 1,
 		checkHash: 0xdeadbeef,
+		syncEpoch: 42, flags: hdrDirty, pairSum: 0xfeedface12345678,
 	}
 	for i := 0; i <= 7; i++ {
 		h.spares[i] = uint32(i * 3)
@@ -175,27 +177,31 @@ func TestHeaderRejectsGarbage(t *testing.T) {
 	if err := h.decode(buf); err == nil {
 		t.Fatal("decoded all-zero header")
 	}
-	// Valid header with each field corrupted in turn.
+	// Valid header with each field corrupted in turn. The CRC is
+	// recomputed after each corruption so the per-field validators are
+	// exercised, not just the checksum.
 	good := header{
 		lorder: lorderLittle, bsize: 256, bshift: 8, ffactor: 8,
-		maxBucket: 0, highMask: 1, lowMask: 0, hdrPages: 1,
+		maxBucket: 0, highMask: 1, lowMask: 0, hdrPages: 2,
 	}
 	corrupt := []func(b []byte){
-		func(b []byte) { le.PutUint32(b[0:], 0x12345) }, // magic
-		func(b []byte) { le.PutUint32(b[4:], 99) },      // version
-		func(b []byte) { le.PutUint32(b[8:], 4321) },    // lorder
-		func(b []byte) { le.PutUint32(b[12:], 100) },    // bsize not pow2
-		func(b []byte) { le.PutUint32(b[16:], 3) },      // bshift mismatch
-		func(b []byte) { le.PutUint32(b[20:], 0) },      // ffactor 0
-		func(b []byte) { le.PutUint32(b[24:], 7) },      // maxBucket > highMask
-		func(b []byte) { le.PutUint32(b[36:], 99) },     // ovflPoint
-		func(b []byte) { le.PutUint64(b[44:], 1<<63) },  // negative nkeys
-		func(b []byte) { le.PutUint32(b[52:], 9) },      // hdrPages
+		func(b []byte) { le.PutUint32(b[0:], 0x12345) },     // magic
+		func(b []byte) { le.PutUint32(b[4:], 99) },          // version
+		func(b []byte) { le.PutUint32(b[8:], 4321) },        // lorder
+		func(b []byte) { le.PutUint32(b[12:], 100) },        // bsize not pow2
+		func(b []byte) { le.PutUint32(b[16:], 3) },          // bshift mismatch
+		func(b []byte) { le.PutUint32(b[20:], 0) },          // ffactor 0
+		func(b []byte) { le.PutUint32(b[24:], 7) },          // maxBucket > highMask
+		func(b []byte) { le.PutUint32(b[36:], 99) },         // ovflPoint
+		func(b []byte) { le.PutUint64(b[44:], 1<<63) },      // negative nkeys
+		func(b []byte) { le.PutUint32(b[52:], 9) },          // hdrPages
+		func(b []byte) { le.PutUint32(b[hdrCrcOff-12:], 4) }, // unknown flags
 	}
 	for i, f := range corrupt {
 		buf := make([]byte, headerSize)
 		good.encode(buf)
 		f(buf)
+		le.PutUint32(buf[hdrCrcOff:], crc32.ChecksumIEEE(buf[:hdrCrcOff]))
 		var h header
 		if err := h.decode(buf); err == nil {
 			t.Errorf("corruption %d: decode succeeded", i)
@@ -203,10 +209,28 @@ func TestHeaderRejectsGarbage(t *testing.T) {
 	}
 }
 
+// A bit flip anywhere in the header without a matching CRC — a torn or
+// corrupted header write — must be rejected by the checksum alone.
+func TestHeaderRejectsTornWrite(t *testing.T) {
+	good := header{
+		lorder: lorderLittle, bsize: 256, bshift: 8, ffactor: 8,
+		maxBucket: 0, highMask: 1, lowMask: 0, hdrPages: 2,
+	}
+	for off := 8; off < headerSize; off += 7 {
+		buf := make([]byte, headerSize)
+		good.encode(buf)
+		buf[off] ^= 0x40
+		var h header
+		if err := h.decode(buf); err == nil {
+			t.Errorf("bit flip at %d: decode succeeded", off)
+		}
+	}
+}
+
 func TestHeaderRejectsNonCumulativeSpares(t *testing.T) {
 	h := header{
 		lorder: lorderLittle, bsize: 256, bshift: 8, ffactor: 8,
-		maxBucket: 3, highMask: 3, lowMask: 1, ovflPoint: 2, hdrPages: 1,
+		maxBucket: 3, highMask: 3, lowMask: 1, ovflPoint: 2, hdrPages: 2,
 	}
 	h.spares[0] = 5
 	h.spares[1] = 3 // decreasing: invalid

@@ -38,13 +38,17 @@ func (t *Table) Check() error {
 	}
 
 	var count int64
+	var sum uint64
 	for b := uint32(0); b <= t.hdr.maxBucket; b++ {
-		if err := t.checkBucket(b, claim, &count); err != nil {
+		if err := t.checkBucket(b, claim, &count, &sum); err != nil {
 			return err
 		}
 	}
 	if count != t.hdr.nkeys {
 		return fmt.Errorf("hash check: %d keys found, header says %d", count, t.hdr.nkeys)
+	}
+	if sum != t.hdr.pairSum {
+		return fmt.Errorf("hash check: pair fingerprint %#x, header says %#x", sum, t.hdr.pairSum)
 	}
 
 	// Leak detection: every allocated bit must be claimed or be a
@@ -89,8 +93,9 @@ func (t *Table) checkAllocated(o oaddr) error {
 	return nil
 }
 
-// checkBucket walks one bucket's chain.
-func (t *Table) checkBucket(bucket uint32, claim func(oaddr, string) error, count *int64) error {
+// checkBucket walks one bucket's chain, accumulating the key count and
+// the XOR pair fingerprint.
+func (t *Table) checkBucket(bucket uint32, claim func(oaddr, string) error, count *int64, sum *uint64) error {
 	seen := 0
 	var chainErr error
 	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
@@ -112,6 +117,7 @@ func (t *Table) checkBucket(bucket uint32, claim func(oaddr, string) error, coun
 					return false
 				}
 				*count++
+				*sum ^= pairHash(e.key, e.data)
 			case entryBig:
 				key, pages, err := t.bigChainPages(e.ref)
 				if err != nil {
@@ -129,7 +135,13 @@ func (t *Table) checkBucket(bucket uint32, claim func(oaddr, string) error, coun
 						truncKey(key), bucket, want)
 					return false
 				}
+				data, err := t.readBigData(e.ref, nil)
+				if err != nil {
+					chainErr = err
+					return false
+				}
 				*count++
+				*sum ^= pairHash(key, data)
 			}
 			return true
 		})

@@ -67,7 +67,45 @@ var (
 	ErrCorrupt      = errors.New("hash: file is corrupt")
 	ErrTooManyPages = errors.New("hash: out of overflow pages")
 	ErrEmptyKey     = errors.New("hash: empty key")
+
+	// ErrNeedsRecovery is returned by Open when the file's dirty flag is
+	// set — the table was not cleanly synced (a crash, or a writer is
+	// still live) — and the caller did not set Options.AllowDirty. Run
+	// Recover to rebuild it, or open with AllowDirty for inspection.
+	ErrNeedsRecovery = errors.New("hash: file was not cleanly closed; recovery required")
+	// ErrUnrecoverable is returned by Recover and Verify when a dirty
+	// file's pages do not reproduce the state recorded at the last
+	// successful sync: data has been lost or corrupted and no repair can
+	// restore it.
+	ErrUnrecoverable = errors.New("hash: file is unrecoverable")
 )
+
+// pairHash is an order-independent fingerprint component for one key/data
+// pair: FNV-1a over the key length, the key bytes and the data bytes. The
+// header's pairSum is the XOR of pairHash over every stored pair, so it
+// can be maintained incrementally (XOR in on insert, XOR out on delete)
+// and recomputed by a walk in any order. Folding the key length keeps
+// ("ab","c") and ("a","bc") from colliding.
+func pairHash(key, data []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for n := len(key); ; n >>= 8 {
+		h = (h ^ uint64(n&0xff)) * prime64
+		if n < 0x100 {
+			break
+		}
+	}
+	for _, b := range key {
+		h = (h ^ uint64(b)) * prime64
+	}
+	for _, b := range data {
+		h = (h ^ uint64(b)) * prime64
+	}
+	return h
+}
 
 // oaddr is a 16-bit overflow page address. Zero is never a valid address
 // (page numbers start at one), so zero means "no page".

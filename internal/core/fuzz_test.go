@@ -21,8 +21,8 @@ func FuzzOpenArbitraryFile(f *testing.F) {
 	h.bshift = 8
 	h.ffactor = 8
 	h.highMask = 1
-	h.hdrPages = 1
-	valid := make([]byte, 256)
+	h.hdrPages = 2
+	valid := make([]byte, 512)
 	h.encode(valid)
 	f.Add(valid)
 	trashed := append([]byte(nil), valid...)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"hash/crc32"
 )
 
 // File header. The header occupies the first hdrPages pages of the file
@@ -10,6 +11,15 @@ import (
 // overflow pages at each split point (spares), and the addresses of the
 // overflow-use bitmap pages (bitmaps), as the paper describes.
 //
+// Version 4 adds the durability fields: a monotonically increasing sync
+// epoch (bumped on every successful two-phase sync), a dirty flag (set
+// durably before the first mutation after an open or sync, cleared only
+// after all data pages have reached stable storage), an order-independent
+// checksum of the stored key/data pairs (pairSum, used by crash recovery
+// to verify that the pages hold exactly the last-synced state), and a
+// CRC-32 over the header bytes so a torn header write is detected rather
+// than decoded.
+//
 // spares[i] is cumulative: the total number of overflow pages allocated
 // at split points 0..i. The page-address calculations depend on it:
 //
@@ -17,9 +27,11 @@ import (
 //	OADDR_TO_PAGE(o)  = BUCKET_TO_PAGE((1 << o.split()) - 1) + o.pagenum()
 const (
 	magic   = 0x061561 // the 4.4BSD hash magic
-	version = 3
+	version = 4
 
-	headerSize = 4 + // magic
+	// hdrCrcOff is the offset of the trailing CRC-32; the checksum
+	// covers every header byte before it.
+	hdrCrcOff = 4 + // magic
 		4 + // version
 		4 + // lorder
 		4 + // bsize
@@ -34,8 +46,16 @@ const (
 		4 + // hdrPages
 		4 + // checkHash
 		4*maxSplits + // spares
-		2*maxSplits // bitmaps
+		2*maxSplits + // bitmaps
+		8 + // syncEpoch
+		4 + // flags
+		8 // pairSum
+
+	headerSize = hdrCrcOff + 4 // + crc32
 )
+
+// Header flag bits.
+const hdrDirty = 1 << 0 // mutations may not have reached stable storage
 
 type header struct {
 	lorder    uint32 // byte order tag; this implementation writes 1234
@@ -52,12 +72,18 @@ type header struct {
 	checkHash uint32 // hash(CheckKey), to detect mismatched hash functions
 	spares    [maxSplits]uint32
 	bitmaps   [maxSplits]uint16
+	syncEpoch uint64 // bumped on every successful sync
+	flags     uint32 // hdrDirty
+	pairSum   uint64 // XOR of pairHash over every stored pair
 }
 
 const lorderLittle = 1234
 
+func (h *header) dirty() bool { return h.flags&hdrDirty != 0 }
+
 // encode serializes the header into buf, which must be at least headerSize
-// bytes (the first header page or a staging buffer).
+// bytes (the first header page or a staging buffer), appending a CRC-32
+// over the preceding bytes.
 func (h *header) encode(buf []byte) {
 	le.PutUint32(buf[0:], magic)
 	le.PutUint32(buf[4:], version)
@@ -82,9 +108,15 @@ func (h *header) encode(buf []byte) {
 		le.PutUint16(buf[off:], h.bitmaps[i])
 		off += 2
 	}
+	le.PutUint64(buf[off:], h.syncEpoch)
+	le.PutUint32(buf[off+8:], h.flags)
+	le.PutUint64(buf[off+12:], h.pairSum)
+	le.PutUint32(buf[hdrCrcOff:], crc32.ChecksumIEEE(buf[:hdrCrcOff]))
 }
 
-// decode parses and validates a header from buf.
+// decode parses and validates a header from buf. A checksum mismatch —
+// a torn or corrupted header write — fails with ErrCorrupt before any
+// field is trusted.
 func (h *header) decode(buf []byte) error {
 	if len(buf) < headerSize {
 		return fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(buf))
@@ -94,6 +126,9 @@ func (h *header) decode(buf []byte) error {
 	}
 	if v := le.Uint32(buf[4:]); v != version {
 		return fmt.Errorf("%w: version %d, want %d", ErrBadVersion, v, version)
+	}
+	if got, want := crc32.ChecksumIEEE(buf[:hdrCrcOff]), le.Uint32(buf[hdrCrcOff:]); got != want {
+		return fmt.Errorf("%w: header checksum %#x, want %#x (torn header write?)", ErrCorrupt, got, want)
 	}
 	h.lorder = le.Uint32(buf[8:])
 	h.bsize = le.Uint32(buf[12:])
@@ -116,6 +151,9 @@ func (h *header) decode(buf []byte) error {
 		h.bitmaps[i] = le.Uint16(buf[off:])
 		off += 2
 	}
+	h.syncEpoch = le.Uint64(buf[off:])
+	h.flags = le.Uint32(buf[off+8:])
+	h.pairSum = le.Uint64(buf[off+12:])
 	return h.validate()
 }
 
@@ -142,6 +180,9 @@ func (h *header) validate() error {
 	}
 	if h.nkeys < 0 {
 		return fmt.Errorf("%w: negative key count", ErrCorrupt)
+	}
+	if h.flags&^uint32(hdrDirty) != 0 {
+		return fmt.Errorf("%w: unknown header flags %#x", ErrCorrupt, h.flags)
 	}
 	want := (uint32(headerSize) + h.bsize - 1) / h.bsize
 	if h.hdrPages != want {

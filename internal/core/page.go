@@ -163,6 +163,14 @@ const (
 // modify the page. Iteration stops early if fn returns false.
 func (p page) forEach(fn func(i int, e entry) bool) error {
 	ns := p.nslots()
+	// Bounds-check the slot array before indexing: on a garbage page
+	// (torn write, corruption) nslots can claim more slots than fit.
+	if pageHdrSize+ns*slotSize > len(p) {
+		return fmt.Errorf("%w: %d slots do not fit on a %d-byte page", ErrCorrupt, ns, len(p))
+	}
+	if p.low() > len(p) {
+		return fmt.Errorf("%w: data low watermark %d beyond page end %d", ErrCorrupt, p.low(), len(p))
+	}
 	low := len(p)
 	idx := 0
 	for s := 0; s+1 < ns; s += 2 {
@@ -173,7 +181,7 @@ func (p page) forEach(fn func(i int, e entry) bool) error {
 			if s != ns-2 {
 				return fmt.Errorf("%w: overflow link not last on page", ErrCorrupt)
 			}
-			return nil
+			return p.checkLow(low)
 		case markBig:
 			if !fn(idx, entry{kind: entryBig, ref: oaddr(second)}) {
 				return nil
@@ -190,6 +198,19 @@ func (p page) forEach(fn func(i int, e entry) bool) error {
 			low = do
 			idx++
 		}
+	}
+	return p.checkLow(low)
+}
+
+// checkLow verifies the stored low watermark against the lowest pair
+// offset an exhaustive slot walk decoded. The field is redundant with
+// the slot array, but a later insert trusts it when packing new bytes
+// while readers delimit pairs by the neighboring slot offsets — a
+// mismatch (a torn write merging a new watermark with old slots) would
+// silently corrupt the next key stored on the page.
+func (p page) checkLow(low int) error {
+	if p.low() != low {
+		return fmt.Errorf("%w: low watermark %d, lowest pair offset %d", ErrCorrupt, p.low(), low)
 	}
 	return nil
 }

@@ -37,6 +37,10 @@ type Options struct {
 	Hash hashfunc.Func
 	// ReadOnly opens an existing table for reading only.
 	ReadOnly bool
+	// AllowDirty opens a file whose dirty flag is set (a crashed or
+	// still-open table) without recovery, for inspection tools. Without
+	// it, Open fails with ErrNeedsRecovery; see Recover.
+	AllowDirty bool
 	// Store overrides the backing store (for tests, fault injection and
 	// benchmarks with simulated disks). The caller retains ownership:
 	// Close leaves it open. When set, the path argument is ignored.
@@ -108,6 +112,19 @@ type Table struct {
 	closed         bool
 	dirtyHdr       bool
 	controlledOnly bool
+
+	// dirtyMarked records that the on-disk header carries the dirty flag:
+	// it is set by markDirtyLocked before the first mutation after an open
+	// or sync, and cleared when a sync durably writes a clean header. While
+	// it is set, further mutations need no header write — the file is
+	// already marked. See the Durability model section of DESIGN.md.
+	dirtyMarked bool
+
+	// needsRecovery is set when an existing file is opened with its dirty
+	// flag set (AllowDirty). Until Recover clears it, the table is
+	// inspection-only: mutations and syncs fail with ErrNeedsRecovery, and
+	// Close must not stamp a clean header over an unrecovered file.
+	needsRecovery bool
 
 	// Bitmap pages are owned by the table, outside the LRU pool. They are
 	// only touched by writers (allocation, free, dump), under mu.Lock.
@@ -186,6 +203,17 @@ func Open(path string, o *Options) (*Table, error) {
 
 	if existing {
 		err = t.readHeader()
+		if err == nil && t.hdr.dirty() {
+			// The last writer crashed (or is still live) between marking
+			// the file dirty and completing a sync: the pages may not
+			// reproduce the last-synced state. Refuse unless the caller
+			// explicitly tolerates it (inspection tools, Recover).
+			if !opts.AllowDirty {
+				err = fmt.Errorf("hash: %s: %w", path, ErrNeedsRecovery)
+			}
+			t.dirtyMarked = true
+			t.needsRecovery = true
+		}
 	} else {
 		err = t.initHeader(opts)
 	}
@@ -304,8 +332,15 @@ func (t *Table) readHeader() error {
 	return nil
 }
 
-// writeHeader encodes the header into its pages and writes them.
-func (t *Table) writeHeader() error {
+// writeHeader encodes the header with the given dirty flag and writes its
+// pages. It deliberately does not touch t.dirtyHdr — only a completed
+// two-phase sync may declare the in-memory header persisted.
+func (t *Table) writeHeader(dirty bool) error {
+	if dirty {
+		t.hdr.flags |= hdrDirty
+	} else {
+		t.hdr.flags &^= hdrDirty
+	}
 	ps := int(t.hdr.bsize)
 	npg := int(t.hdr.hdrPages)
 	buf := make([]byte, npg*ps)
@@ -315,7 +350,27 @@ func (t *Table) writeHeader() error {
 			return fmt.Errorf("hash: write header: %w", err)
 		}
 	}
-	t.dirtyHdr = false
+	return nil
+}
+
+// markDirtyLocked durably sets the file's dirty flag before the first
+// mutation after an open or sync. At that moment the in-memory header
+// still equals the last-synced header (no mutation has touched it yet),
+// so the on-disk dirty header records exactly the last-synced geometry,
+// key count and pair checksum — which is what recovery verifies against.
+// While dirtyMarked is set this is a no-op, so steady-state writes pay
+// nothing.
+func (t *Table) markDirtyLocked() error {
+	if t.dirtyMarked {
+		return nil
+	}
+	if err := t.writeHeader(true); err != nil {
+		return err
+	}
+	if err := t.store.Sync(); err != nil {
+		return err
+	}
+	t.dirtyMarked = true
 	return nil
 }
 
@@ -352,6 +407,9 @@ func (t *Table) checkWritable() error {
 	}
 	if t.readonly {
 		return ErrReadOnly
+	}
+	if t.needsRecovery {
+		return ErrNeedsRecovery
 	}
 	return nil
 }
@@ -485,6 +543,7 @@ type putScan struct {
 	foundAddr buffer.Addr
 	foundIdx  int
 	foundRef  oaddr
+	foundSum  uint64 // pairHash of the existing pair (big: filled later)
 	room      bool
 	roomAddr  buffer.Addr
 	tailAddr  buffer.Addr
@@ -506,6 +565,7 @@ func (t *Table) scanBucket(bucket uint32, key []byte, needRef bool, klen, dlen i
 				case entryRegular:
 					if bytes.Equal(e.key, key) {
 						s.found, s.foundAddr, s.foundIdx = true, buf.Addr, i
+						s.foundSum = pairHash(e.key, e.data)
 						return false
 					}
 				case entryBig:
@@ -572,6 +632,12 @@ func (t *Table) put(key, data []byte, replace bool) error {
 		return ErrKeyExists
 	}
 
+	// Durably mark the file dirty before the first write reaches the
+	// store (putBigPair below writes pages directly).
+	if err := t.markDirtyLocked(); err != nil {
+		return err
+	}
+
 	// For big pairs the chain is written before the old entry is
 	// removed, so an allocation failure leaves the table unchanged.
 	var ref oaddr
@@ -583,6 +649,15 @@ func (t *Table) put(key, data []byte, replace bool) error {
 
 	inserted := false
 	if s.found {
+		if s.foundRef != 0 {
+			// The replaced pair lives on a big chain: fingerprint it
+			// before the chain is freed.
+			old, err := t.readBigData(s.foundRef, nil)
+			if err != nil {
+				return err
+			}
+			s.foundSum = pairHash(key, old)
+		}
 		buf, err := t.fetchAddr(s.foundAddr, bucket)
 		if err != nil {
 			return err
@@ -600,6 +675,7 @@ func (t *Table) put(key, data []byte, replace bool) error {
 		}
 		buf.Dirty = true
 		t.hdr.nkeys--
+		t.hdr.pairSum ^= s.foundSum
 		// The vacated page is the preferred insertion point.
 		if big && pg.fitsRef() {
 			pg.addRef(ref)
@@ -658,6 +734,7 @@ func (t *Table) put(key, data []byte, replace bool) error {
 	}
 
 	t.hdr.nkeys++
+	t.hdr.pairSum ^= pairHash(key, data)
 	t.dirtyHdr = true
 
 	// Hybrid split policy: split the next bucket in linear order when an
@@ -789,6 +866,9 @@ func (t *Table) Delete(key []byte) error {
 		return ErrEmptyKey
 	}
 	t.stats.Dels++
+	if err := t.markDirtyLocked(); err != nil {
+		return err
+	}
 	bucket := t.calcBucket(t.hash(key))
 	removed, err := t.deleteFromBucket(bucket, key)
 	if err != nil {
@@ -824,12 +904,14 @@ func (t *Table) deleteFromBucket(bucket uint32, key []byte) (bool, error) {
 		pg := page(cur.Page)
 		idx := -1
 		var bigRef oaddr
+		var sum uint64
 		var inner error
 		ferr := pg.forEach(func(i int, e entry) bool {
 			switch e.kind {
 			case entryRegular:
 				if bytes.Equal(e.key, key) {
 					idx = i
+					sum = pairHash(e.key, e.data)
 					return false
 				}
 			case entryBig:
@@ -854,6 +936,12 @@ func (t *Table) deleteFromBucket(bucket uint32, key []byte) (bool, error) {
 		}
 		if idx >= 0 {
 			if bigRef != 0 {
+				// Fingerprint the pair before its chain is freed.
+				data, err := t.readBigData(bigRef, nil)
+				if err != nil {
+					return false, err
+				}
+				sum = pairHash(key, data)
 				if err := t.freeBigChain(bigRef); err != nil {
 					return false, err
 				}
@@ -864,6 +952,7 @@ func (t *Table) deleteFromBucket(bucket uint32, key []byte) (bool, error) {
 			cur.Dirty = true
 			removed = true
 			t.hdr.nkeys--
+			t.hdr.pairSum ^= sum
 			t.dirtyHdr = true
 			// An overflow page left with no entries is unlinked from the
 			// chain and reclaimed.
@@ -1047,19 +1136,47 @@ func (t *Table) Sync() error {
 	return t.syncLocked()
 }
 
+// syncLocked is the ordered two-phase durability protocol. Phase one
+// writes every dirty data page and bitmap and syncs, so the pages are on
+// stable storage before the header that describes them. Phase two stamps
+// the header with the next sync epoch and a clear dirty flag, writes it,
+// and syncs again. A power cut before the second sync completes leaves
+// the old dirty header (or a torn one, caught by its CRC) in place, and
+// recovery falls back to the last-synced state; a crash after it leaves
+// a clean header that is trustworthy precisely because everything it
+// describes was synced first. On any error the dirty flags stay set, so
+// a later sync retries the whole protocol.
 func (t *Table) syncLocked() error {
+	if t.needsRecovery {
+		// An unrecovered dirty file must never receive a clean header:
+		// that would bless pages that do not reproduce any synced state.
+		return ErrNeedsRecovery
+	}
 	if err := t.pool.Flush(); err != nil {
 		return err
 	}
 	if err := t.flushBitmaps(); err != nil {
 		return err
 	}
-	if t.dirtyHdr {
-		if err := t.writeHeader(); err != nil {
-			return err
-		}
+	if !t.dirtyHdr && !t.dirtyMarked {
+		// Nothing changed since the last completed sync: the on-disk
+		// header is already clean and current.
+		return t.store.Sync()
 	}
-	return t.store.Sync()
+	if err := t.store.Sync(); err != nil {
+		return err
+	}
+	t.hdr.syncEpoch++
+	if err := t.writeHeader(false); err != nil {
+		t.hdr.syncEpoch-- // keep the epoch in step with what is on disk
+		return err
+	}
+	if err := t.store.Sync(); err != nil {
+		return err
+	}
+	t.dirtyHdr = false
+	t.dirtyMarked = false
+	return nil
 }
 
 // Close flushes (unless read-only) and closes the table. Closing a
@@ -1071,7 +1188,7 @@ func (t *Table) Close() error {
 		return nil
 	}
 	var err error
-	if !t.readonly {
+	if !t.readonly && !t.needsRecovery {
 		err = t.syncLocked()
 	}
 	if e := t.pool.InvalidateAll(); err == nil {
@@ -1118,6 +1235,8 @@ type Geometry struct {
 	OvflPoint uint32
 	HdrPages  uint32
 	NKeys     int64
+	SyncEpoch uint64
+	Dirty     bool // the on-disk header carried the dirty flag at open
 	Spares    [maxSplits]uint32
 }
 
@@ -1132,6 +1251,8 @@ func (t *Table) Geometry() Geometry {
 		OvflPoint: t.hdr.ovflPoint,
 		HdrPages:  t.hdr.hdrPages,
 		NKeys:     t.hdr.nkeys,
+		SyncEpoch: t.hdr.syncEpoch,
+		Dirty:     t.dirtyMarked,
 		Spares:    t.hdr.spares,
 	}
 }

@@ -179,6 +179,10 @@ func (d *hashDB) Len() int     { return d.t.Len() }
 func (d *hashDB) Sync() error  { return d.t.Sync() }
 func (d *hashDB) Close() error { return d.t.Close() }
 
+// Table exposes the underlying hash table for method-specific
+// operations (durability Verify, crash recovery).
+func (d *hashDB) Table() *core.Table { return d.t }
+
 // --- btree adapter ---
 
 type btreeDB struct{ t *btree.Tree }

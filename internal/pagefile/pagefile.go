@@ -66,13 +66,18 @@ func DefaultCostModel() CostModel {
 	return CostModel{ReadCost: 20 * time.Millisecond, WriteCost: 20 * time.Millisecond, SyncCost: time.Millisecond}
 }
 
-// Stats counts the I/O a store has performed. All fields are protected by
-// mu; use the accessor methods from concurrent contexts.
+// Stats counts the I/O a store has performed. Reads, Writes and Syncs
+// count *attempted* operations — an operation that fails (including one
+// blocked by fault injection) still counts, and additionally increments
+// Errors — so fault-injection runs report the I/O the caller asked for,
+// not just the I/O that succeeded. All fields are protected by mu; use
+// the accessor methods from concurrent contexts.
 type Stats struct {
 	mu           sync.Mutex
 	Reads        int64
 	Writes       int64
 	Syncs        int64
+	Errors       int64 // failed operations (real or injected)
 	BytesRead    int64
 	BytesWritten int64
 	IOTime       time.Duration // accumulated simulated cost
@@ -111,12 +116,18 @@ func (s *Stats) addSync() {
 	}
 }
 
+func (s *Stats) addError() {
+	s.mu.Lock()
+	s.Errors++
+	s.mu.Unlock()
+}
+
 // Snapshot returns a consistent copy of the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return StatsSnapshot{
-		Reads: s.Reads, Writes: s.Writes, Syncs: s.Syncs,
+		Reads: s.Reads, Writes: s.Writes, Syncs: s.Syncs, Errors: s.Errors,
 		BytesRead: s.BytesRead, BytesWritten: s.BytesWritten, IOTime: s.IOTime,
 	}
 }
@@ -125,7 +136,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 func (s *Stats) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.Reads, s.Writes, s.Syncs = 0, 0, 0
+	s.Reads, s.Writes, s.Syncs, s.Errors = 0, 0, 0, 0
 	s.BytesRead, s.BytesWritten = 0, 0
 	s.IOTime = 0
 }
@@ -135,6 +146,7 @@ type StatsSnapshot struct {
 	Reads        int64
 	Writes       int64
 	Syncs        int64
+	Errors       int64
 	BytesRead    int64
 	BytesWritten int64
 	IOTime       time.Duration
@@ -145,6 +157,7 @@ type StatsSnapshot struct {
 func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
 		Reads: s.Reads - o.Reads, Writes: s.Writes - o.Writes, Syncs: s.Syncs - o.Syncs,
+		Errors:    s.Errors - o.Errors,
 		BytesRead: s.BytesRead - o.BytesRead, BytesWritten: s.BytesWritten - o.BytesWritten,
 		IOTime: s.IOTime - o.IOTime,
 	}
@@ -154,7 +167,8 @@ func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
 func (s StatsSnapshot) Ops() int64 { return s.Reads + s.Writes }
 
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf("reads=%d writes=%d syncs=%d iotime=%v", s.Reads, s.Writes, s.Syncs, s.IOTime)
+	return fmt.Sprintf("reads=%d writes=%d syncs=%d errors=%d iotime=%v",
+		s.Reads, s.Writes, s.Syncs, s.Errors, s.IOTime)
 }
 
 func validPageSize(n int) error {
@@ -229,14 +243,15 @@ func (fs *FileStore) ReadPage(pageno uint32, buf []byte) error {
 		return ErrNotAllocated
 	}
 	fs.mu.Unlock()
+	fs.stats.addRead(fs.pagesize)
 	n, err := fs.f.ReadAt(buf, int64(pageno)*int64(fs.pagesize))
 	if err == io.EOF && n == fs.pagesize {
 		err = nil
 	}
 	if err != nil {
+		fs.stats.addError()
 		return fmt.Errorf("pagefile: read page %d: %w", pageno, err)
 	}
-	fs.stats.addRead(fs.pagesize)
 	return nil
 }
 
@@ -251,7 +266,9 @@ func (fs *FileStore) WritePage(pageno uint32, buf []byte) error {
 		return os.ErrClosed
 	}
 	fs.mu.Unlock()
+	fs.stats.addWrite(fs.pagesize)
 	if _, err := fs.f.WriteAt(buf, int64(pageno)*int64(fs.pagesize)); err != nil {
+		fs.stats.addError()
 		return fmt.Errorf("pagefile: write page %d: %w", pageno, err)
 	}
 	fs.mu.Lock()
@@ -259,7 +276,6 @@ func (fs *FileStore) WritePage(pageno uint32, buf []byte) error {
 		fs.npages = pageno + 1
 	}
 	fs.mu.Unlock()
-	fs.stats.addWrite(fs.pagesize)
 	return nil
 }
 
@@ -271,14 +287,17 @@ func (fs *FileStore) Sync() error {
 		return os.ErrClosed
 	}
 	fs.mu.Unlock()
+	fs.stats.addSync()
 	if err := fs.f.Sync(); err != nil {
+		fs.stats.addError()
 		return err
 	}
-	fs.stats.addSync()
 	return nil
 }
 
-// Close implements Store.
+// Close implements Store. Per the Store contract the file is synced
+// before it is closed, so a table shut down without an explicit Sync
+// still reaches stable storage.
 func (fs *FileStore) Close() error {
 	fs.mu.Lock()
 	if fs.closed {
@@ -287,7 +306,15 @@ func (fs *FileStore) Close() error {
 	}
 	fs.closed = true
 	fs.mu.Unlock()
-	return fs.f.Close()
+	fs.stats.addSync()
+	err := fs.f.Sync()
+	if err != nil {
+		fs.stats.addError()
+	}
+	if cerr := fs.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // ---------------------------------------------------------------------------
@@ -395,7 +422,10 @@ func (o Op) String() string {
 }
 
 // Fault describes one injected failure: the After'th occurrence (1-based)
-// of Op fails with Err. A Page of ^uint32(0) matches any page.
+// of Op fails with Err. A Page of ^uint32(0) matches any page. Sync is a
+// whole-store operation with no page of its own, so OpSync faults ignore
+// the Page field entirely — a fault targeted at page 0 never spuriously
+// matches a sync.
 type Fault struct {
 	Op    Op
 	After int64
@@ -438,21 +468,40 @@ func (f *FaultStore) Clear() {
 
 func (f *FaultStore) check(op Op, page uint32) error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	f.counts[op]++
 	n := f.counts[op]
+	var ferr error
 	for _, fl := range f.faults {
 		if fl.Op != op {
 			continue
 		}
-		if fl.Page != AnyPage && fl.Page != page {
+		// Sync faults are page-less: Page is ignored for OpSync.
+		if op != OpSync && fl.Page != AnyPage && fl.Page != page {
 			continue
 		}
 		if n >= fl.After {
-			return fl.Err
+			ferr = fl.Err
+			break
 		}
 	}
-	return nil
+	f.mu.Unlock()
+	if ferr != nil {
+		// The blocked operation was still attempted by the caller: count
+		// it, and the failure, in the shared stats.
+		s := f.Inner.Stats()
+		s.mu.Lock()
+		switch op {
+		case OpRead:
+			s.Reads++
+		case OpWrite:
+			s.Writes++
+		case OpSync:
+			s.Syncs++
+		}
+		s.Errors++
+		s.mu.Unlock()
+	}
+	return ferr
 }
 
 // PageSize implements Store.
@@ -480,9 +529,10 @@ func (f *FaultStore) WritePage(pageno uint32, buf []byte) error {
 	return f.Inner.WritePage(pageno, buf)
 }
 
-// Sync implements Store.
+// Sync implements Store. Sync faults are page-less: only the Op and
+// After fields of an injected Fault are consulted.
 func (f *FaultStore) Sync() error {
-	if err := f.check(OpSync, 0); err != nil {
+	if err := f.check(OpSync, AnyPage); err != nil {
 		return err
 	}
 	return f.Inner.Sync()
