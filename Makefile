@@ -4,7 +4,7 @@ GO ?= go
 # -race is slow, so check races where the locks actually live.
 RACE_PKGS = ./internal/core ./internal/buffer ./internal/db
 
-.PHONY: check build vet test race crash fuzz-crash bench concurrency clean
+.PHONY: check build vet test race crash fuzz-crash bench concurrency metrics clean
 
 check: vet build test race crash
 
@@ -34,5 +34,10 @@ bench:
 concurrency:
 	$(GO) run ./cmd/hashbench -quick concurrency
 
+# Instrumented workload; refreshes BENCH_metrics.json with the full
+# metric registry (splits, chain probes, cache behaviour, sync latency).
+metrics:
+	$(GO) run ./cmd/hashbench metrics
+
 clean:
-	rm -f BENCH_concurrency.json
+	rm -f BENCH_concurrency.json BENCH_metrics.json

@@ -8,12 +8,15 @@
 //	dbcli -method btree file.db range FROM      # ordered scan from FROM
 //	dbcli -method recno file.db put 3 VALUE     # recno keys are numbers
 //	dbcli -method recno file.db append VALUE
-//	dbcli [...] del KEY | list | count | check | verify
+//	dbcli [...] del KEY | list | count | stats | metrics | check | verify
 //
 // check verifies structural invariants (btree only). verify checks a
 // file without modifying it: for hash it also diagnoses files left
 // dirty by a crash (is the last-synced state intact?), exiting nonzero
-// on any problem.
+// on any problem. stats prints the uniform db.Stats view (keys, pages,
+// cache hit ratio, method-specific detail) for any method. metrics
+// opens a hash file with a metric registry, runs the statistics scan,
+// and prints the registry in the Prometheus text format.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"unixhash/internal/btree"
 	"unixhash/internal/core"
 	"unixhash/internal/db"
+	"unixhash/internal/metrics"
 )
 
 func main() {
@@ -54,10 +58,18 @@ func main() {
 	}
 
 	var cfg *db.Config
-	if cmd == "verify" && m == db.Hash {
-		// verify must be able to open a file a crashed writer left dirty,
-		// and must not modify it.
+	var reg *metrics.Registry
+	switch {
+	case (cmd == "verify" || cmd == "stats") && m == db.Hash:
+		// Inspection verbs must be able to open a file a crashed writer
+		// left dirty, and must not modify it.
 		cfg = &db.Config{Hash: &core.Options{ReadOnly: true, AllowDirty: true}}
+	case cmd == "metrics":
+		if m != db.Hash {
+			fatal(errors.New("metrics requires -method hash"))
+		}
+		reg = metrics.New()
+		cfg = &db.Config{Hash: &core.Options{ReadOnly: true, AllowDirty: true, Metrics: reg}}
 	}
 	d, err := db.Open(path, m, cfg)
 	if err != nil {
@@ -150,6 +162,23 @@ func main() {
 	case "count":
 		need(0)
 		fmt.Println(d.Len())
+	case "stats":
+		need(0)
+		s, err := d.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		printStats(s)
+	case "metrics":
+		need(0)
+		// The statistics scan generates the traffic the dump reports
+		// (page reads through the pool, chain walks).
+		if _, err := d.Stats(); err != nil {
+			fatal(err)
+		}
+		if err := reg.WriteProm(os.Stdout); err != nil {
+			fatal(err)
+		}
 	case "check":
 		need(0)
 		bt, ok := underlyingBtree(d)
@@ -189,6 +218,46 @@ func main() {
 	}
 }
 
+// printStats renders the uniform Stats view plus the method detail.
+func printStats(s db.Stats) {
+	fmt.Printf("method:          %v\n", s.Method)
+	fmt.Printf("keys:            %d\n", s.Keys)
+	if s.PageSize > 0 {
+		fmt.Printf("pages:           %d x %d bytes\n", s.Pages, s.PageSize)
+		fmt.Printf("cache:           %.1f%% hit ratio (%d hits, %d misses)\n",
+			100*s.CacheHitRatio, s.CacheHits, s.CacheMisses)
+	}
+	switch {
+	case s.Hash != nil:
+		h := s.Hash
+		fmt.Printf("buckets:         %d (%d empty)\n", h.Buckets, h.EmptyBuckets)
+		fmt.Printf("overflow pages:  %d chain, %d big-pair, %d bitmap\n",
+			h.OverflowPages, h.BigPairPages, h.BitmapPages)
+		fmt.Printf("longest chain:   %d pages\n", h.MaxChain)
+		fmt.Printf("page fill:       %.0f%%\n", 100*h.AvgFill)
+		fmt.Printf("ops:             %d gets (%d misses), %d puts, %d deletes, %d syncs\n",
+			h.Gets, h.GetMisses, h.Puts, h.Deletes, h.Syncs)
+		fmt.Printf("splits:          %d controlled, %d uncontrolled\n",
+			h.SplitsControlled, h.SplitsUncontrolled)
+	case s.Btree != nil:
+		b := s.Btree
+		fmt.Printf("depth:           %d\n", b.Depth)
+		fmt.Printf("free pages:      %d\n", b.FreePages)
+		fmt.Printf("ops:             %d gets (%d misses), %d puts, %d deletes, %d syncs\n",
+			b.Gets, b.GetMisses, b.Puts, b.Deletes, b.Syncs)
+	case s.Recno != nil:
+		r := s.Recno
+		fmt.Printf("record bytes:    %d\n", r.Bytes)
+		if r.Reclen > 0 {
+			fmt.Printf("record length:   %d (fixed)\n", r.Reclen)
+		} else {
+			fmt.Printf("delimiter:       %q (variable-length)\n", r.Bval)
+		}
+		fmt.Printf("ops:             %d gets (%d misses), %d puts, %d deletes, %d syncs\n",
+			r.Gets, r.GetMisses, r.Puts, r.Deletes, r.Syncs)
+	}
+}
+
 // underlyingHash reaches through the db adapter for hash-only verbs.
 func underlyingHash(d db.DB) (*core.Table, bool) {
 	type tabler interface{ Table() *core.Table }
@@ -223,6 +292,6 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dbcli [-method hash|btree|recno] file.db {put K V|append V|get K|del K|list|range FROM|count|check|verify}`)
+	fmt.Fprintln(os.Stderr, `usage: dbcli [-method hash|btree|recno] file.db {put K V|append V|get K|del K|list|range FROM|count|stats|metrics|check|verify}`)
 	flag.PrintDefaults()
 }

@@ -11,7 +11,10 @@
 //	hashbench ablate          ablations: split policy, hash functions
 //	hashbench concurrency     read scaling at 1-8 goroutines; writes
 //	                          BENCH_concurrency.json
-//	hashbench all             everything above except concurrency
+//	hashbench metrics         instrumented workload; writes
+//	                          BENCH_metrics.json
+//	hashbench all             everything above except concurrency and
+//	                          metrics
 //
 // Flags:
 //
@@ -109,6 +112,20 @@ func main() {
 				return err
 			}
 			fmt.Println("\nwrote BENCH_concurrency.json")
+		case "metrics":
+			res, err := bench.MetricsRun(*n)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			data, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile("BENCH_metrics.json", data, 0o644); err != nil {
+				return err
+			}
+			fmt.Println("\nwrote BENCH_metrics.json")
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -135,7 +152,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: hashbench [-n N | -quick] {fig5|fig6|fig7|fig8a|fig8b|methods|ablate|concurrency|all}
+	fmt.Fprintf(os.Stderr, `usage: hashbench [-n N | -quick] {fig5|fig6|fig7|fig8a|fig8b|methods|ablate|concurrency|metrics|all}
 
 Regenerates the evaluation figures of "A New Hashing Package for UNIX"
 (Seltzer & Yigit, USENIX Winter 1991). See EXPERIMENTS.md for the

@@ -2,15 +2,21 @@
 // header geometry, the spares array, each bucket's chain shape and page
 // fill, and overflow bitmap occupancy.
 //
-//	hashdump [-v] [-stats] [-check] [-recover] file.db
+//	hashdump [-v] [-stats] [-check] [-recover] [-metrics] file.db
 //
 // With -v every entry's key is listed. With -stats only aggregate
-// statistics are printed. With -check the file is verified: a cleanly
-// synced file gets the full structural check (key placement, chain and
-// bitmap consistency, leaks, pair fingerprint); a file left dirty by a
-// crash gets a dry-run of recovery, reporting whether its last-synced
-// state is intact. With -recover a dirty file is restored to its
-// last-synced state and stamped clean. Any problem exits nonzero.
+// statistics are printed, including the buffer-pool hit ratio and the
+// overflow-chain length distribution of the inspection scan. With
+// -check the file is verified: a cleanly synced file gets the full
+// structural check (key placement, chain and bitmap consistency, leaks,
+// pair fingerprint); a file left dirty by a crash gets a dry-run of
+// recovery, reporting whether its last-synced state is intact. With
+// -recover a dirty file is restored to its last-synced state and
+// stamped clean. With -metrics the file's pairs are read back and
+// replayed through an instrumented in-memory table sharing one metric
+// registry, and the full registry (gets, splits, buffer hits, sync
+// latency buckets, ...) is printed in the Prometheus text format. Any
+// problem exits nonzero.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"os"
 
 	"unixhash/internal/core"
+	"unixhash/internal/metrics"
 )
 
 func main() {
@@ -26,8 +33,9 @@ func main() {
 	statsOnly := flag.Bool("stats", false, "print aggregate statistics only")
 	check := flag.Bool("check", false, "verify structural and durability invariants and exit")
 	doRecover := flag.Bool("recover", false, "recover a crashed file to its last-synced state")
+	promDump := flag.Bool("metrics", false, "replay the file through an instrumented table and print Prometheus-text metrics")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: hashdump [-v] [-stats] [-check] [-recover] file.db")
+		fmt.Fprintln(os.Stderr, "usage: hashdump [-v] [-stats] [-check] [-recover] [-metrics] file.db")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,6 +53,14 @@ func main() {
 		}
 		fmt.Println(rep)
 		if err := t.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hashdump: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *promDump {
+		if err := dumpMetrics(path); err != nil {
 			fmt.Fprintf(os.Stderr, "hashdump: %v\n", err)
 			os.Exit(1)
 		}
@@ -86,12 +102,58 @@ func main() {
 			fs.OverflowPages, fs.BigPairPages, fs.BitmapPages)
 		fmt.Printf("split point:     %d\n", g.OvflPoint)
 		fmt.Printf("longest chain:   %d pages\n", fs.MaxChain)
+		fmt.Printf("chain lengths:  ")
+		for i, n := range fs.ChainDist {
+			fmt.Printf(" %dp:%d", i+1, n)
+		}
+		fmt.Println()
 		fmt.Printf("keys/page:       %.2f\n", fs.AvgKeysPerPage)
 		fmt.Printf("page fill:       %.0f%%\n", 100*fs.AvgFill)
+		c := t.Pool().Counters()
+		fmt.Printf("buffer pool:     %.1f%% hit ratio over this scan (%d hits, %d misses)\n",
+			100*c.HitRatio(), c.Hits, c.Misses)
 		return
 	}
 	if err := t.Dump(os.Stdout, *verbose); err != nil {
 		fmt.Fprintf(os.Stderr, "hashdump: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// dumpMetrics opens path read-only and an anonymous in-memory table,
+// both exporting into one shared registry (same-named series resolve to
+// the same counters). Every pair is read from the file and replayed
+// into the memory table — real gets, puts, splits and overflow traffic
+// — the replay is synced, and the aggregated registry is printed in the
+// Prometheus text exposition format.
+func dumpMetrics(path string) error {
+	reg := metrics.New()
+	src, err := core.Open(path, &core.Options{ReadOnly: true, AllowDirty: true, Metrics: reg})
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	g := src.Geometry()
+	mem, err := core.Open("", &core.Options{Bsize: g.Bsize, Ffactor: g.Ffactor, Metrics: reg})
+	if err != nil {
+		return err
+	}
+	defer mem.Close()
+
+	it := src.Iter()
+	for it.Next() {
+		if _, err := src.Get(it.Key()); err != nil {
+			return err
+		}
+		if err := mem.Put(it.Key(), it.Value()); err != nil {
+			return err
+		}
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if err := mem.Sync(); err != nil {
+		return err
+	}
+	return reg.WriteProm(os.Stdout)
 }

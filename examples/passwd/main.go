@@ -77,14 +77,15 @@ func main() {
 	// I/O at all. Run every login through the table and report.
 	t.Store().Stats().Reset()
 	pool := t.Pool()
-	h0, m0 := pool.Hits.Load(), pool.Misses.Load()
+	c0 := pool.Counters()
 	for _, a := range accounts {
 		if _, err := t.Get([]byte(a.Login)); err != nil {
 			log.Fatal(err)
 		}
 	}
 	snap := t.Store().Stats().Snapshot()
+	c := pool.Counters().Sub(c0)
 	fmt.Printf("\n%d cached lookups: %d page reads from disk, buffer pool %d hits / %d misses\n",
-		len(accounts), snap.Reads, pool.Hits.Load()-h0, pool.Misses.Load()-m0)
+		len(accounts), snap.Reads, c.Hits, c.Misses)
 	fmt.Println("(dbm would have paid a system call and a probable disk access per lookup)")
 }

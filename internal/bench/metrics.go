@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"unixhash/internal/core"
+	"unixhash/internal/dataset"
+	"unixhash/internal/metrics"
+)
+
+// Metrics runs a fixed, fully instrumented workload — load the
+// dictionary, read every key back, delete a tenth, sync — against a
+// memory-backed table grown from a single bucket, and captures the
+// complete metric registry. The snapshot lands in BENCH_metrics.json so
+// the repo's performance trajectory (splits taken, chain lengths probed,
+// cache behaviour, sync latency) is machine-readable run over run.
+
+// MetricsResult is the workload's parameters plus the registry snapshot.
+type MetricsResult struct {
+	Keys      int              `json:"keys"`
+	Bsize     int              `json:"bsize"`
+	Ffactor   int              `json:"ffactor"`
+	CacheSize int              `json:"cache_size"`
+	Metrics   metrics.Snapshot `json:"metrics"`
+}
+
+// MetricsRun executes the workload. n <= 0 selects the paper's
+// dictionary size.
+func MetricsRun(n int) (*MetricsResult, error) {
+	pairs := dataset.Dictionary(n)
+	const (
+		bsize     = 1024
+		ffactor   = 16
+		cacheSize = 1 << 20
+	)
+	reg := metrics.New()
+	t, err := core.Open("", &core.Options{
+		Bsize: bsize, Ffactor: ffactor, CacheSize: cacheSize, Metrics: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer t.Close()
+
+	for _, p := range pairs {
+		if err := t.Put(p.Key, p.Data); err != nil {
+			return nil, err
+		}
+	}
+	dst := make([]byte, 0, 256)
+	for _, p := range pairs {
+		if dst, err = t.GetBuf(p.Key, dst); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < len(pairs); i += 10 {
+		if err := t.Delete(pairs[i].Key); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Sync(); err != nil {
+		return nil, err
+	}
+
+	return &MetricsResult{
+		Keys: len(pairs), Bsize: bsize, Ffactor: ffactor, CacheSize: cacheSize,
+		Metrics: reg.Snapshot(),
+	}, nil
+}
+
+// JSON renders the result as the BENCH_metrics.json payload.
+func (r *MetricsResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// String renders a human-readable digest: the headline counters plus
+// the sync-latency shape.
+func (r *MetricsResult) String() string {
+	var b strings.Builder
+	s := r.Metrics
+	fmt.Fprintf(&b, "Metrics workload: %d keys, %d-byte pages, ffactor %d, %d KB cache\n",
+		r.Keys, r.Bsize, r.Ffactor, r.CacheSize/1024)
+
+	fmt.Fprintf(&b, "\n  %-32s %12s\n", "counter", "value")
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-32s %12d\n", name, s.Counters[name])
+	}
+
+	hits, misses := s.Counter("buffer_hits_total"), s.Counter("buffer_misses_total")
+	if total := hits + misses; total > 0 {
+		fmt.Fprintf(&b, "\n  buffer hit ratio: %.1f%%\n", 100*float64(hits)/float64(total))
+	}
+	if h, ok := s.Histograms[core.MetricSyncLatency]; ok && h.Count > 0 {
+		fmt.Fprintf(&b, "  sync latency: %d syncs, mean %v\n", h.Count, h.Mean().Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -53,6 +53,22 @@ type Options struct {
 	Lock bool
 }
 
+// Validate checks the option fields without applying defaults: a zero
+// value means "use the default" and always passes. It reports the first
+// offending field by name (see db.ErrBadOptions).
+func (o *Options) Validate() error {
+	if o == nil {
+		return nil
+	}
+	if o.PageSize != 0 && (o.PageSize < MinPageSize || o.PageSize > MaxPageSize || o.PageSize&(o.PageSize-1) != 0) {
+		return fmt.Errorf("PageSize: %d must be a power of two in [%d, %d]", o.PageSize, MinPageSize, MaxPageSize)
+	}
+	if o.CacheSize < 0 {
+		return fmt.Errorf("CacheSize: %d must not be negative", o.CacheSize)
+	}
+	return nil
+}
+
 // Tree is a B+tree of byte-string key/data pairs in bytes.Compare order.
 // All methods are safe for concurrent use (operations serialize).
 type Tree struct {
@@ -73,6 +89,10 @@ type Tree struct {
 
 	maxKey  int // keys larger than this are rejected
 	maxPair int // larger pairs put their data on a chain
+
+	// Operation counters for TreeStats. Every operation holds mu, so
+	// plain fields suffice.
+	nGets, nGetMisses, nPuts, nDels, nSyncs int64
 }
 
 // Open opens or creates the btree at path. An empty path creates a
@@ -82,15 +102,14 @@ func Open(path string, o *Options) (*Tree, error) {
 	if o != nil {
 		opts = *o
 	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("btree: invalid option %w", err)
+	}
 	if opts.PageSize == 0 {
 		opts.PageSize = DefaultPageSize
 	}
 	if opts.CacheSize == 0 {
 		opts.CacheSize = DefaultCacheSize
-	}
-	if opts.PageSize < MinPageSize || opts.PageSize > MaxPageSize || opts.PageSize&(opts.PageSize-1) != 0 {
-		return nil, fmt.Errorf("btree: page size %d must be a power of two in [%d, %d]",
-			opts.PageSize, MinPageSize, MaxPageSize)
 	}
 
 	t := &Tree{pagesize: opts.PageSize, readonly: opts.ReadOnly}
@@ -390,6 +409,7 @@ func (t *Tree) Get(key []byte) ([]byte, error) {
 	if len(key) == 0 {
 		return nil, ErrEmptyKey
 	}
+	t.nGets++
 	leaf, _, err := t.descend(key)
 	if err != nil {
 		return nil, err
@@ -402,6 +422,7 @@ func (t *Tree) Get(key []byte) ([]byte, error) {
 	n := node(buf.Page)
 	i, found := leafSearch(n, key)
 	if !found {
+		t.nGetMisses++
 		return nil, ErrNotFound
 	}
 	return t.materialize(n, i)
@@ -449,6 +470,7 @@ func (t *Tree) put(key, data []byte, replace bool) error {
 	if len(key) > t.maxKey {
 		return fmt.Errorf("%w (%d > %d)", ErrKeyTooBig, len(key), t.maxKey)
 	}
+	t.nPuts++
 
 	leaf, path, err := t.descend(key)
 	if err != nil {
@@ -717,6 +739,7 @@ func (t *Tree) Delete(key []byte) error {
 	if len(key) == 0 {
 		return ErrEmptyKey
 	}
+	t.nDels++
 	leaf, _, err := t.descend(key)
 	if err != nil {
 		return err
@@ -771,7 +794,11 @@ func (t *Tree) syncLocked() error {
 			return err
 		}
 	}
-	return t.store.Sync()
+	err := t.store.Sync()
+	if err == nil {
+		t.nSyncs++
+	}
+	return err
 }
 
 // Close flushes (unless read-only) and closes the tree.
@@ -799,3 +826,68 @@ func (t *Tree) Close() error {
 
 // Store exposes the backing store for tests and benchmarks.
 func (t *Tree) Store() pagefile.Store { return t.store }
+
+// TreeStats reports the tree's shape, operation counts and cache
+// behaviour for the uniform db.Stats view.
+type TreeStats struct {
+	Keys      int64
+	Pages     uint32 // pages ever allocated, including the meta page
+	FreePages int    // pages on the free list awaiting reuse
+	Depth     int    // levels from root to leaf (1 = root is a leaf)
+	PageSize  int
+	Gets      int64
+	GetMisses int64
+	Puts      int64
+	Deletes   int64
+	Syncs     int64
+	Cache     buffer.PoolCounters
+}
+
+// Stats computes the tree's statistics. The free list is walked (its
+// pages are cached like any others); a closed tree returns ErrClosed.
+func (t *Tree) Stats() (TreeStats, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkOpen(); err != nil {
+		return TreeStats{}, err
+	}
+	s := TreeStats{
+		Keys: t.nrecords, Pages: t.nextPage, PageSize: t.pagesize,
+		Gets: t.nGets, GetMisses: t.nGetMisses, Puts: t.nPuts,
+		Deletes: t.nDels, Syncs: t.nSyncs,
+		Cache: t.pool.Counters(),
+	}
+	for pg, hops := t.freeHead, 0; pg != 0; hops++ {
+		if hops > int(t.nextPage) {
+			return TreeStats{}, fmt.Errorf("%w: free list cycles", ErrCorrupt)
+		}
+		buf, err := t.fetch(pg)
+		if err != nil {
+			return TreeStats{}, err
+		}
+		s.FreePages++
+		pg = le.Uint32(buf.Page[4:])
+		t.pool.Put(buf)
+	}
+	for pg := t.root; ; s.Depth++ {
+		buf, err := t.fetch(pg)
+		if err != nil {
+			return TreeStats{}, err
+		}
+		n := node(buf.Page)
+		typ := n.typ()
+		next := uint32(0)
+		if typ == typeInternal {
+			next = n.intChild(-1)
+		}
+		t.pool.Put(buf)
+		if typ == typeLeaf {
+			s.Depth++
+			return s, nil
+		}
+		if typ != typeInternal || next == 0 || next >= t.nextPage {
+			return TreeStats{}, fmt.Errorf("%w: page %d type %#x in depth walk", ErrCorrupt, pg, typ)
+		}
+		pg = next
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"unixhash/internal/metrics"
 	"unixhash/internal/pagefile"
 )
 
@@ -113,14 +114,38 @@ type Config struct {
 	OnLoad LoadFunc
 }
 
+// PoolCounters is the pool's event accounting. The counters are kept
+// per shard — the hot path updates them as plain increments under the
+// shard lock it already holds, so unrelated shards never contend or
+// false-share on a counter cache line — and summed on read.
+type PoolCounters struct {
+	Hits        int64 // Get found the page resident
+	Misses      int64 // Get faulted the page in
+	Evictions   int64 // buffers evicted to make room
+	NewPages    int64 // pages created fresh (not read from the store)
+	Overcommits int64 // misses served beyond budget (nothing evictable)
+	Pins        int64 // pin events (one per successful Get)
+}
+
+// Sub returns the component-wise difference c - o, for measuring one
+// phase of a workload.
+func (c PoolCounters) Sub(o PoolCounters) PoolCounters {
+	return PoolCounters{
+		Hits: c.Hits - o.Hits, Misses: c.Misses - o.Misses,
+		Evictions: c.Evictions - o.Evictions, NewPages: c.NewPages - o.NewPages,
+		Overcommits: c.Overcommits - o.Overcommits, Pins: c.Pins - o.Pins,
+	}
+}
+
 // shard is one lock stripe of the pool: a private hash table, LRU list
 // and free list over a slice of the buffer budget.
 type shard struct {
 	mu    sync.Mutex
 	table map[Addr]*Buf
-	lru   Buf    // sentinel: lru.next is most recent, lru.prev least recent
-	free  []*Buf // evicted buffers kept for reuse, as in the C package
-	max   int    // this shard's slice of the budget (bounds the free list)
+	lru   Buf          // sentinel: lru.next is most recent, lru.prev least recent
+	free  []*Buf       // evicted buffers kept for reuse, as in the C package
+	max   int          // this shard's slice of the budget (bounds the free list)
+	n     PoolCounters // this stripe's slice of the event counters
 }
 
 // Pool is a sharded LRU buffer pool, safe for concurrent use.
@@ -133,13 +158,69 @@ type Pool struct {
 	shardShift uint32       // 32 - log2(len(shards))
 	maxTotal   int          // pool-wide buffer budget
 	resident   atomic.Int64 // pool-wide resident count (fast path for alloc)
+}
 
-	// Counters for tests and the benchmark harness.
-	Hits        atomic.Int64
-	Misses      atomic.Int64
-	Evictions   atomic.Int64
-	NewPages    atomic.Int64
-	Overcommits atomic.Int64
+// Counters sums the per-shard event counters. Each shard is read under
+// its own lock, so the totals never tear, though shards are sampled at
+// slightly different instants.
+func (p *Pool) Counters() PoolCounters {
+	var c PoolCounters
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		c.Hits += sh.n.Hits
+		c.Misses += sh.n.Misses
+		c.Evictions += sh.n.Evictions
+		c.NewPages += sh.n.NewPages
+		c.Overcommits += sh.n.Overcommits
+		c.Pins += sh.n.Pins
+		sh.mu.Unlock()
+	}
+	return c
+}
+
+// HitRatio reports hits/(hits+misses), or 0 before any traffic.
+func (c PoolCounters) HitRatio() float64 {
+	if c.Hits+c.Misses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Hits+c.Misses)
+}
+
+// Pinned counts currently pinned buffers (a scrape-time scan; buffers
+// are pinned only for the duration of one table operation).
+func (p *Pool) Pinned() int {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, b := range sh.table {
+			if b.Pinned() {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// RegisterMetrics exports the pool's counters and occupancy gauges into
+// reg under prefix (e.g. "buffer_"). The counter funcs sum the shards at
+// scrape time; nothing is added to the fault/hit hot path.
+func (p *Pool) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	sum := func(pick func(PoolCounters) int64) func() int64 {
+		return func() int64 { return pick(p.Counters()) }
+	}
+	reg.CounterFunc(prefix+"hits_total", sum(func(c PoolCounters) int64 { return c.Hits }))
+	reg.CounterFunc(prefix+"misses_total", sum(func(c PoolCounters) int64 { return c.Misses }))
+	reg.CounterFunc(prefix+"evictions_total", sum(func(c PoolCounters) int64 { return c.Evictions }))
+	reg.CounterFunc(prefix+"new_pages_total", sum(func(c PoolCounters) int64 { return c.NewPages }))
+	reg.CounterFunc(prefix+"overcommits_total", sum(func(c PoolCounters) int64 { return c.Overcommits }))
+	reg.CounterFunc(prefix+"pins_total", sum(func(c PoolCounters) int64 { return c.Pins }))
+	reg.GaugeFunc(prefix+"resident", func() int64 { return p.resident.Load() })
+	reg.GaugeFunc(prefix+"pinned", func() int64 { return int64(p.Pinned()) })
+	reg.GaugeFunc(prefix+"capacity", func() int64 { return int64(p.maxTotal) })
+	reg.GaugeFunc(prefix+"shards", func() int64 { return int64(len(p.shards)) })
 }
 
 // MinBuffers is the floor on per-shard size: a bucket split can touch the
@@ -284,7 +365,8 @@ func (p *Pool) get(addr Addr, owner uint32, prev *Buf, create bool) (*Buf, error
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if b, ok := sh.table[addr]; ok {
-		p.Hits.Add(1)
+		sh.n.Hits++
+		sh.n.Pins++
 		sh.touch(b)
 		b.Pin()
 		if prev != nil && prev.ovfl != b {
@@ -292,7 +374,7 @@ func (p *Pool) get(addr Addr, owner uint32, prev *Buf, create bool) (*Buf, error
 		}
 		return b, nil
 	}
-	p.Misses.Add(1)
+	sh.n.Misses++
 	b, err := p.alloc(sh, addr, owner)
 	if err != nil {
 		return nil, err
@@ -303,7 +385,7 @@ func (p *Pool) get(addr Addr, owner uint32, prev *Buf, create bool) (*Buf, error
 	case errors.Is(err, pagefile.ErrNotAllocated) && create:
 		clear(b.Page)
 		b.Dirty = true
-		p.NewPages.Add(1)
+		sh.n.NewPages++
 	case errors.Is(err, pagefile.ErrNotAllocated):
 		sh.recycle(b)
 		return nil, fmt.Errorf("buffer: %v: %w", addr, err)
@@ -317,6 +399,7 @@ func (p *Pool) get(addr Addr, owner uint32, prev *Buf, create bool) (*Buf, error
 	sh.table[addr] = b
 	sh.lruInsert(b)
 	p.resident.Add(1)
+	sh.n.Pins++
 	b.Pin()
 	if prev != nil {
 		prev.ovfl = b
@@ -343,7 +426,7 @@ func (p *Pool) alloc(sh *shard, addr Addr, owner uint32) (*Buf, error) {
 			break
 		}
 		if !evicted {
-			p.Overcommits.Add(1)
+			sh.n.Overcommits++
 		}
 	}
 	if n := len(sh.free); n > 0 {
@@ -399,7 +482,7 @@ func (p *Pool) evict(sh *shard, b *Buf) error {
 			sh.lruRemove(b)
 			delete(sh.table, b.Addr)
 			p.resident.Add(-1)
-			p.Evictions.Add(1)
+			sh.n.Evictions++
 			b.ovfl = nil
 			sh.recycle(b)
 		} else {

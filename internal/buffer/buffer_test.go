@@ -71,8 +71,8 @@ func TestPoolHitMiss(t *testing.T) {
 	if b != b2 {
 		t.Fatal("second Get returned a different buffer")
 	}
-	if p.Hits.Load() != 1 || p.Misses.Load() != 1 {
-		t.Fatalf("hits=%d misses=%d", p.Hits.Load(), p.Misses.Load())
+	if c := p.Counters(); c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
 	}
 }
 
@@ -101,8 +101,8 @@ func TestPoolLRUEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.Put(nb)
-	if p.Evictions.Load() != 1 {
-		t.Fatalf("evictions = %d, want 1", p.Evictions.Load())
+	if c := p.Counters(); c.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions)
 	}
 	if p.Lookup(Addr{N: 1}) != nil {
 		t.Fatal("LRU page 1 still resident")
@@ -151,7 +151,7 @@ func TestPoolOvercommitWhenAllPinned(t *testing.T) {
 		}
 		bufs = append(bufs, b)
 	}
-	if p.Overcommits.Load() == 0 {
+	if p.Counters().Overcommits == 0 {
 		t.Fatal("no overcommit recorded")
 	}
 	for _, b := range bufs {

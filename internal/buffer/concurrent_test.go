@@ -57,7 +57,7 @@ func TestPoolConcurrentPinBlocksEviction(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if p.Evictions.Load() == 0 {
+	if p.Counters().Evictions == 0 {
 		t.Fatal("pressure produced no evictions; test is not testing anything")
 	}
 	if got := p.Lookup(Addr{N: 0}); got != pinned {
@@ -149,7 +149,7 @@ func TestPoolConcurrentChainEvictionOrdering(t *testing.T) {
 			t.Fatalf("owner %d: overflow buffer outlived its evicted primary", owner)
 		}
 	}
-	if p.Evictions.Load() == 0 {
+	if p.Counters().Evictions == 0 {
 		t.Fatal("pressure produced no evictions; test is not testing anything")
 	}
 }
@@ -200,7 +200,7 @@ func TestPoolConcurrentOvercommit(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if p.Overcommits.Load() == 0 {
+	if p.Counters().Overcommits == 0 {
 		t.Fatal("no overcommit recorded with all buffers pinned")
 	}
 }

@@ -88,7 +88,7 @@ func (t *Table) putBigPair(key, data []byte) (oaddr, error) {
 			return 0, err
 		}
 	}
-	t.stats.BigPairs++
+	t.m.bigPairs.Inc()
 	return addrs[0], nil
 }
 

@@ -19,6 +19,10 @@ type FillStats struct {
 	AvgKeysPerPage float64 // keys / (buckets + overflow pages)
 	AvgFill        float64 // used bytes / available bytes on data pages
 	EmptyBuckets   int     // buckets with no keys at all
+	// ChainDist is the chain-length distribution: ChainDist[i] buckets
+	// have a chain of i+1 pages (index 0 = no overflow). Its length is
+	// MaxChain.
+	ChainDist []int
 }
 
 func (s FillStats) String() string {
@@ -58,6 +62,12 @@ func (t *Table) FillStats() (FillStats, error) {
 		}
 		if chainLen > s.MaxChain {
 			s.MaxChain = chainLen
+		}
+		for len(s.ChainDist) < chainLen {
+			s.ChainDist = append(s.ChainDist, 0)
+		}
+		if chainLen > 0 {
+			s.ChainDist[chainLen-1]++
 		}
 		if bucketKeys == 0 {
 			s.EmptyBuckets++

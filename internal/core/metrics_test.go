@@ -1,0 +1,289 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"unixhash/internal/metrics"
+)
+
+// TestMetricsCounting checks that the headline counters track a known
+// workload exactly: gets, misses, puts, deletes, syncs, and the shape
+// gauges.
+func TestMetricsCounting(t *testing.T) {
+	reg := metrics.New()
+	tbl := mustOpen(t, "", &Options{Bsize: 512, Ffactor: 8, Metrics: reg})
+	defer tbl.Close()
+
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tbl.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := tbl.Get([]byte(fmt.Sprintf("key-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := tbl.Get([]byte(fmt.Sprintf("missing-%d", i))); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("get missing: %v", err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if err := tbl.Delete([]byte(fmt.Sprintf("key-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := tbl.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		MetricGets:      n + 10,
+		MetricGetMisses: 10,
+		MetricPuts:      n,
+		MetricDeletes:   50,
+		MetricSyncs:     1,
+	}
+	for name, v := range want {
+		if got := s.Counter(name); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+	if got := s.Gauge(MetricKeys); got != n-50 {
+		t.Errorf("%s = %d, want %d", MetricKeys, got, n-50)
+	}
+	if sc := s.Counter(MetricSplitsControlled); sc == 0 {
+		t.Errorf("%s = 0, want splits from growing %d keys in one bucket", MetricSplitsControlled, n)
+	}
+	if got := s.Gauge(MetricBuckets); got < 2 {
+		t.Errorf("%s = %d, want >= 2 after splits", MetricBuckets, got)
+	}
+	h, ok := s.Histograms[MetricSyncLatency]
+	if !ok || h.Count != 1 {
+		t.Errorf("%s count = %+v, want 1 observation", MetricSyncLatency, h)
+	}
+	if s.Counter("buffer_hits_total") == 0 {
+		t.Error("buffer_hits_total = 0, want hot-page hits")
+	}
+}
+
+// TestMetricsConcurrentMonotonic hammers one table with concurrent
+// readers plus one writer while a scraper takes repeated snapshots:
+// every counter must be non-decreasing between successive snapshots,
+// and derived identities (gets >= misses, chain pages >= chain walks)
+// must hold in every snapshot. Run with -race.
+func TestMetricsConcurrentMonotonic(t *testing.T) {
+	reg := metrics.New()
+	tbl := mustOpen(t, "", &Options{
+		Bsize:     512,
+		Ffactor:   8,
+		CacheSize: 512 * 16, // small pool: evictions under read load
+		Metrics:   reg,
+	})
+	defer tbl.Close()
+
+	const seed = 800
+	for i := 0; i < seed; i++ {
+		if err := tbl.Put([]byte(fmt.Sprintf("seed-%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			buf := make([]byte, 0, 64)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := []byte(fmt.Sprintf("seed-%04d", (i*7+r)%seed))
+				var err error
+				if buf, err = tbl.GetBuf(k, buf); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("reader: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := []byte(fmt.Sprintf("churn-%04d", i%200))
+			var err error
+			if i%3 == 2 {
+				err = tbl.Delete(k)
+				if errors.Is(err, ErrNotFound) {
+					err = nil
+				}
+			} else {
+				err = tbl.Put(k, []byte(fmt.Sprintf("value-%d", i)))
+			}
+			if err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+
+	prev, err := tbl.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		s, err := tbl.MetricsSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, v := range prev.Counters {
+			if s.Counters[name] < v {
+				t.Errorf("snapshot %d: counter %s went backwards: %d -> %d",
+					i, name, v, s.Counters[name])
+			}
+		}
+		if s.Counter(MetricGetMisses) > s.Counter(MetricGets) {
+			t.Errorf("snapshot %d: misses %d > gets %d",
+				i, s.Counter(MetricGetMisses), s.Counter(MetricGets))
+		}
+		if s.Counter(MetricChainPages) < s.Counter(MetricChainWalks) {
+			t.Errorf("snapshot %d: chain pages %d < walks %d (a counted walk probes >= 1 overflow page)",
+				i, s.Counter(MetricChainPages), s.Counter(MetricChainWalks))
+		}
+		prev = s
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestMetricsClosed: a closed table reports ErrClosed from
+// MetricsSnapshot rather than serving a stale snapshot; the registry
+// handle itself stays readable for callers that shared it.
+func TestMetricsClosed(t *testing.T) {
+	reg := metrics.New()
+	tbl := mustOpen(t, "", &Options{Metrics: reg})
+	if err := tbl.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.MetricsSnapshot(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("MetricsSnapshot on closed table = %v, want ErrClosed", err)
+	}
+	// The shared registry still works: final counter values remain visible.
+	if got := reg.Snapshot().Counter(MetricPuts); got != 1 {
+		t.Fatalf("registry after close: %s = %d, want 1", MetricPuts, got)
+	}
+}
+
+// TestMetricsSharedRegistry: two tables exporting into one registry
+// aggregate into one series (the expvar semantic the registry promises).
+func TestMetricsSharedRegistry(t *testing.T) {
+	reg := metrics.New()
+	a := mustOpen(t, "", &Options{Metrics: reg})
+	defer a.Close()
+	b := mustOpen(t, "", &Options{Metrics: reg})
+	defer b.Close()
+
+	if err := a.Put([]byte("ka"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put([]byte("kb"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counter(MetricPuts); got != 2 {
+		t.Fatalf("shared %s = %d, want 2 (one per table)", MetricPuts, got)
+	}
+}
+
+// TestGetBufZeroAlloc: the instrumented read hot path must not allocate
+// — the counters are pre-resolved padded atomics, so observability is
+// free on Get.
+func TestGetBufZeroAlloc(t *testing.T) {
+	tbl := mustOpen(t, "", &Options{Bsize: 1024, Ffactor: 16})
+	defer tbl.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := tbl.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%04d", i))
+	}
+	buf := make([]byte, 0, 64)
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		var err error
+		buf, err = tbl.GetBuf(keys[i%n], buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("GetBuf allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestMetricsChainCounters: chain metrics count only traversal past the
+// primary page. A table prevented from splitting grows real overflow
+// chains; reads through them must register walks and pages, with
+// pages >= walks (each counted walk probes at least one overflow page).
+func TestMetricsChainCounters(t *testing.T) {
+	reg := metrics.New()
+	tbl := mustOpen(t, "", &Options{Bsize: 256, Ffactor: 5000, Metrics: reg})
+	defer tbl.Close()
+
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := tbl.Put([]byte(fmt.Sprintf("chain-key-%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base, err := tbl.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Counter(MetricOvflAllocs) == 0 {
+		t.Fatal("no overflow pages allocated; the workload did not build chains")
+	}
+	for i := 0; i < n; i++ {
+		if _, err := tbl.Get([]byte(fmt.Sprintf("chain-key-%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := tbl.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	walks := s.Counter(MetricChainWalks) - base.Counter(MetricChainWalks)
+	pages := s.Counter(MetricChainPages) - base.Counter(MetricChainPages)
+	if walks == 0 {
+		t.Error("chain walks = 0, want walks into overflow during reads")
+	}
+	if pages < walks {
+		t.Errorf("chain pages %d < walks %d", pages, walks)
+	}
+}

@@ -110,7 +110,7 @@ func (t *Table) allocOvfl() (oaddr, error) {
 				t.freeCount[s]--
 				t.hdr.lastFreed = 0
 				t.dirtyHdr = true
-				t.stats.OvflReuses++
+				t.m.ovflReuses.Inc()
 				return lf, nil
 			}
 		}
@@ -137,7 +137,7 @@ func (t *Table) allocOvfl() (oaddr, error) {
 				bitmapSet(bm, pn-1)
 				t.bitmapDirty[s] = true
 				t.freeCount[s]--
-				t.stats.OvflReuses++
+				t.m.ovflReuses.Inc()
 				return makeOaddr(s, pn), nil
 			}
 		}
@@ -163,7 +163,7 @@ func (t *Table) allocOvfl() (oaddr, error) {
 			bitmapSet(bm, pn-1)
 			t.bitmapDirty[s] = true
 			t.dirtyHdr = true
-			t.stats.OvflAllocs++
+			t.m.ovflAllocs.Inc()
 			return makeOaddr(s, pn), nil
 		}
 		if s+1 >= maxSplits {
@@ -198,7 +198,7 @@ func (t *Table) freeOvfl(o oaddr) error {
 	t.freeCount[s]++
 	t.hdr.lastFreed = uint32(o)
 	t.dirtyHdr = true
-	t.stats.OvflFrees++
+	t.m.ovflFrees.Inc()
 	t.pool.Discard(buffer.Addr{N: uint32(o), Ovfl: true})
 	return nil
 }

@@ -425,15 +425,18 @@ func Recover(path string, o *Options) (*Table, RecoveryReport, error) {
 		t.mu.Unlock()
 		return t, rep, nil
 	}
+	t.m.recoverAttempts.Inc()
 	r, err := t.recoverLocked()
 	if err == nil {
 		err = t.applyRecovery(r)
 	}
 	if err != nil {
+		t.m.recoverFailures.Inc()
 		t.mu.Unlock()
 		t.Close()
 		return nil, rep, err
 	}
+	t.m.recoverSuccess.Inc()
 	rep.Recovered = true
 	rep.NKeys = t.hdr.nkeys
 	rep.SyncEpoch = t.hdr.syncEpoch
@@ -452,6 +455,8 @@ func Recover(path string, o *Options) (*Table, RecoveryReport, error) {
 			rep.BitmapsRebuilt++
 		}
 	}
+	t.m.recoverRepairs.Add(int64(rep.PagesReset + rep.LinksCut + rep.RefsDropped))
+	t.m.setShape(t.hdr.nkeys, t.hdr.maxBucket)
 	t.mu.Unlock()
 	return t, rep, nil
 }

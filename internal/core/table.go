@@ -6,10 +6,11 @@ import (
 	"fmt"
 	"os"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"unixhash/internal/buffer"
 	"unixhash/internal/hashfunc"
+	"unixhash/internal/metrics"
 	"unixhash/internal/pagefile"
 )
 
@@ -59,6 +60,36 @@ type Options struct {
 	// This implements the multi-user access the paper's conclusion says
 	// "could be incorporated relatively easily".
 	Lock bool
+	// Metrics is the registry the table exports its observability series
+	// into (hash_*, buffer_*, pagefile_*; see DESIGN.md). Nil creates a
+	// private registry — instrumentation is always on; the option only
+	// decides who else can read it. Sharing one registry between tables
+	// aggregates same-named series (first registration wins for computed
+	// values).
+	Metrics *metrics.Registry
+}
+
+// Validate checks the option fields without applying defaults: a zero
+// value means "use the default" and always passes. It reports the first
+// offending field by name, so callers (db.Open) can surface exactly what
+// was rejected instead of silently clamping.
+func (o *Options) Validate() error {
+	if o == nil {
+		return nil
+	}
+	if o.Bsize != 0 && (o.Bsize < MinBsize || o.Bsize > MaxBsize || !isPow2(o.Bsize)) {
+		return fmt.Errorf("Bsize: %d must be a power of two in [%d, %d]", o.Bsize, MinBsize, MaxBsize)
+	}
+	if o.Ffactor < 0 {
+		return fmt.Errorf("Ffactor: %d must not be negative", o.Ffactor)
+	}
+	if o.Nelem < 0 {
+		return fmt.Errorf("Nelem: %d must not be negative", o.Nelem)
+	}
+	if o.CacheSize < 0 {
+		return fmt.Errorf("CacheSize: %d must not be negative", o.CacheSize)
+	}
+	return nil
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -66,13 +97,16 @@ func (o *Options) withDefaults() (Options, error) {
 	if o != nil {
 		opts = *o
 	}
+	if err := o.Validate(); err != nil {
+		return opts, fmt.Errorf("hash: invalid option %w", err)
+	}
 	if opts.Bsize == 0 {
 		opts.Bsize = DefaultBsize
 	}
 	if opts.Ffactor == 0 {
 		opts.Ffactor = DefaultFfactor
 	}
-	if opts.Nelem <= 0 {
+	if opts.Nelem == 0 {
 		opts.Nelem = 1
 	}
 	if opts.CacheSize == 0 {
@@ -80,12 +114,6 @@ func (o *Options) withDefaults() (Options, error) {
 	}
 	if opts.Hash == nil {
 		opts.Hash = hashfunc.Default
-	}
-	if opts.Bsize < MinBsize || opts.Bsize > MaxBsize || !isPow2(opts.Bsize) {
-		return opts, fmt.Errorf("hash: bucket size %d must be a power of two in [%d, %d]", opts.Bsize, MinBsize, MaxBsize)
-	}
-	if opts.Ffactor < 1 {
-		return opts, fmt.Errorf("hash: fill factor %d must be positive", opts.Ffactor)
 	}
 	return opts, nil
 }
@@ -138,12 +166,16 @@ type Table struct {
 
 	addedOvfl bool // an insert grew a chain: uncontrolled split pending
 
-	stats TableStats
+	// m holds the table's resolved metric handles (see metrics.go). All
+	// structural counters live here; TableStats is a compatibility view.
+	m tableMetrics
 }
 
-// TableStats counts structural events for tests and the bench harness.
-// Gets is maintained atomically (reads run concurrently); the remaining
-// counters only move under the exclusive table lock.
+// TableStats is a compatibility view over the table's metric counters,
+// kept for tests and the bench harness. The full series — including
+// controlled/uncontrolled split breakdown, chain probes, sync latency
+// and the buffer/pagefile layers — lives in the metrics registry
+// (MetricsSnapshot, MetricsRegistry).
 type TableStats struct {
 	Expansions int64 // bucket splits (table growth steps)
 	OvflAllocs int64 // fresh overflow pages allocated
@@ -231,6 +263,13 @@ func Open(path string, o *Options) (*Table, error) {
 		}
 		return t.hdr.bucketToPage(a.N)
 	}, buffer.Config{OnLoad: onPageLoad})
+
+	// Resolve the metric handles and let the layers below export their
+	// series into the same registry.
+	t.m.init(opts.Metrics)
+	t.pool.RegisterMetrics(t.m.reg, "buffer_")
+	t.store.Stats().Register(t.m.reg, "pagefile_")
+	t.m.setShape(t.hdr.nkeys, t.hdr.maxBucket)
 	return t, nil
 }
 
@@ -433,7 +472,7 @@ func (t *Table) GetBuf(key, dst []byte) ([]byte, error) {
 	if len(key) == 0 {
 		return nil, ErrEmptyKey
 	}
-	atomic.AddInt64(&t.stats.Gets, 1)
+	t.m.gets.Inc()
 	bucket := t.calcBucket(t.hash(key))
 
 	out := dst[:0]
@@ -475,6 +514,7 @@ func (t *Table) GetBuf(key, dst []byte) ([]byte, error) {
 		return nil, err
 	}
 	if !found {
+		t.m.getMisses.Inc()
 		return nil, ErrNotFound
 	}
 	return out, nil
@@ -500,6 +540,13 @@ func (t *Table) walkChain(bucket uint32, fn func(*buffer.Buf) (bool, error)) err
 	if err != nil {
 		return err
 	}
+	// Chain metrics count only traversal past the primary page, and are
+	// settled once per walk from a local tally: the no-overflow fast
+	// path pays zero atomics here, and a walk that does probe overflow
+	// amortizes two adds over its page fetches. Pages are added before
+	// the walk is counted so a concurrent scrape never observes more
+	// walks than overflow pages probed.
+	ovflPages := int64(0)
 	var prev *buffer.Buf
 	defer func() {
 		if prev != nil {
@@ -507,6 +554,10 @@ func (t *Table) walkChain(bucket uint32, fn func(*buffer.Buf) (bool, error)) err
 		}
 		if cur != nil {
 			t.pool.Put(cur)
+		}
+		if ovflPages > 0 {
+			t.m.chainPages.Add(ovflPages)
+			t.m.chainWalks.Inc()
 		}
 	}()
 	for {
@@ -522,6 +573,7 @@ func (t *Table) walkChain(bucket uint32, fn func(*buffer.Buf) (bool, error)) err
 		if err != nil {
 			return err
 		}
+		ovflPages++
 		if prev != nil {
 			t.pool.Put(prev)
 		}
@@ -620,7 +672,7 @@ func (t *Table) put(key, data []byte, replace bool) error {
 	if len(key) == 0 {
 		return ErrEmptyKey
 	}
-	t.stats.Puts++
+	t.m.puts.Inc()
 
 	bucket := t.calcBucket(t.hash(key))
 	big := t.isBig(len(key), len(data))
@@ -743,10 +795,11 @@ func (t *Table) put(key, data []byte, replace bool) error {
 	uncontrolled := t.addedOvfl && !t.controlledOnly
 	t.addedOvfl = false
 	if uncontrolled || t.hdr.nkeys > int64(t.hdr.ffactor)*int64(t.hdr.maxBucket+1) {
-		if err := t.expand(); err != nil {
+		if err := t.expand(uncontrolled); err != nil {
 			return err
 		}
 	}
+	t.m.setShape(t.hdr.nkeys, t.hdr.maxBucket)
 	return nil
 }
 
@@ -865,7 +918,7 @@ func (t *Table) Delete(key []byte) error {
 	if len(key) == 0 {
 		return ErrEmptyKey
 	}
-	t.stats.Dels++
+	t.m.dels.Inc()
 	if err := t.markDirtyLocked(); err != nil {
 		return err
 	}
@@ -874,6 +927,7 @@ func (t *Table) Delete(key []byte) error {
 	if err != nil {
 		return err
 	}
+	t.m.setShape(t.hdr.nkeys, t.hdr.maxBucket)
 	if !removed {
 		return ErrNotFound
 	}
@@ -1002,8 +1056,9 @@ func (t *Table) unlinkOvfl(prev, buf *buffer.Buf) error {
 
 // expand performs one step of linear-hash growth: the next bucket in the
 // predefined split order is split into itself and a new bucket at the end
-// of the table.
-func (t *Table) expand() error {
+// of the table. uncontrolled records which half of the hybrid policy
+// triggered the split (chain growth vs. fill factor) in the metrics.
+func (t *Table) expand(uncontrolled bool) error {
 	if t.hdr.maxBucket == ^uint32(0) {
 		return fmt.Errorf("hash: table is at maximum size")
 	}
@@ -1023,7 +1078,11 @@ func (t *Table) expand() error {
 		t.hdr.ovflPoint = spareIdx
 	}
 	t.dirtyHdr = true
-	t.stats.Expansions++
+	if uncontrolled {
+		t.m.splitsUncontrolled.Inc()
+	} else {
+		t.m.splitsControlled.Inc()
+	}
 	return t.splitBucket(oldBucket, newBucket)
 }
 
@@ -1152,6 +1211,7 @@ func (t *Table) syncLocked() error {
 		// that would bless pages that do not reproduce any synced state.
 		return ErrNeedsRecovery
 	}
+	t0 := time.Now()
 	if err := t.pool.Flush(); err != nil {
 		return err
 	}
@@ -1161,7 +1221,12 @@ func (t *Table) syncLocked() error {
 	if !t.dirtyHdr && !t.dirtyMarked {
 		// Nothing changed since the last completed sync: the on-disk
 		// header is already clean and current.
-		return t.store.Sync()
+		err := t.store.Sync()
+		if err == nil {
+			t.m.syncs.Inc()
+			t.m.syncLatency.Observe(time.Since(t0))
+		}
+		return err
 	}
 	if err := t.store.Sync(); err != nil {
 		return err
@@ -1176,6 +1241,8 @@ func (t *Table) syncLocked() error {
 	}
 	t.dirtyHdr = false
 	t.dirtyMarked = false
+	t.m.syncs.Inc()
+	t.m.syncLatency.Observe(time.Since(t0))
 	return nil
 }
 
@@ -1203,21 +1270,20 @@ func (t *Table) Close() error {
 	return err
 }
 
-// Stats returns a copy of the table's structural counters.
+// Stats returns a copy of the table's structural counters, assembled
+// from the metric registry (Expansions is the sum of both split kinds).
 func (t *Table) Stats() TableStats {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	// Gets moves under the shared lock, so it must be read atomically;
-	// the rest only moves under the exclusive lock, which RLock excludes.
 	return TableStats{
-		Expansions: t.stats.Expansions,
-		OvflAllocs: t.stats.OvflAllocs,
-		OvflReuses: t.stats.OvflReuses,
-		OvflFrees:  t.stats.OvflFrees,
-		BigPairs:   t.stats.BigPairs,
-		Gets:       atomic.LoadInt64(&t.stats.Gets),
-		Puts:       t.stats.Puts,
-		Dels:       t.stats.Dels,
+		Expansions: t.m.splitsControlled.Load() + t.m.splitsUncontrolled.Load(),
+		OvflAllocs: t.m.ovflAllocs.Load(),
+		OvflReuses: t.m.ovflReuses.Load(),
+		OvflFrees:  t.m.ovflFrees.Load(),
+		BigPairs:   t.m.bigPairs.Load(),
+		Gets:       t.m.gets.Load(),
+		Puts:       t.m.puts.Load(),
+		Dels:       t.m.dels.Load(),
 	}
 }
 

@@ -432,7 +432,7 @@ func TestTinyCache(t *testing.T) {
 			t.Fatalf("Get %d = %q, %v", i, got, err)
 		}
 	}
-	if tbl.Pool().Evictions.Load() == 0 {
+	if tbl.Pool().Counters().Evictions == 0 {
 		t.Fatal("tiny cache produced no evictions")
 	}
 }

@@ -46,6 +46,10 @@ func (m Method) String() string {
 var (
 	ErrNotFound  = errors.New("db: key not found")
 	ErrKeyExists = errors.New("db: key already exists")
+	// ErrBadOptions wraps every option-validation failure from Open. The
+	// error text names the rejected field and value, so a misconfigured
+	// open fails loudly instead of being silently clamped to a default.
+	ErrBadOptions = errors.New("db: invalid options")
 )
 
 // Config carries per-method options to Open; only the field matching the
@@ -77,8 +81,77 @@ type DB interface {
 	Len() int
 	// Sync flushes to stable storage.
 	Sync() error
+	// Stats reports the database's statistics in the uniform Stats
+	// shape; method-specific detail rides in the typed sub-struct. A
+	// closed database returns its method's ErrClosed, never a stale
+	// snapshot.
+	Stats() (Stats, error)
 	// Close flushes and closes.
 	Close() error
+}
+
+// Stats is the uniform statistics view over all access methods: the
+// fields every method can answer, plus exactly one method-specific
+// sub-struct. It replaces casting a DB to its concrete type to reach
+// per-method counters.
+type Stats struct {
+	Method   Method
+	Keys     int64
+	Pages    int64 // pages in the backing store (0 for unpaged methods)
+	PageSize int   // 0 for unpaged methods
+	// Buffer-pool behaviour (zero-valued for unpaged methods).
+	CacheHits     int64
+	CacheMisses   int64
+	CacheHitRatio float64
+	// Exactly one of these is non-nil, matching Method.
+	Hash  *HashStats
+	Btree *BtreeStats
+	Recno *RecnoStats
+}
+
+// HashStats is the hash method's detail: the paper's fill statistics
+// plus the operation and split counters from the metrics registry.
+type HashStats struct {
+	Buckets            uint32
+	OverflowPages      int
+	BigPairPages       int
+	BitmapPages        int
+	MaxChain           int
+	ChainDist          []int // ChainDist[i] buckets have chains of i+1 pages
+	AvgFill            float64
+	EmptyBuckets       int
+	Gets               int64
+	GetMisses          int64
+	Puts               int64
+	Deletes            int64
+	SplitsControlled   int64
+	SplitsUncontrolled int64
+	OvflAllocs         int64
+	OvflFrees          int64
+	Syncs              int64
+}
+
+// BtreeStats is the btree method's detail.
+type BtreeStats struct {
+	Depth     int
+	FreePages int
+	Gets      int64
+	GetMisses int64
+	Puts      int64
+	Deletes   int64
+	Syncs     int64
+}
+
+// RecnoStats is the recno method's detail.
+type RecnoStats struct {
+	Bytes     int64
+	Reclen    int
+	Bval      byte
+	Gets      int64
+	GetMisses int64
+	Puts      int64
+	Deletes   int64
+	Syncs     int64
 }
 
 // Cursor iterates key/data pairs. Key and Value are valid until the next
@@ -96,6 +169,9 @@ func Open(path string, m Method, cfg *Config) (DB, error) {
 	var c Config
 	if cfg != nil {
 		c = *cfg
+	}
+	if err := validate(m, c); err != nil {
+		return nil, err
 	}
 	switch m {
 	case Hash:
@@ -119,6 +195,24 @@ func Open(path string, m Method, cfg *Config) (DB, error) {
 	default:
 		return nil, fmt.Errorf("db: unknown access method %v", m)
 	}
+}
+
+// validate runs the chosen method's option validation, wrapping any
+// failure in ErrBadOptions with the method and field named.
+func validate(m Method, c Config) error {
+	var err error
+	switch m {
+	case Hash:
+		err = c.Hash.Validate()
+	case Btree:
+		err = c.Btree.Validate()
+	case Recno:
+		err = c.Recno.Validate()
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %v option %v", ErrBadOptions, m, err)
+	}
+	return nil
 }
 
 // RecnoKey encodes a record number as a key for the Recno method.
@@ -179,6 +273,46 @@ func (d *hashDB) Len() int     { return d.t.Len() }
 func (d *hashDB) Sync() error  { return d.t.Sync() }
 func (d *hashDB) Close() error { return d.t.Close() }
 
+func (d *hashDB) Stats() (Stats, error) {
+	fs, err := d.t.FillStats()
+	if err != nil {
+		return Stats{}, err
+	}
+	snap, err := d.t.MetricsSnapshot()
+	if err != nil {
+		return Stats{}, err
+	}
+	c := d.t.Pool().Counters()
+	return Stats{
+		Method:        Hash,
+		Keys:          fs.Keys,
+		Pages:         int64(d.t.Store().NPages()),
+		PageSize:      d.t.Store().PageSize(),
+		CacheHits:     c.Hits,
+		CacheMisses:   c.Misses,
+		CacheHitRatio: c.HitRatio(),
+		Hash: &HashStats{
+			Buckets:            fs.Buckets,
+			OverflowPages:      fs.OverflowPages,
+			BigPairPages:       fs.BigPairPages,
+			BitmapPages:        fs.BitmapPages,
+			MaxChain:           fs.MaxChain,
+			ChainDist:          fs.ChainDist,
+			AvgFill:            fs.AvgFill,
+			EmptyBuckets:       fs.EmptyBuckets,
+			Gets:               snap.Counter(core.MetricGets),
+			GetMisses:          snap.Counter(core.MetricGetMisses),
+			Puts:               snap.Counter(core.MetricPuts),
+			Deletes:            snap.Counter(core.MetricDeletes),
+			SplitsControlled:   snap.Counter(core.MetricSplitsControlled),
+			SplitsUncontrolled: snap.Counter(core.MetricSplitsUncontrolled),
+			OvflAllocs:         snap.Counter(core.MetricOvflAllocs),
+			OvflFrees:          snap.Counter(core.MetricOvflFrees),
+			Syncs:              snap.Counter(core.MetricSyncs),
+		},
+	}, nil
+}
+
 // Table exposes the underlying hash table for method-specific
 // operations (durability Verify, crash recovery).
 func (d *hashDB) Table() *core.Table { return d.t }
@@ -227,6 +361,31 @@ func (d *btreeDB) Seq() Cursor  { return d.t.Cursor() }
 func (d *btreeDB) Len() int     { return d.t.Len() }
 func (d *btreeDB) Sync() error  { return d.t.Sync() }
 func (d *btreeDB) Close() error { return d.t.Close() }
+
+func (d *btreeDB) Stats() (Stats, error) {
+	ts, err := d.t.Stats()
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		Method:        Btree,
+		Keys:          ts.Keys,
+		Pages:         int64(ts.Pages),
+		PageSize:      ts.PageSize,
+		CacheHits:     ts.Cache.Hits,
+		CacheMisses:   ts.Cache.Misses,
+		CacheHitRatio: ts.Cache.HitRatio(),
+		Btree: &BtreeStats{
+			Depth:     ts.Depth,
+			FreePages: ts.FreePages,
+			Gets:      ts.Gets,
+			GetMisses: ts.GetMisses,
+			Puts:      ts.Puts,
+			Deletes:   ts.Deletes,
+			Syncs:     ts.Syncs,
+		},
+	}, nil
+}
 
 // Tree exposes the underlying btree for method-specific operations
 // (ordered Seek, structural Check).
@@ -302,6 +461,27 @@ func (d *recnoDB) Delete(key []byte) error {
 		return ErrNotFound
 	}
 	return err
+}
+
+func (d *recnoDB) Stats() (Stats, error) {
+	fs, err := d.f.Stats()
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		Method: Recno,
+		Keys:   fs.Records,
+		Recno: &RecnoStats{
+			Bytes:     fs.Bytes,
+			Reclen:    fs.Reclen,
+			Bval:      fs.Bval,
+			Gets:      fs.Gets,
+			GetMisses: fs.GetMisses,
+			Puts:      fs.Puts,
+			Deletes:   fs.Deletes,
+			Syncs:     fs.Syncs,
+		},
+	}, nil
 }
 
 func (d *recnoDB) Seq() Cursor  { return &recnoCursor{f: d.f, i: -1} }

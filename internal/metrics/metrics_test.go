@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("test_ops_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_keys")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	s := r.Snapshot()
+	if s.Counter("test_ops_total") != 5 || s.Gauge("test_keys") != 7 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestRegistryDedupes(t *testing.T) {
+	r := New()
+	a := r.Counter("dup")
+	b := r.Counter("dup")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Inc()
+	if b.Load() != 1 {
+		t.Fatal("deduped counters must share state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reregistering a name as a different kind must panic")
+		}
+	}()
+	r.Gauge("dup")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{time.Millisecond, 10},        // 1024us = 1us<<10
+		{time.Second, 20},             // ~1.05s bound at 1us<<20
+		{2 * time.Hour, nBuckets - 1}, // overflow bucket
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+		h.Observe(c.d)
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+	s := h.Snapshot()
+	var n int64
+	for _, b := range s.Buckets {
+		n += b.Count
+	}
+	if n != s.Count {
+		t.Fatalf("bucket sum %d != count %d", n, s.Count)
+	}
+	if s.Mean() <= 0 {
+		t.Fatalf("mean = %v, want > 0", s.Mean())
+	}
+}
+
+func TestBucketBoundsAreMonotonic(t *testing.T) {
+	prev := time.Duration(0)
+	for i := 0; i < nBuckets-1; i++ {
+		b := BucketBound(i)
+		if b <= prev {
+			t.Fatalf("bucket %d bound %v not > %v", i, b, prev)
+		}
+		prev = b
+	}
+	if BucketBound(nBuckets-1) != -1 {
+		t.Fatal("last bucket must be +Inf")
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := New()
+	r.Counter("a_total").Add(3)
+	r.Gauge("b").Set(-2)
+	r.GaugeFunc("c", func() int64 { return 42 })
+	r.Histogram("lat_seconds").Observe(3 * time.Microsecond)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE a_total counter\na_total 3\n",
+		"# TYPE b gauge\nb -2\n",
+		"c 42\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="4e-06"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 1`,
+		"lat_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentSnapshotMonotonic hammers one registry from writer
+// goroutines while readers take snapshots, asserting every counter is
+// monotonic across successive snapshots (run under -race).
+func TestConcurrentSnapshotMonotonic(t *testing.T) {
+	r := New()
+	c1 := r.Counter("m1")
+	c2 := r.Counter("m2")
+	h := r.Histogram("h")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c1.Inc()
+					c2.Add(2)
+					h.Observe(time.Microsecond)
+				}
+			}
+		}()
+	}
+	for reader := 0; reader < 2; reader++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last Snapshot
+			for i := 0; i < 200; i++ {
+				s := r.Snapshot()
+				if i > 0 {
+					for name, v := range last.Counters {
+						if s.Counters[name] < v {
+							t.Errorf("counter %s went backwards: %d -> %d", name, v, s.Counters[name])
+						}
+					}
+					if s.Histograms["h"].Count < last.Histograms["h"].Count {
+						t.Error("histogram count went backwards")
+					}
+				}
+				last = s
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestCounterAllocFree(t *testing.T) {
+	r := New()
+	c := r.Counter("hot")
+	h := r.Histogram("hot_lat")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		h.Observe(time.Microsecond)
+	}); n != 0 {
+		t.Fatalf("hot-path metric updates allocate: %v allocs/op", n)
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"unixhash/internal/metrics"
 )
 
 // ErrNotAllocated is returned by ReadPage when the requested page lies
@@ -82,6 +84,38 @@ type Stats struct {
 	BytesWritten int64
 	IOTime       time.Duration // accumulated simulated cost
 	cost         CostModel
+
+	// Real (wall-clock) latency of the underlying device operations,
+	// recorded alongside the simulated cost model. The histograms are
+	// atomic and may be read while the store is in use.
+	ReadLatency  metrics.Histogram
+	WriteLatency metrics.Histogram
+	SyncLatency  metrics.Histogram
+}
+
+// Register exports the store's counters and latency histograms into reg
+// under the given name prefix (conventionally "pagefile_"). Counter
+// values are computed at scrape time from the live Stats, so no extra
+// work lands on the I/O path. First registration of a name wins; give
+// distinct stores distinct prefixes if both must be visible.
+func (s *Stats) Register(reg *metrics.Registry, prefix string) {
+	get := func(pick func(*Stats) int64) func() int64 {
+		return func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return pick(s)
+		}
+	}
+	reg.CounterFunc(prefix+"reads_total", get(func(s *Stats) int64 { return s.Reads }))
+	reg.CounterFunc(prefix+"writes_total", get(func(s *Stats) int64 { return s.Writes }))
+	reg.CounterFunc(prefix+"syncs_total", get(func(s *Stats) int64 { return s.Syncs }))
+	reg.CounterFunc(prefix+"errors_total", get(func(s *Stats) int64 { return s.Errors }))
+	reg.CounterFunc(prefix+"read_bytes_total", get(func(s *Stats) int64 { return s.BytesRead }))
+	reg.CounterFunc(prefix+"written_bytes_total", get(func(s *Stats) int64 { return s.BytesWritten }))
+	reg.CounterFunc(prefix+"simulated_io_seconds_total", get(func(s *Stats) int64 { return int64(s.IOTime.Seconds()) }))
+	reg.AddHistogram(prefix+"read_seconds", &s.ReadLatency)
+	reg.AddHistogram(prefix+"write_seconds", &s.WriteLatency)
+	reg.AddHistogram(prefix+"sync_seconds", &s.SyncLatency)
 }
 
 func (s *Stats) addRead(n int) {
@@ -244,7 +278,9 @@ func (fs *FileStore) ReadPage(pageno uint32, buf []byte) error {
 	}
 	fs.mu.Unlock()
 	fs.stats.addRead(fs.pagesize)
+	t0 := time.Now()
 	n, err := fs.f.ReadAt(buf, int64(pageno)*int64(fs.pagesize))
+	fs.stats.ReadLatency.Observe(time.Since(t0))
 	if err == io.EOF && n == fs.pagesize {
 		err = nil
 	}
@@ -267,7 +303,10 @@ func (fs *FileStore) WritePage(pageno uint32, buf []byte) error {
 	}
 	fs.mu.Unlock()
 	fs.stats.addWrite(fs.pagesize)
-	if _, err := fs.f.WriteAt(buf, int64(pageno)*int64(fs.pagesize)); err != nil {
+	t0 := time.Now()
+	_, err := fs.f.WriteAt(buf, int64(pageno)*int64(fs.pagesize))
+	fs.stats.WriteLatency.Observe(time.Since(t0))
+	if err != nil {
 		fs.stats.addError()
 		return fmt.Errorf("pagefile: write page %d: %w", pageno, err)
 	}
@@ -288,7 +327,10 @@ func (fs *FileStore) Sync() error {
 	}
 	fs.mu.Unlock()
 	fs.stats.addSync()
-	if err := fs.f.Sync(); err != nil {
+	t0 := time.Now()
+	err := fs.f.Sync()
+	fs.stats.SyncLatency.Observe(time.Since(t0))
+	if err != nil {
 		fs.stats.addError()
 		return err
 	}
@@ -307,7 +349,9 @@ func (fs *FileStore) Close() error {
 	fs.closed = true
 	fs.mu.Unlock()
 	fs.stats.addSync()
+	t0 := time.Now()
 	err := fs.f.Sync()
+	fs.stats.SyncLatency.Observe(time.Since(t0))
 	if err != nil {
 		fs.stats.addError()
 	}
@@ -362,7 +406,9 @@ func (ms *MemStore) ReadPage(pageno uint32, buf []byte) error {
 	if !ok {
 		return ErrNotAllocated
 	}
+	t0 := time.Now()
 	copy(buf, p)
+	ms.stats.ReadLatency.Observe(time.Since(t0))
 	ms.stats.addRead(ms.pagesize)
 	return nil
 }
@@ -372,6 +418,7 @@ func (ms *MemStore) WritePage(pageno uint32, buf []byte) error {
 	if len(buf) != ms.pagesize {
 		return fmt.Errorf("pagefile: write buffer is %d bytes, want %d", len(buf), ms.pagesize)
 	}
+	t0 := time.Now()
 	ms.mu.Lock()
 	p, ok := ms.pages[pageno]
 	if !ok {
@@ -383,13 +430,18 @@ func (ms *MemStore) WritePage(pageno uint32, buf []byte) error {
 		ms.npages = pageno + 1
 	}
 	ms.mu.Unlock()
+	ms.stats.WriteLatency.Observe(time.Since(t0))
 	ms.stats.addWrite(ms.pagesize)
 	return nil
 }
 
-// Sync implements Store.
+// Sync implements Store. A memory store has nothing to flush, but the
+// sync is still counted and its (near-zero) latency observed so that
+// metric series exist regardless of backing device.
 func (ms *MemStore) Sync() error {
+	t0 := time.Now()
 	ms.stats.addSync()
+	ms.stats.SyncLatency.Observe(time.Since(t0))
 	return nil
 }
 

@@ -41,6 +41,19 @@ type Options struct {
 	ReadOnly bool
 }
 
+// Validate checks the option fields without applying defaults: a zero
+// value means "use the default" and always passes. It reports the first
+// offending field by name (see db.ErrBadOptions).
+func (o *Options) Validate() error {
+	if o == nil {
+		return nil
+	}
+	if o.Reclen < 0 {
+		return fmt.Errorf("Reclen: %d must not be negative", o.Reclen)
+	}
+	return nil
+}
+
 // File is an open recno database.
 type File struct {
 	mu sync.Mutex
@@ -53,6 +66,10 @@ type File struct {
 	dirty    bool
 
 	recs [][]byte
+
+	// Operation counters for FileStats. Every operation holds mu, so
+	// plain fields suffice.
+	nGets, nGetMisses, nPuts, nDels, nSyncs int64
 }
 
 // Open opens or creates the recno file at path. An empty path keeps the
@@ -62,11 +79,11 @@ func Open(path string, o *Options) (*File, error) {
 	if o != nil {
 		opts = *o
 	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("recno: invalid option %w", err)
+	}
 	if opts.Bval == 0 {
 		opts.Bval = '\n'
-	}
-	if opts.Reclen < 0 {
-		return nil, fmt.Errorf("recno: negative record length %d", opts.Reclen)
 	}
 	f := &File{path: path, reclen: opts.Reclen, bval: opts.Bval, readonly: opts.ReadOnly}
 	if path == "" {
@@ -166,7 +183,9 @@ func (f *File) Get(i int) ([]byte, error) {
 	if f.closed {
 		return nil, ErrClosed
 	}
+	f.nGets++
 	if i < 0 || i >= len(f.recs) {
+		f.nGetMisses++
 		return nil, fmt.Errorf("%w: %d of %d", ErrNotFound, i, len(f.recs))
 	}
 	return append([]byte(nil), f.recs[i]...), nil
@@ -186,6 +205,7 @@ func (f *File) Put(i int, rec []byte) error {
 	if err != nil {
 		return err
 	}
+	f.nPuts++
 	if i == len(f.recs) {
 		f.recs = append(f.recs, norm)
 	} else {
@@ -206,6 +226,7 @@ func (f *File) Append(rec []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	f.nPuts++
 	f.recs = append(f.recs, norm)
 	f.dirty = true
 	return len(f.recs) - 1, nil
@@ -243,6 +264,7 @@ func (f *File) Delete(i int) error {
 	if i < 0 || i >= len(f.recs) {
 		return fmt.Errorf("%w: %d of %d", ErrNotFound, i, len(f.recs))
 	}
+	f.nDels++
 	f.recs = append(f.recs[:i], f.recs[i+1:]...)
 	f.dirty = true
 	return nil
@@ -289,7 +311,40 @@ func (f *File) syncLocked() error {
 		return err
 	}
 	f.dirty = false
+	f.nSyncs++
 	return nil
+}
+
+// FileStats reports the file's shape and operation counts for the
+// uniform db.Stats view.
+type FileStats struct {
+	Records   int64
+	Bytes     int64 // total record payload bytes held in memory
+	Reclen    int   // 0 = variable-length records
+	Bval      byte
+	Gets      int64
+	GetMisses int64
+	Puts      int64
+	Deletes   int64
+	Syncs     int64
+}
+
+// Stats reports the file's statistics; a closed file returns ErrClosed.
+func (f *File) Stats() (FileStats, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return FileStats{}, ErrClosed
+	}
+	s := FileStats{
+		Records: int64(len(f.recs)), Reclen: f.reclen, Bval: f.bval,
+		Gets: f.nGets, GetMisses: f.nGetMisses, Puts: f.nPuts,
+		Deletes: f.nDels, Syncs: f.nSyncs,
+	}
+	for _, r := range f.recs {
+		s.Bytes += int64(len(r))
+	}
+	return s, nil
 }
 
 // Close syncs (when writable and file-backed) and closes.
