@@ -4,7 +4,7 @@ GO ?= go
 # -race is slow, so check races where the locks actually live.
 RACE_PKGS = ./internal/core ./internal/buffer ./internal/db
 
-.PHONY: check build vet test race crash fuzz-crash bench concurrency metrics clean
+.PHONY: check build vet test race crash fuzz-crash bench concurrency metrics bulkload clean
 
 check: vet build test race crash
 
@@ -39,5 +39,11 @@ concurrency:
 metrics:
 	$(GO) run ./cmd/hashbench metrics
 
+# Batched write pipeline vs looped Put; refreshes BENCH_bulkload.json
+# and fails if PutBatch regresses below looped Put (gate 1.0). The full
+# 1M-key sweep; CI runs the 100k smoke variant.
+bulkload:
+	$(GO) run ./cmd/hashbench -check 1.0 bulkload
+
 clean:
-	rm -f BENCH_concurrency.json BENCH_metrics.json
+	rm -f BENCH_concurrency.json BENCH_metrics.json BENCH_bulkload.json

@@ -114,6 +114,28 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatalf("recno flat file = %q, %v", raw, err)
 	}
 
+	// The batched load verb: a KEY<TAB>VALUE file imported through both
+	// tools, then read back through the normal verbs.
+	tsv := filepath.Join(dir, "load.tsv")
+	if err := os.WriteFile(tsv, []byte("lk1\tlv1\nlk2\tlv2\nlk3\tlv3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bulk := filepath.Join(dir, "bulk.db")
+	if out := run("hashcli", 0, bulk, "load", tsv); strings.TrimSpace(out) != "3" {
+		t.Fatalf("hashcli load = %q, want 3", out)
+	}
+	if out := run("hashcli", 0, bulk, "get", "lk2"); strings.TrimSpace(out) != "lv2" {
+		t.Fatalf("get after load = %q", out)
+	}
+	bulk2 := filepath.Join(dir, "bulk2.db")
+	if out := run("dbcli", 0, bulk2, "load", tsv); strings.TrimSpace(out) != "3" {
+		t.Fatalf("dbcli load = %q, want 3", out)
+	}
+	if out := run("dbcli", 0, bulk2, "count"); strings.TrimSpace(out) != "3" {
+		t.Fatalf("count after load = %q", out)
+	}
+	run("hashdump", 0, "-check", bulk)
+
 	// hashbench smoke: one small figure end to end.
 	out = run("hashbench", 0, "-n", "500", "fig7")
 	if !strings.Contains(out, "Figure 7") || !strings.Contains(out, "page I/Os") {

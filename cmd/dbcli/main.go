@@ -8,7 +8,15 @@
 //	dbcli -method btree file.db range FROM      # ordered scan from FROM
 //	dbcli -method recno file.db put 3 VALUE     # recno keys are numbers
 //	dbcli -method recno file.db append VALUE
+//	dbcli [...] load FILE                       # bulk import KEY<TAB>VALUE lines
 //	dbcli [...] del KEY | list | count | stats | metrics | check | verify
+//
+// load reads KEY<TAB>VALUE lines from FILE ('-' for stdin) and imports
+// them through the batched write pipeline: records are staged in
+// PutBatch-sized chunks so the hash method pays one lock acquisition,
+// one dirty epoch and one deferred-split pass per chunk instead of per
+// record (btree and recno fall back to a Put loop under the same
+// interface). The count of imported records is printed on completion.
 //
 // check verifies structural invariants (btree only). verify checks a
 // file without modifying it: for hash it also diagnoses files left
@@ -26,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"unixhash/internal/btree"
 	"unixhash/internal/core"
@@ -113,6 +122,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(d.Len() - 1)
+	case "load":
+		need(1)
+		n, err := load(d, mkKey, rest[0])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(n)
 	case "get":
 		need(1)
 		v, err := d.Get(mkKey(rest[0]))
@@ -218,6 +234,57 @@ func main() {
 	}
 }
 
+// load bulk-imports KEY<TAB>VALUE lines from path ('-' = stdin),
+// submitting them in PutBatch-sized chunks. Within a chunk a repeated
+// key keeps the last value, matching what a Put loop would leave behind.
+func load(d db.DB, mkKey func(string) []byte, path string) (int, error) {
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		in = f
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	batch := make([]db.Pair, 0, core.DefaultBatchSize)
+	n, lineno := 0, 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := d.PutBatch(batch); err != nil {
+			return err
+		}
+		n += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, "\t")
+		if !ok || key == "" {
+			return n, fmt.Errorf("load: %s line %d: want KEY<TAB>VALUE", path, lineno)
+		}
+		batch = append(batch, db.Pair{Key: mkKey(key), Data: []byte(val)})
+		if len(batch) == core.DefaultBatchSize {
+			if err := flush(); err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, flush()
+}
+
 // printStats renders the uniform Stats view plus the method detail.
 func printStats(s db.Stats) {
 	fmt.Printf("method:          %v\n", s.Method)
@@ -292,6 +359,6 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dbcli [-method hash|btree|recno] file.db {put K V|append V|get K|del K|list|range FROM|count|stats|metrics|check|verify}`)
+	fmt.Fprintln(os.Stderr, `usage: dbcli [-method hash|btree|recno] file.db {put K V|append V|load FILE|get K|del K|list|range FROM|count|stats|metrics|check|verify}`)
 	flag.PrintDefaults()
 }

@@ -13,14 +13,21 @@
 //	                          BENCH_concurrency.json
 //	hashbench metrics         instrumented workload; writes
 //	                          BENCH_metrics.json
-//	hashbench all             everything above except concurrency and
-//	                          metrics
+//	hashbench bulkload        batched write pipeline vs looped Put; writes
+//	                          BENCH_bulkload.json
+//	hashbench all             everything above except concurrency,
+//	                          metrics and bulkload
 //
 // Flags:
 //
 //	-n N      dictionary size (default: the paper's 24474; smaller is
-//	          faster and preserves the shapes)
+//	          faster and preserves the shapes). For bulkload, the key
+//	          ceiling: points above N keys are skipped (0 = all, up
+//	          to 1M).
 //	-quick    shorthand for -n 4000
+//	-check X  bulkload only: exit nonzero if the PutBatch speedup at
+//	          the largest size falls below X, or if presized PutBatch
+//	          does not beat unsized (the CI regression gate)
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 func main() {
 	n := flag.Int("n", 0, "dictionary size (0 = the paper's 24474 keys)")
 	quick := flag.Bool("quick", false, "use a 4000-key dictionary")
+	check := flag.Float64("check", 0, "bulkload: fail below this PutBatch speedup (0 = no gate)")
 	flag.Usage = usage
 	flag.Parse()
 	if *quick && *n == 0 {
@@ -126,6 +134,27 @@ func main() {
 				return err
 			}
 			fmt.Println("\nwrote BENCH_metrics.json")
+		case "bulkload":
+			res, err := bench.Bulkload(*n)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			data, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile("BENCH_bulkload.json", data, 0o644); err != nil {
+				return err
+			}
+			fmt.Println("\nwrote BENCH_bulkload.json")
+			if *check > 0 {
+				if err := res.Gate(*check); err != nil {
+					return err
+				}
+				fmt.Printf("gate passed: batch speedup %.2fx >= %.2fx, presized beats unsized\n",
+					res.SpeedupAtMax, *check)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -152,7 +181,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: hashbench [-n N | -quick] {fig5|fig6|fig7|fig8a|fig8b|methods|ablate|concurrency|metrics|all}
+	fmt.Fprintf(os.Stderr, `usage: hashbench [-n N | -quick] {fig5|fig6|fig7|fig8a|fig8b|methods|ablate|concurrency|metrics|bulkload|all}
 
 Regenerates the evaluation figures of "A New Hashing Package for UNIX"
 (Seltzer & Yigit, USENIX Winter 1991). See EXPERIMENTS.md for the

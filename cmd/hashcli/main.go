@@ -9,6 +9,8 @@
 //	hashcli file.db has KEY            exit 0 if present, 1 if not
 //	hashcli file.db list               print every key<TAB>value
 //	hashcli file.db count              print the number of pairs
+//	hashcli file.db load FILE          bulk import KEY<TAB>VALUE lines
+//	                                   ('-' = stdin) via the batch writer
 //	hashcli file.db compact NEW.db     rebuild into a right-sized file
 //
 // Flags (creation-time parameters; ignored when the file exists):
@@ -21,6 +23,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -116,6 +119,46 @@ func main() {
 	case "count":
 		need(0)
 		fmt.Println(t.Len())
+	case "load":
+		need(1)
+		in := os.Stdin
+		if rest[0] != "-" {
+			f, err := os.Open(rest[0])
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		// The batch writer copies each pair into its staging arena, so the
+		// scanner's reused line buffer is safe to hand straight in. Pass
+		// -nelem when creating the target to presize it for the import.
+		w := t.NewBatchWriter(0)
+		sc := bufio.NewScanner(in)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		n, lineno := 0, 0
+		for sc.Scan() {
+			lineno++
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			key, val, ok := bytes.Cut(line, []byte{'\t'})
+			if !ok || len(key) == 0 {
+				fatal(fmt.Errorf("load: %s line %d: want KEY<TAB>VALUE", rest[0], lineno))
+			}
+			if err := w.Add(key, val); err != nil {
+				fatal(err)
+			}
+			n++
+		}
+		if err := sc.Err(); err != nil {
+			fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Println(n)
 	case "compact":
 		need(1)
 		g := t.Geometry()
@@ -146,6 +189,6 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hashcli [flags] file.db {put K V|putnew K V|get K|del K|has K|list|count|compact NEW}`)
+	fmt.Fprintln(os.Stderr, `usage: hashcli [flags] file.db {put K V|putnew K V|get K|del K|has K|list|count|load FILE|compact NEW}`)
 	flag.PrintDefaults()
 }

@@ -140,16 +140,23 @@ func dumpMetrics(path string) error {
 	}
 	defer mem.Close()
 
+	// The replay goes through the batch writer, so the dump also reports
+	// the batch-pipeline series (batch puts, presizes, group joins) a
+	// production ingest would produce.
+	w := mem.NewBatchWriter(0)
 	it := src.Iter()
 	for it.Next() {
 		if _, err := src.Get(it.Key()); err != nil {
 			return err
 		}
-		if err := mem.Put(it.Key(), it.Value()); err != nil {
+		if err := w.Add(it.Key(), it.Value()); err != nil {
 			return err
 		}
 	}
 	if err := it.Err(); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
 		return err
 	}
 	if err := mem.Sync(); err != nil {

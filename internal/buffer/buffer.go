@@ -36,6 +36,7 @@ package buffer
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -556,19 +557,85 @@ func (p *Pool) Discard(addr Addr) {
 }
 
 // Flush writes every dirty buffer to the store. Buffers stay resident.
-func (p *Pool) Flush() error {
+func (p *Pool) Flush() error { return p.FlushAll() }
+
+// maxCoalesce caps the pages merged into one vectored write, bounding
+// the scratch buffer (64 pages = 256 KB at the largest page size).
+const maxCoalesce = 64
+
+// FlushAll writes every dirty buffer to the store in ascending physical
+// page order, coalescing runs of adjacent pages into single vectored
+// writes when the store supports them (pagefile.VectorWriter). The LRU
+// flush order the C package inherited from its pool is the worst case
+// for a disk — page 900, page 3, page 412 — whereas a sorted flush is
+// one forward pass; on stores without vectored writes the sorted order
+// still turns the flush into sequential WritePage calls. Buffers stay
+// resident. Collected buffers are pinned across the write pass so a
+// concurrent fault cannot evict (and recycle) them mid-flush; the Dirty
+// flag is cleared under the owning shard's lock after a successful
+// write. On error, buffers not yet written keep their Dirty flag, so a
+// later flush retries them.
+func (p *Pool) FlushAll() error {
+	type dirtyRef struct {
+		b      *Buf
+		pageno uint32
+	}
+	var refs []dirtyRef
 	for i := range p.shards {
 		sh := &p.shards[i]
 		sh.mu.Lock()
 		for b := sh.lru.prev; b != &sh.lru; b = b.prev {
-			if err := p.flushBuf(b); err != nil {
-				sh.mu.Unlock()
-				return err
+			if b.Dirty {
+				b.Pin()
+				refs = append(refs, dirtyRef{b: b, pageno: p.mapAddr(b.Addr)})
 			}
 		}
 		sh.mu.Unlock()
 	}
-	return nil
+	sort.Slice(refs, func(i, j int) bool { return refs[i].pageno < refs[j].pageno })
+
+	vw, _ := p.store.(pagefile.VectorWriter)
+	var scratch []byte
+	writeRun := func(run []dirtyRef) error {
+		if len(run) == 1 || vw == nil {
+			for _, r := range run {
+				if err := p.store.WritePage(r.pageno, r.b.Page); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		need := len(run) * p.pagesize
+		if cap(scratch) < need {
+			scratch = make([]byte, need)
+		}
+		buf := scratch[:need]
+		for k, r := range run {
+			copy(buf[k*p.pagesize:(k+1)*p.pagesize], r.b.Page)
+		}
+		return vw.WritePages(run[0].pageno, buf)
+	}
+
+	var err error
+	for lo := 0; lo < len(refs) && err == nil; {
+		hi := lo + 1
+		for hi < len(refs) && hi-lo < maxCoalesce && refs[hi].pageno == refs[hi-1].pageno+1 {
+			hi++
+		}
+		if err = writeRun(refs[lo:hi]); err == nil {
+			for _, r := range refs[lo:hi] {
+				sh := r.b.sh
+				sh.mu.Lock()
+				r.b.Dirty = false
+				sh.mu.Unlock()
+			}
+		}
+		lo = hi
+	}
+	for _, r := range refs {
+		r.b.Unpin()
+	}
+	return err
 }
 
 // InvalidateAll flushes and drops every buffer; pinned buffers are an

@@ -43,33 +43,38 @@ func (t *Table) isBig(klen, dlen int) bool {
 }
 
 // putBigPair writes key and data to a fresh chain and returns its start
-// address.
+// address. The pair is streamed into the scratch page segment by segment
+// — length prefix, key, data — so no contiguous payload copy of the pair
+// is ever materialized (for multi-megabyte pairs that copy doubled the
+// insert's memory traffic; see TestPutAllocs).
 func (t *Table) putBigPair(key, data []byte) (oaddr, error) {
-	payload := make([]byte, bigLenPrefix, bigLenPrefix+len(key)+len(data))
-	le.PutUint32(payload[0:], uint32(len(key)))
-	le.PutUint32(payload[4:], uint32(len(data)))
-	payload = append(payload, key...)
-	payload = append(payload, data...)
+	var prefix [bigLenPrefix]byte
+	le.PutUint32(prefix[0:], uint32(len(key)))
+	le.PutUint32(prefix[4:], uint32(len(data)))
+	total := bigLenPrefix + len(key) + len(data)
 
 	cap_ := t.bigPayload()
-	npages := (len(payload) + cap_ - 1) / cap_
-	if npages == 0 {
-		npages = 1
+	npages := (total + cap_ - 1) / cap_
+	var addrsArr [16]oaddr
+	addrs := addrsArr[:0]
+	if npages > len(addrsArr) {
+		addrs = make([]oaddr, 0, npages)
 	}
-	addrs := make([]oaddr, npages)
-	for i := range addrs {
+	for i := 0; i < npages; i++ {
 		o, err := t.allocOvfl()
 		if err != nil {
 			// Roll back pages already claimed.
-			for _, a := range addrs[:i] {
+			for _, a := range addrs {
 				_ = t.freeOvfl(a)
 			}
 			return 0, err
 		}
-		addrs[i] = o
+		addrs = append(addrs, o)
 	}
 	buf := t.getScratch()
 	defer t.putScratch(buf)
+	segs := [3][]byte{prefix[:], key, data}
+	seg, segOff := 0, 0
 	for i, o := range addrs {
 		clear(buf)
 		le.PutUint16(buf[bigMagicOffset:], bigMagic)
@@ -78,12 +83,15 @@ func (t *Table) putBigPair(key, data []byte) (oaddr, error) {
 			next = addrs[i+1]
 		}
 		le.PutUint16(buf[bigNextOffset:], uint16(next))
-		lo := i * cap_
-		hi := lo + cap_
-		if hi > len(payload) {
-			hi = len(payload)
+		out := buf[bigHdrSize:]
+		for len(out) > 0 && seg < len(segs) {
+			n := copy(out, segs[seg][segOff:])
+			out = out[n:]
+			segOff += n
+			if segOff == len(segs[seg]) {
+				seg, segOff = seg+1, 0
+			}
 		}
-		copy(buf[bigHdrSize:], payload[lo:hi])
 		if err := t.store.WritePage(t.hdr.oaddrToPage(o), buf); err != nil {
 			return 0, err
 		}

@@ -27,6 +27,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // Table-parameter defaults, from the paper's "Table Parameterization"
@@ -122,29 +123,27 @@ func (o oaddr) String() string {
 	return fmt.Sprintf("%d/%d", o.split(), o.pagenum())
 }
 
-// ceilLog2 returns the smallest p such that 1<<p >= x. It is the __log2 of
-// the 4.4BSD implementation, used by the BUCKET_TO_PAGE calculation.
+// ceilLog2 returns the smallest p such that 1<<p >= x. It is the __log2
+// of the 4.4BSD implementation — there a shift loop, here a single
+// hardware leading-zero count: for x > 1 the answer is the bit length of
+// x-1. This sits on the BUCKET_TO_PAGE path, i.e. under every page
+// fetch; see BenchmarkCeilLog2 for the loop-vs-bits comparison.
 func ceilLog2(x uint32) uint32 {
-	var p uint32
-	for v := uint32(1); v < x; v <<= 1 {
-		p++
-		if p >= 32 {
-			break
-		}
+	if x <= 1 {
+		return 0
 	}
-	return p
+	return uint32(bits.Len32(x - 1))
 }
 
 // nextPow2 rounds x up to a power of two (minimum 1).
 func nextPow2(x uint32) uint32 {
-	v := uint32(1)
-	for v < x && v != 0 {
-		v <<= 1
+	if x <= 1 {
+		return 1
 	}
-	if v == 0 {
+	if x > 1<<31 {
 		return 1 << 31
 	}
-	return v
+	return 1 << bits.Len32(x-1)
 }
 
 func isPow2(x int) bool { return x > 0 && x&(x-1) == 0 }

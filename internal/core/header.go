@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"hash/crc32"
+	"math/bits"
 )
 
 // File header. The header occupies the first hdrPages pages of the file
@@ -197,10 +198,13 @@ func (h *header) validate() error {
 }
 
 // bucketToPage maps a bucket number to its physical page in the store.
+// The spares index is the bucket's generation, ceilLog2(b+1)-1, which
+// for b > 0 equals bits.Len32(b)-1 — one leading-zero-count instruction
+// on the path under every page fetch (see BenchmarkBucketToPage).
 func (h *header) bucketToPage(b uint32) uint32 {
 	p := b + h.hdrPages
 	if b > 0 {
-		p += h.spares[ceilLog2(b+1)-1]
+		p += h.spares[bits.Len32(b)-1]
 	}
 	return p
 }

@@ -25,6 +25,10 @@ const (
 	// The primary-page fast path stays one atomic add per operation.
 	MetricChainWalks      = "hash_chain_walks_total"
 	MetricChainPages      = "hash_chain_pages_total"
+	MetricBatchPuts       = "hash_batch_puts_total"
+	MetricBatchPairs      = "hash_batch_pairs_total"
+	MetricPresizes        = "hash_presizes_total"
+	MetricGroupJoins      = "hash_group_commit_joins_total"
 	MetricSyncs           = "hash_syncs_total"
 	MetricSyncLatency     = "hash_sync_seconds"
 	MetricKeys            = "hash_keys"
@@ -53,6 +57,10 @@ type tableMetrics struct {
 	bigPairs           *metrics.Counter
 	chainWalks         *metrics.Counter
 	chainPages         *metrics.Counter
+	batchPuts          *metrics.Counter
+	batchPairs         *metrics.Counter
+	presizes           *metrics.Counter
+	gcJoins            *metrics.Counter
 	syncs              *metrics.Counter
 	syncLatency        *metrics.Histogram
 	keys               *metrics.Gauge
@@ -83,6 +91,10 @@ func (m *tableMetrics) init(reg *metrics.Registry) {
 	m.bigPairs = reg.Counter(MetricBigPairs)
 	m.chainWalks = reg.Counter(MetricChainWalks)
 	m.chainPages = reg.Counter(MetricChainPages)
+	m.batchPuts = reg.Counter(MetricBatchPuts)
+	m.batchPairs = reg.Counter(MetricBatchPairs)
+	m.presizes = reg.Counter(MetricPresizes)
+	m.gcJoins = reg.Counter(MetricGroupJoins)
 	m.syncs = reg.Counter(MetricSyncs)
 	m.syncLatency = reg.Histogram(MetricSyncLatency)
 	m.keys = reg.Gauge(MetricKeys)

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestPutAllocs guards the write hot path's allocation budget, the
+// companion to TestGetBufZeroAlloc. A steady-state small-pair replace
+// must not allocate at all: the slot encode works in place on the pinned
+// page, and fingerprint/metric updates use pre-resolved atomics. A
+// big-pair replace is allowed a small fixed budget (chain fingerprint
+// readback plus pool bookkeeping) but must stay flat regardless of value
+// size — putBigPair streams segments through the per-table scratch page
+// and keeps its chain-address list on the stack for chains up to 16
+// pages, so the encode itself contributes zero.
+func TestPutAllocs(t *testing.T) {
+	t.Run("small-replace", func(t *testing.T) {
+		tbl := mustOpen(t, "", &Options{Bsize: 1024, Ffactor: 16})
+		defer tbl.Close()
+		const n = 200
+		keys := make([][]byte, n)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("key-%04d", i))
+			if err := tbl.Put(keys[i], []byte("value")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		val := []byte("value2")
+		i := 0
+		allocs := testing.AllocsPerRun(500, func() {
+			if err := tbl.Put(keys[i%n], val); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+		if allocs != 0 {
+			t.Fatalf("small replace Put allocated %.1f times per op, want 0", allocs)
+		}
+	})
+	t.Run("big-replace", func(t *testing.T) {
+		tbl := mustOpen(t, "", &Options{Bsize: 1024, Ffactor: 16})
+		defer tbl.Close()
+		const n = 50
+		keys := make([][]byte, n)
+		val := bytes.Repeat([]byte("x"), 5000) // 6 chain pages, stack-backed addrs
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("big-key-%04d", i))
+			if err := tbl.Put(keys[i], val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			if err := tbl.Put(keys[i%n], val); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+		// Measured 5.0 at the time of writing; 8 leaves slack for runtime
+		// variation without masking a regression back to per-page or
+		// per-byte allocation (which lands in the hundreds).
+		if allocs > 8 {
+			t.Fatalf("big replace Put allocated %.1f times per op, want <= 8", allocs)
+		}
+	})
+}

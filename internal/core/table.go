@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"unixhash/internal/buffer"
@@ -49,6 +50,13 @@ type Options struct {
 	// Cost is the simulated I/O cost model for stores the table creates
 	// itself. Zero means no simulated cost.
 	Cost pagefile.CostModel
+	// GroupCommit makes Sync a shared operation: concurrent syncers whose
+	// mutations are already covered by an in-flight or completed sync
+	// return without issuing another fsync, so N batch writers calling
+	// Sync pay for one durable flush instead of N. The durability
+	// guarantee is unchanged — a Sync never returns before every mutation
+	// that preceded it is on stable storage.
+	GroupCommit bool
 	// ControlledOnly disables uncontrolled (overflow-triggered) splits,
 	// leaving only the fill-factor policy — dynahash's behaviour. It
 	// exists for the ablation benchmarks of the paper's hybrid split
@@ -166,6 +174,19 @@ type Table struct {
 
 	addedOvfl bool // an insert grew a chain: uncontrolled split pending
 
+	// Group commit (Options.GroupCommit). mutSeq counts completed write
+	// attempts; it is bumped under the exclusive table lock, so a load
+	// outside the lock is a lower bound on what the next syncLocked will
+	// cover. gc coordinates the leader/follower protocol in syncShared.
+	groupCommit bool
+	mutSeq      atomic.Uint64
+	gc          struct {
+		mu       sync.Mutex
+		cond     *sync.Cond
+		inflight bool   // a leader is running syncLocked
+		synced   uint64 // highest mutSeq value durably covered
+	}
+
 	// m holds the table's resolved metric handles (see metrics.go). All
 	// structural counters live here; TableStats is a compatibility view.
 	m tableMetrics
@@ -196,7 +217,8 @@ func Open(path string, o *Options) (*Table, error) {
 		return nil, err
 	}
 
-	t := &Table{hash: opts.Hash, path: path, readonly: opts.ReadOnly, controlledOnly: opts.ControlledOnly}
+	t := &Table{hash: opts.Hash, path: path, readonly: opts.ReadOnly, controlledOnly: opts.ControlledOnly, groupCommit: opts.GroupCommit}
+	t.gc.cond = sync.NewCond(&t.gc.mu)
 
 	existing := false
 	switch {
@@ -673,6 +695,10 @@ func (t *Table) put(key, data []byte, replace bool) error {
 		return ErrEmptyKey
 	}
 	t.m.puts.Inc()
+	// Bumped even if the attempt fails partway: pages may already have
+	// been mutated, and group commit must only ever over-sync, never
+	// under-sync.
+	defer t.mutSeq.Add(1)
 
 	bucket := t.calcBucket(t.hash(key))
 	big := t.isBig(len(key), len(data))
@@ -919,6 +945,7 @@ func (t *Table) Delete(key []byte) error {
 		return ErrEmptyKey
 	}
 	t.m.dels.Inc()
+	defer t.mutSeq.Add(1)
 	if err := t.markDirtyLocked(); err != nil {
 		return err
 	}
@@ -1183,7 +1210,22 @@ func (t *Table) Len() int {
 }
 
 // Sync flushes all dirty pages, bitmaps and the header to the store.
+// With Options.GroupCommit, concurrent Syncs share one durable flush
+// (see syncShared).
 func (t *Table) Sync() error {
+	if t.groupCommit {
+		t.mu.RLock()
+		err := t.checkOpen()
+		ro := t.readonly
+		t.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		if ro {
+			return nil
+		}
+		return t.syncShared()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if err := t.checkOpen(); err != nil {
@@ -1193,6 +1235,50 @@ func (t *Table) Sync() error {
 		return nil
 	}
 	return t.syncLocked()
+}
+
+// syncShared is the group-commit protocol. Each caller snapshots the
+// mutation sequence number it needs covered; if a completed sync already
+// covers it the call returns immediately (a "join"), if a sync is in
+// flight the caller waits for it, and otherwise the caller elects itself
+// leader and runs one syncLocked on behalf of everyone waiting. A
+// leader's sync covers every mutation sequenced before it took the table
+// lock, so a successful round satisfies all joined followers at the cost
+// of a single fsync pair. Followers of a failed round retry as leaders,
+// so an error is never silently swallowed.
+func (t *Table) syncShared() error {
+	want := t.mutSeq.Load()
+	t.gc.mu.Lock()
+	for {
+		if t.gc.synced >= want {
+			t.gc.mu.Unlock()
+			t.m.gcJoins.Inc()
+			return nil
+		}
+		if !t.gc.inflight {
+			break
+		}
+		t.gc.cond.Wait()
+	}
+	t.gc.inflight = true
+	t.gc.mu.Unlock()
+
+	t.mu.Lock()
+	covered := t.mutSeq.Load()
+	err := t.checkOpen()
+	if err == nil && !t.readonly {
+		err = t.syncLocked()
+	}
+	t.mu.Unlock()
+
+	t.gc.mu.Lock()
+	t.gc.inflight = false
+	if err == nil && covered > t.gc.synced {
+		t.gc.synced = covered
+	}
+	t.gc.cond.Broadcast()
+	t.gc.mu.Unlock()
+	return err
 }
 
 // syncLocked is the ordered two-phase durability protocol. Phase one
@@ -1212,7 +1298,9 @@ func (t *Table) syncLocked() error {
 		return ErrNeedsRecovery
 	}
 	t0 := time.Now()
-	if err := t.pool.Flush(); err != nil {
+	// Sorted, coalesced flush: dirty pages reach the store in ascending
+	// file order (see buffer.Pool.FlushAll).
+	if err := t.pool.FlushAll(); err != nil {
 		return err
 	}
 	if err := t.flushBitmaps(); err != nil {

@@ -60,6 +60,9 @@ type Config struct {
 	Recno *recno.Options
 }
 
+// Pair is one key/data pair for batched insertion (PutBatch).
+type Pair = core.Pair
+
 // DB is the uniform key/data interface over all access methods.
 type DB interface {
 	// Get returns the data stored under key (ErrNotFound if absent).
@@ -70,6 +73,12 @@ type DB interface {
 	GetBuf(key, dst []byte) ([]byte, error)
 	// Put stores data under key, replacing an existing value.
 	Put(key, data []byte) error
+	// PutBatch stores every pair with Put semantics (last occurrence of
+	// a duplicate key wins). The hash method applies the whole batch
+	// under one table lock with bucket-grouped inserts and deferred
+	// splits (core.Table.PutBatch); the other methods loop Put, so the
+	// call is portable but only hash gains the amortization.
+	PutBatch(pairs []Pair) error
 	// PutNew stores data under key, failing with ErrKeyExists.
 	PutNew(key, data []byte) error
 	// Delete removes key (ErrNotFound if absent).
@@ -252,6 +261,11 @@ func (d *hashDB) GetBuf(key, dst []byte) ([]byte, error) {
 
 func (d *hashDB) Put(key, data []byte) error { return d.t.Put(key, data) }
 
+// PutBatch applies the whole batch under one table lock: pairs grouped
+// by bucket, splits deferred to one pass at batch end (see
+// core.Table.PutBatch).
+func (d *hashDB) PutBatch(pairs []Pair) error { return d.t.PutBatch(pairs) }
+
 func (d *hashDB) PutNew(key, data []byte) error {
 	err := d.t.PutNew(key, data)
 	if errors.Is(err, core.ErrKeyExists) {
@@ -340,6 +354,17 @@ func (d *btreeDB) GetBuf(key, dst []byte) ([]byte, error) {
 }
 
 func (d *btreeDB) Put(key, data []byte) error { return d.t.Put(key, data) }
+
+// PutBatch loops Put: the btree has no batched write path, so the call
+// is sequential-Put semantics at sequential-Put cost.
+func (d *btreeDB) PutBatch(pairs []Pair) error {
+	for _, p := range pairs {
+		if err := d.t.Put(p.Key, p.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 func (d *btreeDB) PutNew(key, data []byte) error {
 	err := d.t.PutNew(key, data)
@@ -434,6 +459,16 @@ func (d *recnoDB) Put(key, data []byte) error {
 		return ErrNotFound
 	}
 	return err
+}
+
+// PutBatch loops Put, parsing each pair's RecnoKey.
+func (d *recnoDB) PutBatch(pairs []Pair) error {
+	for _, p := range pairs {
+		if err := d.Put(p.Key, p.Data); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (d *recnoDB) PutNew(key, data []byte) error {
