@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages with dedicated concurrency stress tests; the full suite under
 # -race is slow, so check races where the locks actually live.
-RACE_PKGS = ./internal/core ./internal/buffer ./internal/db
+RACE_PKGS = ./internal/core ./internal/buffer ./internal/db ./internal/trace
 
-.PHONY: check build vet test race crash fuzz-crash bench concurrency metrics bulkload clean
+.PHONY: check build vet test race crash fuzz-crash bench concurrency metrics bulkload telemetry clean
 
 check: vet build test race crash
 
@@ -44,6 +44,12 @@ metrics:
 # 1M-key sweep; CI runs the 100k smoke variant.
 bulkload:
 	$(GO) run ./cmd/hashbench -check 1.0 bulkload
+
+# Telemetry smoke: start a live traced workload with the telemetry
+# server up, scrape every endpoint (including a 1s CPU profile) and
+# watch it through dbcli hashmon; fails on any non-200 or empty body.
+telemetry:
+	$(GO) test -count=1 -run TestTelemetryEndToEnd -v .
 
 clean:
 	rm -f BENCH_concurrency.json BENCH_metrics.json BENCH_bulkload.json

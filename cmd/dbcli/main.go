@@ -10,6 +10,15 @@
 //	dbcli -method recno file.db append VALUE
 //	dbcli [...] load FILE                       # bulk import KEY<TAB>VALUE lines
 //	dbcli [...] del KEY | list | count | stats | metrics | check | verify
+//	dbcli hashmon URL [INTERVAL [COUNT]]        # watch a live telemetry endpoint
+//
+// hashmon polls a running telemetry server's /stats endpoint (started
+// with core Options.TelemetryAddr, db.ServeTelemetry or hashbench
+// serve) every INTERVAL (default 2s) and renders the numeric fields
+// that changed since the previous poll as deltas — a portable
+// poor-man's top for a table under load. COUNT limits the number of
+// polls (default: until interrupted). URL may be a bare host:port; the
+// /stats path is implied.
 //
 // load reads KEY<TAB>VALUE lines from FILE ('-' for stdin) and imports
 // them through the batched write pipeline: records are staged in
@@ -29,12 +38,16 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"unixhash/internal/btree"
 	"unixhash/internal/core"
@@ -47,6 +60,12 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
+	if len(args) >= 2 && args[0] == "hashmon" {
+		if err := hashmon(args[1:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if len(args) < 2 {
 		usage()
 		os.Exit(2)
@@ -353,12 +372,122 @@ func printPair(w *bufio.Writer, m db.Method, k, v []byte) {
 	fmt.Fprintf(w, "%s\t%s\n", k, v)
 }
 
+// hashmon polls a telemetry /stats endpoint and renders deltas. It is
+// schema-agnostic: the JSON document is flattened to path -> number,
+// and each tick prints the paths whose values changed, with their
+// delta. Non-counter fields (gauges going down) render negative deltas
+// just as usefully.
+func hashmon(args []string) error {
+	if len(args) < 1 || len(args) > 3 {
+		usage()
+		os.Exit(2)
+	}
+	url := args[0]
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/")
+	if !strings.HasSuffix(url, "/stats") {
+		url += "/stats"
+	}
+	interval := 2 * time.Second
+	if len(args) >= 2 {
+		d, err := time.ParseDuration(args[1])
+		if err != nil || d <= 0 {
+			return fmt.Errorf("hashmon: bad interval %q", args[1])
+		}
+		interval = d
+	}
+	count := 0 // 0: poll until interrupted
+	if len(args) == 3 {
+		c, err := strconv.Atoi(args[2])
+		if err != nil || c < 1 {
+			return fmt.Errorf("hashmon: bad count %q", args[2])
+		}
+		count = c
+	}
+
+	client := &http.Client{Timeout: interval + 10*time.Second}
+	poll := func() (map[string]float64, error) {
+		resp, err := client.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("hashmon: %s: HTTP %d", url, resp.StatusCode)
+		}
+		var doc any
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			return nil, fmt.Errorf("hashmon: %s: %v", url, err)
+		}
+		flat := map[string]float64{}
+		flattenJSON("", doc, flat)
+		return flat, nil
+	}
+
+	prev, err := poll()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hashmon %s: %d numeric series, polling every %v\n", url, len(prev), interval)
+	start := time.Now()
+	for i := 1; count == 0 || i < count; i++ {
+		time.Sleep(interval)
+		cur, err := poll()
+		if err != nil {
+			return err
+		}
+		var changed []string
+		for path, v := range cur {
+			if v != prev[path] {
+				changed = append(changed, path)
+			}
+		}
+		sort.Strings(changed)
+		fmt.Printf("--- t=%s (%d changed)\n", time.Since(start).Round(time.Second), len(changed))
+		for _, path := range changed {
+			fmt.Printf("  %-50s %14.6g  %+g\n", path, cur[path], cur[path]-prev[path])
+		}
+		prev = cur
+	}
+	return nil
+}
+
+// flattenJSON walks a decoded JSON document collecting numeric leaves
+// as dotted-path -> value.
+func flattenJSON(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, v := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flattenJSON(p, v, out)
+		}
+	case []any:
+		for i, v := range x {
+			flattenJSON(fmt.Sprintf("%s[%d]", prefix, i), v, out)
+		}
+	case float64:
+		out[prefix] = x
+	case bool:
+		if x {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "dbcli: %v\n", err)
 	os.Exit(1)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dbcli [-method hash|btree|recno] file.db {put K V|append V|load FILE|get K|del K|list|range FROM|count|stats|metrics|check|verify}`)
+	fmt.Fprintln(os.Stderr, `usage: dbcli [-method hash|btree|recno] file.db {put K V|append V|load FILE|get K|del K|list|range FROM|count|stats|metrics|check|verify}
+       dbcli hashmon URL [INTERVAL [COUNT]]`)
 	flag.PrintDefaults()
 }

@@ -15,8 +15,10 @@
 //	                          BENCH_metrics.json
 //	hashbench bulkload        batched write pipeline vs looped Put; writes
 //	                          BENCH_bulkload.json
+//	hashbench serve           live traced workload with the telemetry
+//	                          endpoint up (watch with dbcli hashmon)
 //	hashbench all             everything above except concurrency,
-//	                          metrics and bulkload
+//	                          metrics, bulkload and serve
 //
 // Flags:
 //
@@ -28,6 +30,11 @@
 //	-check X  bulkload only: exit nonzero if the PutBatch speedup at
 //	          the largest size falls below X, or if presized PutBatch
 //	          does not beat unsized (the CI regression gate)
+//	-telemetry ADDR
+//	          serve only: telemetry listen address (":0" picks a free
+//	          port; the first output line reports the choice)
+//	-dur D    serve only: how long to run the workload (0 = until
+//	          killed)
 package main
 
 import (
@@ -42,6 +49,8 @@ func main() {
 	n := flag.Int("n", 0, "dictionary size (0 = the paper's 24474 keys)")
 	quick := flag.Bool("quick", false, "use a 4000-key dictionary")
 	check := flag.Float64("check", 0, "bulkload: fail below this PutBatch speedup (0 = no gate)")
+	telemetry := flag.String("telemetry", "127.0.0.1:0", "serve: telemetry listen address")
+	dur := flag.Duration("dur", 0, "serve: workload duration (0 = until killed)")
 	flag.Usage = usage
 	flag.Parse()
 	if *quick && *n == 0 {
@@ -155,6 +164,8 @@ func main() {
 				fmt.Printf("gate passed: batch speedup %.2fx >= %.2fx, presized beats unsized\n",
 					res.SpeedupAtMax, *check)
 			}
+		case "serve":
+			return bench.Serve(*n, *telemetry, *dur, os.Stdout)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -181,7 +192,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: hashbench [-n N | -quick] {fig5|fig6|fig7|fig8a|fig8b|methods|ablate|concurrency|metrics|bulkload|all}
+	fmt.Fprintf(os.Stderr, `usage: hashbench [-n N | -quick] {fig5|fig6|fig7|fig8a|fig8b|methods|ablate|concurrency|metrics|bulkload|serve|all}
 
 Regenerates the evaluation figures of "A New Hashing Package for UNIX"
 (Seltzer & Yigit, USENIX Winter 1991). See EXPERIMENTS.md for the

@@ -19,6 +19,11 @@
 //	-ffactor N   fill factor (default 8)
 //	-nelem N     expected final element count
 //	-cache N     buffer pool bytes (default 65536)
+//
+//	-telemetry ADDR   serve live telemetry (/metrics, /stats,
+//	                  /debug/events, ...) for the duration of the
+//	                  command; mainly useful to watch a long load.
+//	                  The resolved address is printed to stderr.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"os"
 
 	"unixhash/internal/core"
+	"unixhash/internal/trace"
 )
 
 func main() {
@@ -37,6 +43,7 @@ func main() {
 	ffactor := flag.Int("ffactor", 0, "fill factor for a new table")
 	nelem := flag.Int("nelem", 0, "expected final element count for a new table")
 	cache := flag.Int("cache", 0, "buffer pool size in bytes")
+	telemetry := flag.String("telemetry", "", "serve telemetry on this address while the command runs")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -48,12 +55,20 @@ func main() {
 	rest := args[2:]
 
 	readonly := cmd == "get" || cmd == "has" || cmd == "list" || cmd == "count" || cmd == "compact"
-	t, err := core.Open(path, &core.Options{
+	opts := &core.Options{
 		Bsize: *bsize, Ffactor: *ffactor, Nelem: *nelem, CacheSize: *cache,
 		ReadOnly: readonly,
-	})
+	}
+	if *telemetry != "" {
+		opts.Trace = trace.New(0)
+		opts.TelemetryAddr = *telemetry
+	}
+	t, err := core.Open(path, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if *telemetry != "" {
+		fmt.Fprintf(os.Stderr, "hashcli: telemetry http://%s\n", t.TelemetryAddr())
 	}
 	defer func() {
 		if err := t.Close(); err != nil {

@@ -2,11 +2,16 @@
 // header geometry, the spares array, each bucket's chain shape and page
 // fill, and overflow bitmap occupancy.
 //
-//	hashdump [-v] [-stats] [-check] [-recover] [-metrics] file.db
+//	hashdump [-v] [-stats] [-check] [-recover] [-metrics] [-heatmap] file.db
 //
 // With -v every entry's key is listed. With -stats only aggregate
 // statistics are printed, including the buffer-pool hit ratio and the
 // overflow-chain length distribution of the inspection scan. With
+// -heatmap the per-bucket fill factor and overflow-chain depth are
+// reported through the same read-locked walker the live
+// /debug/heatmap telemetry endpoint uses: a summary line, the chain
+// depth distribution, a ten-bin fill histogram, and (with -v) one row
+// per bucket. With
 // -check the file is verified: a cleanly synced file gets the full
 // structural check (key placement, chain and bitmap consistency, leaks,
 // pair fingerprint); a file left dirty by a crash gets a dry-run of
@@ -34,8 +39,9 @@ func main() {
 	check := flag.Bool("check", false, "verify structural and durability invariants and exit")
 	doRecover := flag.Bool("recover", false, "recover a crashed file to its last-synced state")
 	promDump := flag.Bool("metrics", false, "replay the file through an instrumented table and print Prometheus-text metrics")
+	heatmap := flag.Bool("heatmap", false, "print per-bucket fill factor and chain depth (same walker as /debug/heatmap)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: hashdump [-v] [-stats] [-check] [-recover] [-metrics] file.db")
+		fmt.Fprintln(os.Stderr, "usage: hashdump [-v] [-stats] [-check] [-recover] [-metrics] [-heatmap] file.db")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -87,6 +93,13 @@ func main() {
 	if g := t.Geometry(); g.Dirty {
 		fmt.Fprintf(os.Stderr, "hashdump: warning: %s was not cleanly closed; contents may predate the crash (run -recover)\n", path)
 	}
+	if *heatmap {
+		if err := printHeatmap(t, *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "hashdump: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *statsOnly {
 		g := t.Geometry()
 		fs, err := t.FillStats()
@@ -118,6 +131,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hashdump: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// printHeatmap renders core.Table.Heatmap — the exact payload the live
+// /debug/heatmap endpoint serves — for offline inspection: summary,
+// chain-depth distribution, a ten-bin fill histogram, and with verbose
+// one row per bucket.
+func printHeatmap(t *core.Table, verbose bool) error {
+	h, err := t.Heatmap()
+	if err != nil {
+		return err
+	}
+	fmt.Println(h)
+	var bins [10]int
+	for _, row := range h.PerBucket {
+		b := int(row.Fill * 10)
+		if b > 9 {
+			b = 9
+		}
+		bins[b]++
+	}
+	fmt.Println("fill histogram:")
+	for i, n := range bins {
+		fmt.Printf("  %3d-%3d%%  %6d  %s\n", i*10, (i+1)*10, n, bar(n, len(h.PerBucket)))
+	}
+	if verbose {
+		fmt.Println("bucket  entries  bigrefs  chain  fill")
+		for _, row := range h.PerBucket {
+			fmt.Printf("%6d  %7d  %7d  %5d  %3.0f%%\n",
+				row.Bucket, row.Entries, row.BigRefs, row.ChainPages, 100*row.Fill)
+		}
+	}
+	return nil
+}
+
+// bar renders n/total as a proportional strip of hash marks.
+func bar(n, total int) string {
+	if total == 0 {
+		return ""
+	}
+	w := n * 40 / total
+	if n > 0 && w == 0 {
+		w = 1
+	}
+	return "########################################"[:w]
 }
 
 // dumpMetrics opens path read-only and an anonymous in-memory table,

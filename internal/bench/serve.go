@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unixhash/internal/core"
+	"unixhash/internal/dataset"
+	"unixhash/internal/pagefile"
+	"unixhash/internal/trace"
+)
+
+// Serve runs a live mixed workload against a traced, telemetry-serving
+// in-memory table: the target the /metrics, /stats, /debug/events and
+// /debug/heatmap endpoints are meant to be watched against. The listen
+// address (resolved, so addr may be ":0") is printed to out as the
+// first line, which is how scripts and the CI smoke test discover the
+// port. n <= 0 selects the paper's dictionary; dur <= 0 runs until the
+// process is killed.
+//
+// The workload is deliberately eventful rather than maximally fast:
+// four goroutines run a 90% read / 10% write mix over a growing key
+// space (splits, overflow traffic), a slice of oversized values keeps
+// big-pair chains churning, and a background Sync fires every 100ms so
+// the two-phase sync events stream continuously.
+func Serve(n int, addr string, dur time.Duration, out io.Writer) error {
+	pairs := dataset.Dictionary(n)
+	tr := trace.New(1 << 14)
+	store := pagefile.NewMem(1024, pagefile.CostModel{})
+	t, err := core.Open("", &core.Options{
+		Bsize: 1024, Ffactor: 8, CacheSize: 1 << 20,
+		Store: store, Trace: tr, TelemetryAddr: addr,
+	})
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	fmt.Fprintf(out, "telemetry http://%s\n", t.TelemetryAddr())
+
+	for _, p := range pairs {
+		if err := t.Put(p.Key, p.Data); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "serving %d keys; workload running", len(pairs))
+	if dur > 0 {
+		fmt.Fprintf(out, " for %v", dur)
+	}
+	fmt.Fprintln(out)
+
+	var stop atomic.Bool
+	var ops atomic.Int64
+	var firstErr atomic.Value
+	fail := func(err error) {
+		if err != nil {
+			firstErr.CompareAndSwap(nil, err)
+			stop.Store(true)
+		}
+	}
+	var wg sync.WaitGroup
+	const workers = 4
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			dst := make([]byte, 0, 256)
+			big := make([]byte, 4000)
+			extra := 0 // keys this worker has added beyond the dictionary
+			for !stop.Load() {
+				var err error
+				switch r := rng.Intn(100); {
+				case r < 90: // read
+					p := pairs[rng.Intn(len(pairs))]
+					if dst, err = t.GetBuf(p.Key, dst); errors.Is(err, core.ErrNotFound) {
+						err = nil
+					}
+				case r < 96: // grow: insert a fresh key
+					extra++
+					err = t.Put([]byte(fmt.Sprintf("live-%d-%d", seed, extra)), dst[:0])
+				case r < 98: // big pair churn
+					k := []byte(fmt.Sprintf("big-%d", seed))
+					if err = t.Put(k, big); err == nil {
+						err = t.Delete(k)
+					}
+				default: // rewrite an existing pair
+					p := pairs[rng.Intn(len(pairs))]
+					err = t.Put(p.Key, p.Data)
+				}
+				fail(err)
+				ops.Add(1)
+			}
+		}(int64(w) + 1)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for !stop.Load() {
+			<-tick.C
+			fail(t.Sync())
+		}
+	}()
+
+	if dur > 0 {
+		time.Sleep(dur)
+		stop.Store(true)
+	}
+	wg.Wait() // dur <= 0: blocks until the process is killed
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "done: %d ops, %d keys, %d buckets\n",
+		ops.Load(), t.Len(), t.Geometry().MaxBucket+1)
+	return nil
+}

@@ -113,6 +113,11 @@ type Config struct {
 	Shards int
 	// OnLoad, if non-nil, post-processes every faulted-in page.
 	OnLoad LoadFunc
+	// OnEvict, if non-nil, observes every buffer evicted to make room
+	// (not invalidations or drops): the evicted address and whether the
+	// page was dirty (had to be written back) when chosen. It runs under
+	// the shard lock and must not re-enter the pool.
+	OnEvict func(Addr, bool)
 }
 
 // PoolCounters is the pool's event accounting. The counters are kept
@@ -154,6 +159,7 @@ type Pool struct {
 	store      pagefile.Store
 	mapAddr    MapFunc
 	onLoad     LoadFunc
+	onEvict    func(Addr, bool)
 	pagesize   int
 	shards     []shard
 	shardShift uint32       // 32 - log2(len(shards))
@@ -261,6 +267,7 @@ func NewConfig(store pagefile.Store, maxBytes int, mapAddr MapFunc, cfg Config) 
 		store:      store,
 		mapAddr:    mapAddr,
 		onLoad:     cfg.OnLoad,
+		onEvict:    cfg.OnEvict,
 		pagesize:   ps,
 		shards:     make([]shard, nshards),
 		shardShift: 32 - uint32(floorLog2(nshards)),
@@ -476,6 +483,7 @@ func chainPinned(b *Buf) bool {
 func (p *Pool) evict(sh *shard, b *Buf) error {
 	for b != nil {
 		next := b.ovfl
+		dirty := b.Dirty
 		if err := p.flushBuf(b); err != nil {
 			return err
 		}
@@ -484,6 +492,9 @@ func (p *Pool) evict(sh *shard, b *Buf) error {
 			delete(sh.table, b.Addr)
 			p.resident.Add(-1)
 			sh.n.Evictions++
+			if p.onEvict != nil {
+				p.onEvict(b.Addr, dirty)
+			}
 			b.ovfl = nil
 			sh.recycle(b)
 		} else {

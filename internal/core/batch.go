@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"unixhash/internal/buffer"
+	"unixhash/internal/trace"
 )
 
 // Batched write pipeline. PutBatch ingests many key/data pairs under a
@@ -31,6 +32,16 @@ type Pair struct {
 // sequential-Put outcome. An empty key anywhere in the batch rejects
 // the entire batch with ErrEmptyKey before anything is written.
 func (t *Table) PutBatch(pairs []Pair) error {
+	if t.tr == nil {
+		return t.putBatch(pairs)
+	}
+	sp := t.tr.OpBegin()
+	err := t.putBatch(pairs)
+	t.tr.OpEnd(trace.OpBatch, uint64(len(pairs)), sp)
+	return err
+}
+
+func (t *Table) putBatch(pairs []Pair) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.putBatchLocked(pairs)
@@ -48,6 +59,7 @@ func (t *Table) putBatchLocked(pairs []Pair) error {
 	if len(pairs) == 0 {
 		return nil
 	}
+	t.tr.Emit(trace.EvBatchBegin, uint64(len(pairs)), 0, 0, 0)
 	// Bumped even on a failed batch: pages may already have been
 	// mutated, and group commit must only ever over-sync.
 	defer t.mutSeq.Add(1)
@@ -77,6 +89,7 @@ func (t *Table) putBatchLocked(pairs []Pair) error {
 	}
 	sort.SliceStable(order, func(a, b int) bool { return order[a].bucket < order[b].bucket })
 
+	groups := 0
 	idxs := make([]int, 0, 64)
 	for lo := 0; lo < len(order); {
 		hi := lo
@@ -88,9 +101,11 @@ func (t *Table) putBatchLocked(pairs []Pair) error {
 		if err := t.putBucketGroup(order[lo].bucket, pairs, idxs); err != nil {
 			return err
 		}
+		groups++
 		lo = hi
 	}
 	t.dirtyHdr = true
+	t.tr.Emit(trace.EvBatchPhase, trace.BatchPhaseDistribute, uint64(groups), 0, 0)
 
 	// Deferred split pass: all the fill-factor splits the batch earned,
 	// in one sweep, plus at most one uncontrolled split if the batch
@@ -110,13 +125,16 @@ func (t *Table) putBatchLocked(pairs []Pair) error {
 		if err := t.expand(true); err != nil {
 			return err
 		}
+		splits++
 	}
+	t.tr.Emit(trace.EvBatchPhase, trace.BatchPhaseSplits, uint64(splits), 0, 0)
 
 	// Amortized accounting: one batch, len(pairs) logical puts.
 	t.m.puts.Add(int64(len(pairs)))
 	t.m.batchPuts.Inc()
 	t.m.batchPairs.Add(int64(len(pairs)))
 	t.m.setShape(t.hdr.nkeys, t.hdr.maxBucket)
+	t.tr.Emit(trace.EvBatchEnd, uint64(len(pairs)), uint64(splits), 0, 0)
 	return nil
 }
 
@@ -152,6 +170,7 @@ func (t *Table) presizeLocked(n int) {
 	t.dirtyHdr = true
 	t.m.presizes.Inc()
 	t.m.setShape(t.hdr.nkeys, t.hdr.maxBucket)
+	t.tr.Emit(trace.EvBatchPhase, trace.BatchPhasePresize, uint64(want), 0, 0)
 }
 
 // pendingPair tracks one deduplicated batch pair during a bucket pass.

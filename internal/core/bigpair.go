@@ -3,6 +3,8 @@ package core
 import (
 	"bytes"
 	"fmt"
+
+	"unixhash/internal/trace"
 )
 
 // Big key/data pairs. A pair whose key and data cannot fit on a single
@@ -97,6 +99,7 @@ func (t *Table) putBigPair(key, data []byte) (oaddr, error) {
 		}
 	}
 	t.m.bigPairs.Inc()
+	t.tr.Emit(trace.EvBigPairWrite, uint64(len(addrs)), uint64(len(key)), uint64(len(data)), uint64(addrs[0]))
 	return addrs[0], nil
 }
 

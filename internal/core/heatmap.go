@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"unixhash/internal/buffer"
+)
+
+// The heatmap is the live, read-locked view of how the table's keys and
+// bytes are spread over its buckets: per-bucket fill factor and
+// overflow-chain depth, cheap enough to serve from the telemetry
+// endpoint while a workload runs. It deliberately walks only bucket
+// chains under the shared lock (the same path Get uses), unlike
+// FillStats, whose allocator accounting needs the exclusive lock.
+
+// BucketHeat is one bucket's row in the heatmap.
+type BucketHeat struct {
+	Bucket     uint32  `json:"bucket"`
+	Entries    int     `json:"entries"`
+	BigRefs    int     `json:"big_refs,omitempty"`
+	ChainPages int     `json:"chain_pages"` // overflow pages past the primary
+	Fill       float64 `json:"fill"`        // used/usable bytes over the chain's pages
+}
+
+// Heatmap is the full per-bucket report.
+type Heatmap struct {
+	Buckets  uint32  `json:"buckets"`
+	Bsize    int     `json:"bsize"`
+	NKeys    int64   `json:"nkeys"`
+	MaxChain int     `json:"max_chain_pages"` // deepest overflow chain
+	AvgFill  float64 `json:"avg_fill"`
+	// ChainDist[i] counts buckets with exactly i overflow pages.
+	ChainDist []int        `json:"chain_dist"`
+	PerBucket []BucketHeat `json:"per_bucket"`
+}
+
+// String renders a compact summary plus a fill histogram for the CLIs.
+func (h *Heatmap) String() string {
+	s := fmt.Sprintf("buckets=%d keys=%d avgfill=%.0f%% maxchain=%d",
+		h.Buckets, h.NKeys, 100*h.AvgFill, h.MaxChain)
+	for depth, n := range h.ChainDist {
+		if n > 0 {
+			s += fmt.Sprintf(" chain[%d]=%d", depth, n)
+		}
+	}
+	return s
+}
+
+// Heatmap walks every bucket chain under the shared lock and reports
+// per-bucket fill and chain depth. Readers and the walk run in parallel;
+// writers are excluded for the duration (the same cost as a long scan).
+func (t *Table) Heatmap() (*Heatmap, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if err := t.checkOpen(); err != nil {
+		return nil, err
+	}
+	h := &Heatmap{
+		Buckets:   t.hdr.maxBucket + 1,
+		Bsize:     int(t.hdr.bsize),
+		NKeys:     t.hdr.nkeys,
+		PerBucket: make([]BucketHeat, 0, t.hdr.maxBucket+1),
+	}
+	usable := int(t.hdr.bsize) - pageHdrSize
+	var usedTotal, availTotal int64
+	for b := uint32(0); b <= t.hdr.maxBucket; b++ {
+		row := BucketHeat{Bucket: b}
+		used := 0
+		pages := 0
+		err := t.walkChain(b, func(buf *buffer.Buf) (bool, error) {
+			if buf.Addr.Ovfl {
+				row.ChainPages++
+			}
+			pages++
+			pg := page(buf.Page)
+			used += usable - pg.freeSpace()
+			return false, pg.forEach(func(_ int, e entry) bool {
+				row.Entries++
+				if e.kind == entryBig {
+					row.BigRefs++
+				}
+				return true
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		if pages > 0 {
+			row.Fill = float64(used) / float64(pages*usable)
+		}
+		usedTotal += int64(used)
+		availTotal += int64(pages * usable)
+		if row.ChainPages > h.MaxChain {
+			h.MaxChain = row.ChainPages
+		}
+		for len(h.ChainDist) <= row.ChainPages {
+			h.ChainDist = append(h.ChainDist, 0)
+		}
+		h.ChainDist[row.ChainPages]++
+		h.PerBucket = append(h.PerBucket, row)
+	}
+	if availTotal > 0 {
+		h.AvgFill = float64(usedTotal) / float64(availTotal)
+	}
+	return h, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"unixhash/internal/buffer"
+	"unixhash/internal/trace"
 )
 
 // Overflow page allocation — the buddy-in-waiting mechanism.
@@ -111,6 +112,7 @@ func (t *Table) allocOvfl() (oaddr, error) {
 				t.hdr.lastFreed = 0
 				t.dirtyHdr = true
 				t.m.ovflReuses.Inc()
+				t.tr.Emit(trace.EvOvflReuse, uint64(s), uint64(pn), uint64(lf), 0)
 				return lf, nil
 			}
 		}
@@ -138,6 +140,7 @@ func (t *Table) allocOvfl() (oaddr, error) {
 				t.bitmapDirty[s] = true
 				t.freeCount[s]--
 				t.m.ovflReuses.Inc()
+				t.tr.Emit(trace.EvOvflReuse, uint64(s), uint64(pn), uint64(makeOaddr(s, pn)), 0)
 				return makeOaddr(s, pn), nil
 			}
 		}
@@ -164,6 +167,7 @@ func (t *Table) allocOvfl() (oaddr, error) {
 			t.bitmapDirty[s] = true
 			t.dirtyHdr = true
 			t.m.ovflAllocs.Inc()
+			t.tr.Emit(trace.EvOvflAlloc, uint64(s), uint64(pn), uint64(makeOaddr(s, pn)), 0)
 			return makeOaddr(s, pn), nil
 		}
 		if s+1 >= maxSplits {
@@ -199,6 +203,7 @@ func (t *Table) freeOvfl(o oaddr) error {
 	t.hdr.lastFreed = uint32(o)
 	t.dirtyHdr = true
 	t.m.ovflFrees.Inc()
+	t.tr.Emit(trace.EvOvflFree, uint64(s), uint64(pn), uint64(o), 0)
 	t.pool.Discard(buffer.Addr{N: uint32(o), Ovfl: true})
 	return nil
 }

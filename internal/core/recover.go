@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"unixhash/internal/pagefile"
+	"unixhash/internal/trace"
 )
 
 // Crash recovery.
@@ -348,11 +349,13 @@ func (t *Table) applyRecovery(r *recovery) error {
 			return err
 		}
 	}
+	t.tr.Emit(trace.EvRecoveryStep, trace.RecoveryStepRepairs, uint64(len(r.order)), 0, 0)
 
 	// Rebuild every bitmap from the claim map: a bit is set for the
 	// bitmap page itself and for each page a verified chain reaches.
 	// Everything else at that split point is free for reuse.
 	used := make([]int, maxSplits)
+	rebuilt := 0
 	for s := range t.bitmapBuf {
 		t.bitmapBuf[s] = nil
 		t.bitmapDirty[s] = false
@@ -368,6 +371,7 @@ func (t *Table) applyRecovery(r *recovery) error {
 		t.bitmapBuf[s] = bm
 		t.bitmapDirty[s] = true
 		used[s] = 1
+		rebuilt++
 	}
 	for o := range r.claimed {
 		s, pn := o.split(), o.pagenum()
@@ -386,7 +390,12 @@ func (t *Table) applyRecovery(r *recovery) error {
 	t.hdr.lastFreed = 0
 	t.dirtyHdr = true
 	t.needsRecovery = false
-	return t.syncLocked()
+	t.tr.Emit(trace.EvRecoveryStep, trace.RecoveryStepBitmaps, uint64(rebuilt), 0, 0)
+	if err := t.syncLocked(); err != nil {
+		return err
+	}
+	t.tr.Emit(trace.EvRecoveryStep, trace.RecoveryStepDone, uint64(t.hdr.nkeys), t.hdr.syncEpoch, 0)
+	return nil
 }
 
 // Recover opens the table at path (or Options.Store), and if its dirty
@@ -426,8 +435,10 @@ func Recover(path string, o *Options) (*Table, RecoveryReport, error) {
 		return t, rep, nil
 	}
 	t.m.recoverAttempts.Inc()
+	t.tr.Emit(trace.EvRecoveryStep, trace.RecoveryStepWalk, uint64(t.hdr.maxBucket+1), 0, 0)
 	r, err := t.recoverLocked()
 	if err == nil {
+		t.tr.Emit(trace.EvRecoveryStep, trace.RecoveryStepGate, uint64(r.count), uint64(len(r.order)), 0)
 		err = t.applyRecovery(r)
 	}
 	if err != nil {

@@ -13,6 +13,8 @@ import (
 	"unixhash/internal/hashfunc"
 	"unixhash/internal/metrics"
 	"unixhash/internal/pagefile"
+	"unixhash/internal/telemetry"
+	"unixhash/internal/trace"
 )
 
 // Options parameterizes a hash table at creation time, mirroring the
@@ -75,6 +77,21 @@ type Options struct {
 	// aggregates same-named series (first registration wins for computed
 	// values).
 	Metrics *metrics.Registry
+	// Trace, when set, receives structured events (splits, overflow page
+	// traffic, sync phases, recovery steps, batch phases, buffer
+	// evictions, slow device I/O) and captures slow-operation spans. Nil
+	// disables tracing entirely: the instrumented paths pay one pointer
+	// comparison and nothing else — no atomics, no allocation (enforced
+	// by TestTraceDisabledZeroAlloc). See internal/trace and DESIGN.md
+	// §11.
+	Trace *trace.Tracer
+	// TelemetryAddr, when non-empty, serves live telemetry over HTTP on
+	// the given host:port for the lifetime of the table: /metrics
+	// (Prometheus text), /stats (JSON), /debug/events and /debug/slowops
+	// (the trace ring), /debug/heatmap (per-bucket fill and chain depth)
+	// and /debug/pprof. ":0" picks a free port, reported by
+	// Table.TelemetryAddr. The server stops when the table closes.
+	TelemetryAddr string
 }
 
 // Validate checks the option fields without applying defaults: a zero
@@ -190,6 +207,13 @@ type Table struct {
 	// m holds the table's resolved metric handles (see metrics.go). All
 	// structural counters live here; TableStats is a compatibility view.
 	m tableMetrics
+
+	// tr is the structured event tracer (Options.Trace); nil disables
+	// tracing. tel is the telemetry server started for
+	// Options.TelemetryAddr, if any. Both are set in Open before the
+	// table is published and never change.
+	tr  *trace.Tracer
+	tel *telemetry.Server
 }
 
 // TableStats is a compatibility view over the table's metric counters,
@@ -217,7 +241,7 @@ func Open(path string, o *Options) (*Table, error) {
 		return nil, err
 	}
 
-	t := &Table{hash: opts.Hash, path: path, readonly: opts.ReadOnly, controlledOnly: opts.ControlledOnly, groupCommit: opts.GroupCommit}
+	t := &Table{hash: opts.Hash, path: path, readonly: opts.ReadOnly, controlledOnly: opts.ControlledOnly, groupCommit: opts.GroupCommit, tr: opts.Trace}
 	t.gc.cond = sync.NewCond(&t.gc.mu)
 
 	existing := false
@@ -279,12 +303,21 @@ func Open(path string, o *Options) (*Table, error) {
 	}
 
 	t.scratch.New = func() any { return make([]byte, t.hdr.bsize) }
+	cfg := buffer.Config{OnLoad: onPageLoad}
+	if t.tr != nil {
+		// The eviction hook exists only when tracing is on, so a disabled
+		// tracer costs the pool nothing — not even a nil-func check that
+		// the compiler can't elide.
+		cfg.OnEvict = func(a buffer.Addr, dirty bool) {
+			t.tr.Emit(trace.EvBufEvict, uint64(a.N), boolArg(a.Ovfl), boolArg(dirty), 0)
+		}
+	}
 	t.pool = buffer.NewConfig(t.store, opts.CacheSize, func(a buffer.Addr) uint32 {
 		if a.Ovfl {
 			return t.hdr.oaddrToPage(oaddr(a.N))
 		}
 		return t.hdr.bucketToPage(a.N)
-	}, buffer.Config{OnLoad: onPageLoad})
+	}, cfg)
 
 	// Resolve the metric handles and let the layers below export their
 	// series into the same registry.
@@ -292,7 +325,27 @@ func Open(path string, o *Options) (*Table, error) {
 	t.pool.RegisterMetrics(t.m.reg, "buffer_")
 	t.store.Stats().Register(t.m.reg, "pagefile_")
 	t.m.setShape(t.hdr.nkeys, t.hdr.maxBucket)
+	if t.tr != nil {
+		t.store.Stats().SetTrace(t.tr)
+	}
+	if opts.TelemetryAddr != "" {
+		if err := t.startTelemetry(opts.TelemetryAddr); err != nil {
+			t.pool.InvalidateAll()
+			if t.ownStore {
+				t.store.Close()
+			}
+			return nil, err
+		}
+	}
 	return t, nil
+}
+
+// boolArg renders a bool as a trace event argument.
+func boolArg(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // onPageLoad runs under the shard lock whenever the pool faults a page
@@ -486,6 +539,19 @@ func (t *Table) Get(key []byte) ([]byte, error) {
 // keys with a reused buffer performs no per-call value allocation. A nil
 // dst behaves like Get.
 func (t *Table) GetBuf(key, dst []byte) ([]byte, error) {
+	// The nil check (not a nil-safe method call) keeps the disabled-trace
+	// read path byte-identical to the untraced one: no span, no clock
+	// reads, zero allocations (TestTraceDisabledZeroAlloc).
+	if t.tr == nil {
+		return t.getBuf(key, dst)
+	}
+	sp := t.tr.OpBegin()
+	out, err := t.getBuf(key, dst)
+	t.tr.OpEnd(trace.OpGet, uint64(len(key)), sp)
+	return out, err
+}
+
+func (t *Table) getBuf(key, dst []byte) ([]byte, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if err := t.checkOpen(); err != nil {
@@ -686,6 +752,16 @@ func (t *Table) fetchAddr(a buffer.Addr, bucket uint32) (*buffer.Buf, error) {
 }
 
 func (t *Table) put(key, data []byte, replace bool) error {
+	if t.tr == nil {
+		return t.putInner(key, data, replace)
+	}
+	sp := t.tr.OpBegin()
+	err := t.putInner(key, data, replace)
+	t.tr.OpEnd(trace.OpPut, uint64(len(key)+len(data)), sp)
+	return err
+}
+
+func (t *Table) putInner(key, data []byte, replace bool) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if err := t.checkWritable(); err != nil {
@@ -936,6 +1012,16 @@ func (t *Table) appendOvfl(tail *buffer.Buf) (*buffer.Buf, error) {
 
 // Delete removes key, returning ErrNotFound if absent.
 func (t *Table) Delete(key []byte) error {
+	if t.tr == nil {
+		return t.deleteInner(key)
+	}
+	sp := t.tr.OpBegin()
+	err := t.deleteInner(key)
+	t.tr.OpEnd(trace.OpDelete, uint64(len(key)), sp)
+	return err
+}
+
+func (t *Table) deleteInner(key []byte) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if err := t.checkWritable(); err != nil {
@@ -1110,6 +1196,7 @@ func (t *Table) expand(uncontrolled bool) error {
 	} else {
 		t.m.splitsControlled.Inc()
 	}
+	t.tr.Emit(trace.EvSplitBegin, uint64(oldBucket), uint64(newBucket), uint64(t.hdr.maxBucket), boolArg(uncontrolled))
 	return t.splitBucket(oldBucket, newBucket)
 }
 
@@ -1124,6 +1211,10 @@ type splitEntry struct {
 // newBucket by the newly revealed hash bit, reclaiming overflow pages
 // that the redistribution empties.
 func (t *Table) splitBucket(oldBucket, newBucket uint32) error {
+	var t0 time.Time
+	if t.tr != nil {
+		t0 = time.Now()
+	}
 	// Gather all entries (copying bytes: the pages are about to be
 	// reformatted) and the chain's overflow page addresses.
 	var entries []splitEntry
@@ -1199,6 +1290,9 @@ func (t *Table) splitBucket(oldBucket, newBucket uint32) error {
 			}
 		}
 	}
+	if t.tr != nil {
+		t.tr.EmitDur(trace.EvSplitEnd, time.Since(t0), uint64(oldBucket), uint64(newBucket), uint64(len(entries)), uint64(len(chain)))
+	}
 	return nil
 }
 
@@ -1213,6 +1307,16 @@ func (t *Table) Len() int {
 // With Options.GroupCommit, concurrent Syncs share one durable flush
 // (see syncShared).
 func (t *Table) Sync() error {
+	if t.tr == nil {
+		return t.syncImpl()
+	}
+	sp := t.tr.OpBegin()
+	err := t.syncImpl()
+	t.tr.OpEnd(trace.OpSync, 0, sp)
+	return err
+}
+
+func (t *Table) syncImpl() error {
 	if t.groupCommit {
 		t.mu.RLock()
 		err := t.checkOpen()
@@ -1298,6 +1402,7 @@ func (t *Table) syncLocked() error {
 		return ErrNeedsRecovery
 	}
 	t0 := time.Now()
+	t.tr.Emit(trace.EvSyncBegin, t.hdr.syncEpoch+1, 0, 0, 0)
 	// Sorted, coalesced flush: dirty pages reach the store in ascending
 	// file order (see buffer.Pool.FlushAll).
 	if err := t.pool.FlushAll(); err != nil {
@@ -1313,12 +1418,14 @@ func (t *Table) syncLocked() error {
 		if err == nil {
 			t.m.syncs.Inc()
 			t.m.syncLatency.Observe(time.Since(t0))
+			t.tr.EmitDur(trace.EvSyncEnd, time.Since(t0), t.hdr.syncEpoch, 1, 0, 0)
 		}
 		return err
 	}
 	if err := t.store.Sync(); err != nil {
 		return err
 	}
+	t.tr.Emit(trace.EvSyncPhase, trace.SyncPhaseData, t.hdr.syncEpoch+1, 0, 0)
 	t.hdr.syncEpoch++
 	if err := t.writeHeader(false); err != nil {
 		t.hdr.syncEpoch-- // keep the epoch in step with what is on disk
@@ -1327,16 +1434,24 @@ func (t *Table) syncLocked() error {
 	if err := t.store.Sync(); err != nil {
 		return err
 	}
+	t.tr.Emit(trace.EvSyncPhase, trace.SyncPhaseHeader, t.hdr.syncEpoch, 0, 0)
 	t.dirtyHdr = false
 	t.dirtyMarked = false
 	t.m.syncs.Inc()
 	t.m.syncLatency.Observe(time.Since(t0))
+	t.tr.EmitDur(trace.EvSyncEnd, time.Since(t0), t.hdr.syncEpoch, 0, 0, 0)
 	return nil
 }
 
 // Close flushes (unless read-only) and closes the table. Closing a
 // memory-resident table discards it.
 func (t *Table) Close() error {
+	// Stop the telemetry server first, without the table lock: its
+	// handlers may be queued on t.mu, and Close does not wait for them
+	// (see telemetry.Server.Close). t.tel is set once in Open.
+	if t.tel != nil {
+		_ = t.tel.Close()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"unixhash/internal/metrics"
+	"unixhash/internal/telemetry"
+	"unixhash/internal/trace"
+)
+
+// Telemetry wiring: Options.TelemetryAddr starts an HTTP server over the
+// table's own registry, tracer and walkers (internal/telemetry). The
+// server's sources only ever take the shared lock, so scrapes run in
+// parallel with readers and queue briefly behind writers.
+
+// statsPayload is the core-served /stats document: the table's geometry
+// plus a full metrics snapshot. It is assembled from Geometry() (shared
+// lock) and the registry (lock-free), so polling it is cheap — the
+// walking views live under /debug/heatmap.
+type statsPayload struct {
+	Method   string           `json:"method"`
+	Geometry Geometry         `json:"geometry"`
+	Metrics  metrics.Snapshot `json:"metrics"`
+}
+
+// startTelemetry launches the table's telemetry server on addr. Called
+// from Open before the table is published, so the fields it captures are
+// immutable from the handlers' point of view.
+func (t *Table) startTelemetry(addr string) error {
+	srv, err := telemetry.Serve(addr, telemetry.Options{
+		Registry: t.m.reg,
+		Tracer:   t.tr,
+		Stats: func() (any, error) {
+			if err := func() error {
+				t.mu.RLock()
+				defer t.mu.RUnlock()
+				return t.checkOpen()
+			}(); err != nil {
+				return nil, err
+			}
+			return statsPayload{Method: "hash", Geometry: t.Geometry(), Metrics: t.m.reg.Snapshot()}, nil
+		},
+		Heatmap: func() (any, error) { return t.Heatmap() },
+	})
+	if err != nil {
+		return err
+	}
+	t.tel = srv
+	return nil
+}
+
+// TelemetryAddr reports the listen address of the table's telemetry
+// server ("" when none was requested). With Options.TelemetryAddr ":0"
+// this is how the chosen port is discovered.
+func (t *Table) TelemetryAddr() string {
+	if t.tel == nil {
+		return ""
+	}
+	return t.tel.Addr()
+}
+
+// Tracer exposes the tracer the table was opened with (nil when tracing
+// is disabled).
+func (t *Table) Tracer() *trace.Tracer { return t.tr }

@@ -1,0 +1,31 @@
+package db
+
+import (
+	"unixhash/internal/telemetry"
+)
+
+// ServeTelemetry starts a telemetry HTTP server over an open database
+// (see internal/telemetry for the endpoint list). Every method serves
+// /stats from db.Stats; the hash method additionally mounts its metrics
+// registry (/metrics), tracer (/debug/events, /debug/slowops) and
+// bucket heatmap (/debug/heatmap). addr ":0" picks a free port — read
+// it back with the server's Addr. The caller owns the returned server
+// and must Close it before closing the database.
+func ServeTelemetry(d DB, addr string) (*telemetry.Server, error) {
+	o := telemetry.Options{
+		Stats: func() (any, error) {
+			s, err := d.Stats()
+			if err != nil {
+				return nil, err
+			}
+			return s, nil
+		},
+	}
+	if h, ok := d.(*hashDB); ok {
+		t := h.Table()
+		o.Registry = t.MetricsRegistry()
+		o.Tracer = t.Tracer()
+		o.Heatmap = func() (any, error) { return t.Heatmap() }
+	}
+	return telemetry.Serve(addr, o)
+}

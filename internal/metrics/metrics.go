@@ -26,6 +26,7 @@ import (
 	"io"
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -173,10 +174,23 @@ const (
 type entry struct {
 	name string
 	kind metricKind
+	help string
 	c    *Counter
 	g    *Gauge
 	fn   func() int64
 	h    *Histogram
+}
+
+// helpText returns the entry's HELP line body: the curated text when one
+// was set, else a readable default derived from the name. Newlines and
+// backslashes are escaped per the exposition format.
+func (e *entry) helpText() string {
+	h := e.help
+	if h == "" {
+		h = strings.ReplaceAll(e.name, "_", " ")
+	}
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
 }
 
 func (e *entry) value() int64 {
@@ -221,6 +235,18 @@ func (r *Registry) register(name string, kind metricKind) *entry {
 	r.byName[name] = e
 	r.entries = append(r.entries, e)
 	return e
+}
+
+// Help attaches a HELP description to the metric called name, emitted
+// by WriteProm. Unknown names are ignored; metrics without curated help
+// get a default derived from their name, so the dump always carries a
+// HELP line per series.
+func (r *Registry) Help(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byName[name]; ok {
+		e.help = help
+	}
 }
 
 // Counter registers (or finds) the counter called name.
@@ -324,9 +350,10 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // WriteProm renders the registry in the Prometheus text exposition
-// format (the expvar-era "just scrape text" contract). Histograms emit
-// cumulative _bucket series plus _sum and _count, with bucket bounds in
-// seconds.
+// format (the expvar-era "just scrape text" contract): each series gets
+// a # HELP and # TYPE line, and histograms emit cumulative _bucket
+// series ending in le="+Inf" plus _sum and _count, with bucket bounds
+// in seconds.
 func (r *Registry) WriteProm(w io.Writer) error {
 	r.mu.Lock()
 	entries := make([]*entry, len(r.entries))
@@ -338,11 +365,13 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		var err error
 		switch e.kind {
 		case kindCounter, kindCounterFunc:
-			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.value())
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				e.name, e.helpText(), e.name, e.name, e.value())
 		case kindGauge, kindGaugeFunc:
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", e.name, e.name, e.value())
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+				e.name, e.helpText(), e.name, e.name, e.value())
 		case kindHistogram:
-			err = writePromHistogram(w, e.name, e.h)
+			err = writePromHistogram(w, e.name, e.helpText(), e.h)
 		}
 		if err != nil {
 			return err
@@ -351,8 +380,8 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	return nil
 }
 
-func writePromHistogram(w io.Writer, name string, h *Histogram) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+func writePromHistogram(w io.Writer, name, help string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
 		return err
 	}
 	cum := int64(0)

@@ -17,9 +17,11 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"unixhash/internal/metrics"
+	"unixhash/internal/trace"
 )
 
 // ErrNotAllocated is returned by ReadPage when the requested page lies
@@ -103,6 +105,34 @@ type Stats struct {
 	ReadLatency  metrics.Histogram
 	WriteLatency metrics.Histogram
 	SyncLatency  metrics.Histogram
+
+	// tr, when set, receives a slow-io trace event for every device
+	// operation at or above the tracer's threshold. Loaded atomically so
+	// SetTrace is safe against in-flight operations.
+	tr atomic.Pointer[trace.Tracer]
+}
+
+// SetTrace attaches a tracer to the store's latency accounting: device
+// operations whose wall-clock duration meets the tracer's slow-op
+// threshold emit a trace.EvSlowIO event. A nil tracer detaches.
+func (s *Stats) SetTrace(t *trace.Tracer) { s.tr.Store(t) }
+
+// observeRead records one device read's latency and traces it if slow;
+// likewise observeWrite and observeSync below. These sit on the I/O
+// path, so the disabled-trace cost is one atomic pointer load.
+func (s *Stats) observeRead(pageno uint32, bytes int, d time.Duration) {
+	s.ReadLatency.Observe(d)
+	s.tr.Load().SlowIO(trace.IORead, pageno, bytes, d)
+}
+
+func (s *Stats) observeWrite(pageno uint32, bytes int, d time.Duration) {
+	s.WriteLatency.Observe(d)
+	s.tr.Load().SlowIO(trace.IOWrite, pageno, bytes, d)
+}
+
+func (s *Stats) observeSync(d time.Duration) {
+	s.SyncLatency.Observe(d)
+	s.tr.Load().SlowIO(trace.IOSync, 0, 0, d)
 }
 
 // Register exports the store's counters and latency histograms into reg
@@ -310,7 +340,7 @@ func (fs *FileStore) ReadPage(pageno uint32, buf []byte) error {
 	fs.stats.addRead(fs.pagesize)
 	t0 := time.Now()
 	n, err := fs.f.ReadAt(buf, int64(pageno)*int64(fs.pagesize))
-	fs.stats.ReadLatency.Observe(time.Since(t0))
+	fs.stats.observeRead(pageno, fs.pagesize, time.Since(t0))
 	if err == io.EOF && n == fs.pagesize {
 		err = nil
 	}
@@ -335,7 +365,7 @@ func (fs *FileStore) WritePage(pageno uint32, buf []byte) error {
 	fs.stats.addWrite(fs.pagesize)
 	t0 := time.Now()
 	_, err := fs.f.WriteAt(buf, int64(pageno)*int64(fs.pagesize))
-	fs.stats.WriteLatency.Observe(time.Since(t0))
+	fs.stats.observeWrite(pageno, fs.pagesize, time.Since(t0))
 	if err != nil {
 		fs.stats.addError()
 		return fmt.Errorf("pagefile: write page %d: %w", pageno, err)
@@ -364,7 +394,7 @@ func (fs *FileStore) WritePages(pageno uint32, buf []byte) error {
 	fs.stats.addWriteVec(len(buf)/fs.pagesize, len(buf))
 	t0 := time.Now()
 	_, err := fs.f.WriteAt(buf, int64(pageno)*int64(fs.pagesize))
-	fs.stats.WriteLatency.Observe(time.Since(t0))
+	fs.stats.observeWrite(pageno, len(buf), time.Since(t0))
 	if err != nil {
 		fs.stats.addError()
 		return fmt.Errorf("pagefile: write pages %d..%d: %w", pageno, pageno+uint32(len(buf)/fs.pagesize)-1, err)
@@ -388,7 +418,7 @@ func (fs *FileStore) Sync() error {
 	fs.stats.addSync()
 	t0 := time.Now()
 	err := fs.f.Sync()
-	fs.stats.SyncLatency.Observe(time.Since(t0))
+	fs.stats.observeSync(time.Since(t0))
 	if err != nil {
 		fs.stats.addError()
 		return err
@@ -410,7 +440,7 @@ func (fs *FileStore) Close() error {
 	fs.stats.addSync()
 	t0 := time.Now()
 	err := fs.f.Sync()
-	fs.stats.SyncLatency.Observe(time.Since(t0))
+	fs.stats.observeSync(time.Since(t0))
 	if err != nil {
 		fs.stats.addError()
 	}
@@ -467,7 +497,7 @@ func (ms *MemStore) ReadPage(pageno uint32, buf []byte) error {
 	}
 	t0 := time.Now()
 	copy(buf, p)
-	ms.stats.ReadLatency.Observe(time.Since(t0))
+	ms.stats.observeRead(pageno, ms.pagesize, time.Since(t0))
 	ms.stats.addRead(ms.pagesize)
 	return nil
 }
@@ -489,7 +519,7 @@ func (ms *MemStore) WritePage(pageno uint32, buf []byte) error {
 		ms.npages = pageno + 1
 	}
 	ms.mu.Unlock()
-	ms.stats.WriteLatency.Observe(time.Since(t0))
+	ms.stats.observeWrite(pageno, ms.pagesize, time.Since(t0))
 	ms.stats.addWrite(ms.pagesize)
 	return nil
 }
@@ -516,7 +546,7 @@ func (ms *MemStore) WritePages(pageno uint32, buf []byte) error {
 		}
 	}
 	ms.mu.Unlock()
-	ms.stats.WriteLatency.Observe(time.Since(t0))
+	ms.stats.observeWrite(pageno, len(buf), time.Since(t0))
 	ms.stats.addWriteVec(len(buf)/ms.pagesize, len(buf))
 	return nil
 }
@@ -527,7 +557,7 @@ func (ms *MemStore) WritePages(pageno uint32, buf []byte) error {
 func (ms *MemStore) Sync() error {
 	t0 := time.Now()
 	ms.stats.addSync()
-	ms.stats.SyncLatency.Observe(time.Since(t0))
+	ms.stats.observeSync(time.Since(t0))
 	return nil
 }
 

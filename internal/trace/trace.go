@@ -1,0 +1,541 @@
+// Package trace is the hashing package's structured event log: a
+// fixed-size, lock-free ring buffer of typed, timestamped events emitted
+// by the layers that do interesting work — bucket splits, overflow page
+// allocation, big-pair chain writes, sync phase transitions, recovery
+// steps, batch phases, buffer-pool evictions and slow device operations.
+// Where the metrics registry (internal/metrics) answers "how many", the
+// trace ring answers "what happened, in what order, and how long did each
+// step take" — the paper's controlled/uncontrolled split decisions and
+// two-phase sync are *events with structure and duration*, not counters.
+//
+// The design rules:
+//
+//   - Emitting an event is wait-free and allocation-free: one atomic
+//     fetch-add claims a sequence number, and the slot's words are
+//     published with a seqlock protocol (claim marker, payload stores,
+//     commit store), so writers never block each other or readers.
+//   - A nil *Tracer is fully functional and free: every method nil-checks
+//     its receiver, so instrumented code paths pay a single pointer
+//     comparison when tracing is disabled — no atomics, no time calls,
+//     no allocation.
+//   - Readers never block writers: Snapshot validates each slot's commit
+//     word before and after copying it, discarding slots that a wrapping
+//     writer overtook mid-copy. Sequence numbers in a snapshot are
+//     strictly increasing and never torn.
+//
+// On top of the ring sits a slow-op tracer: operations bracketed with
+// OpBegin/OpEnd whose duration meets the configured threshold capture the
+// span of ring events emitted during the call — the full event trail of
+// one slow Get, Put, Delete or Sync — into a small bounded history that
+// the telemetry server exposes.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Type identifies what an event describes. The zero value is reserved so
+// an uninitialized slot can never masquerade as a real event.
+type Type uint8
+
+// The event taxonomy. Arguments are typed per event; see typeInfo for the
+// meaning of each argument slot (also rendered as JSON field names by the
+// telemetry server).
+const (
+	EvNone Type = iota
+
+	// Linear-hash growth: one split step (expand) redistributing the
+	// entries of old bucket into old and new.
+	EvSplitBegin // old bucket, new bucket, max bucket, uncontrolled(0/1)
+	EvSplitEnd   // old bucket, new bucket, entries moved, chain pages reclaimed
+
+	// Buddy-in-waiting overflow allocation, in splitpoint addressing.
+	EvOvflAlloc // split point, page number, oaddr
+	EvOvflReuse // split point, page number, oaddr
+	EvOvflFree  // split point, page number, oaddr
+
+	// One big key/data pair written to its dedicated chain.
+	EvBigPairWrite // chain pages, key len, data len, start oaddr
+
+	// The ordered two-phase sync protocol.
+	EvSyncBegin // sync epoch being opened
+	EvSyncPhase // phase code (SyncPhase*), sync epoch
+	EvSyncEnd   // sync epoch now durable, noop(0/1)
+
+	// Crash recovery milestones.
+	EvRecoveryStep // step code (RecoveryStep*), detail a, detail b
+
+	// Batched write pipeline phases.
+	EvBatchBegin // pairs submitted
+	EvBatchPhase // phase code (BatchPhase*), detail
+	EvBatchEnd   // pairs applied, splits performed
+
+	// Buffer-pool eviction (page pushed out to make room).
+	EvBufEvict // addr N, overflow(0/1), dirty(0/1)
+
+	// A Get/Put/Delete/Sync that exceeded the slow-op threshold. The
+	// full event span is captured in the slow-op history.
+	EvSlowOp // op code (Op*), op argument, events in span
+
+	// A device operation (pagefile) that exceeded the slow-op threshold.
+	EvSlowIO // io kind (IORead/IOWrite/IOSync), page number, bytes
+)
+
+// Phase codes carried in EvSyncPhase's first argument.
+const (
+	SyncPhaseData   = 1 // dirty pages + bitmaps flushed and fsynced
+	SyncPhaseHeader = 2 // clean header stamped and fsynced
+)
+
+// Step codes carried in EvRecoveryStep's first argument.
+const (
+	RecoveryStepWalk    = 1 // dry-run walk over every bucket chain
+	RecoveryStepGate    = 2 // nkeys+fingerprint acceptance gate passed
+	RecoveryStepRepairs = 3 // planned repairs written (arg b: repair count)
+	RecoveryStepBitmaps = 4 // overflow-use bitmaps rebuilt (arg b: bitmaps)
+	RecoveryStepDone    = 5 // file stamped clean
+)
+
+// Phase codes carried in EvBatchPhase's first argument.
+const (
+	BatchPhasePresize    = 1 // empty table jumped to final geometry (detail: buckets)
+	BatchPhaseDistribute = 2 // bucket-grouped distribution pass done (detail: buckets touched)
+	BatchPhaseSplits     = 3 // deferred split pass done (detail: splits)
+)
+
+// IO kinds carried in EvSlowIO's first argument.
+const (
+	IORead  = 1
+	IOWrite = 2
+	IOSync  = 3
+)
+
+// typeInfo names each event type and its argument slots for rendering.
+var typeInfo = [...]struct {
+	name string
+	args [4]string
+}{
+	EvNone:         {name: "none"},
+	EvSplitBegin:   {name: "split-begin", args: [4]string{"old_bucket", "new_bucket", "max_bucket", "uncontrolled"}},
+	EvSplitEnd:     {name: "split-end", args: [4]string{"old_bucket", "new_bucket", "entries_moved", "pages_reclaimed"}},
+	EvOvflAlloc:    {name: "ovfl-alloc", args: [4]string{"split_point", "page_number", "oaddr"}},
+	EvOvflReuse:    {name: "ovfl-reuse", args: [4]string{"split_point", "page_number", "oaddr"}},
+	EvOvflFree:     {name: "ovfl-free", args: [4]string{"split_point", "page_number", "oaddr"}},
+	EvBigPairWrite: {name: "bigpair-write", args: [4]string{"chain_pages", "key_len", "data_len", "start_oaddr"}},
+	EvSyncBegin:    {name: "sync-begin", args: [4]string{"epoch"}},
+	EvSyncPhase:    {name: "sync-phase", args: [4]string{"phase", "epoch"}},
+	EvSyncEnd:      {name: "sync-end", args: [4]string{"epoch", "noop"}},
+	EvRecoveryStep: {name: "recovery-step", args: [4]string{"step", "a", "b"}},
+	EvBatchBegin:   {name: "batch-begin", args: [4]string{"pairs"}},
+	EvBatchPhase:   {name: "batch-phase", args: [4]string{"phase", "detail"}},
+	EvBatchEnd:     {name: "batch-end", args: [4]string{"pairs", "splits"}},
+	EvBufEvict:     {name: "buf-evict", args: [4]string{"addr", "overflow", "dirty"}},
+	EvSlowOp:       {name: "slow-op", args: [4]string{"op", "arg", "events"}},
+	EvSlowIO:       {name: "slow-io", args: [4]string{"kind", "page", "bytes"}},
+}
+
+// String returns the type's wire name (used by /debug/events filters).
+func (t Type) String() string {
+	if int(t) < len(typeInfo) && typeInfo[t].name != "" {
+		return typeInfo[t].name
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// ParseType resolves a wire name back to a Type (EvNone if unknown).
+func ParseType(s string) Type {
+	for i := range typeInfo {
+		if typeInfo[i].name == s {
+			return Type(i)
+		}
+	}
+	return EvNone
+}
+
+// Op identifies the table operation a slow-op span belongs to.
+type Op uint8
+
+// Operations bracketed by OpBegin/OpEnd.
+const (
+	OpGet Op = iota + 1
+	OpPut
+	OpDelete
+	OpSync
+	OpBatch
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpSync:
+		return "sync"
+	case OpBatch:
+		return "batch"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Event is one decoded ring entry.
+type Event struct {
+	Seq  uint64 // strictly increasing emission order
+	Time int64  // unix nanoseconds at emission
+	Type Type
+	Dur  time.Duration // optional duration (0 for point events)
+	Args [4]uint64
+}
+
+// String renders the event for logs and CLIs.
+func (e Event) String() string {
+	info := typeInfo[EvNone]
+	if int(e.Type) < len(typeInfo) {
+		info = typeInfo[e.Type]
+	}
+	s := fmt.Sprintf("#%d %s", e.Seq, e.Type)
+	for i, name := range info.args {
+		if name == "" {
+			break
+		}
+		s += fmt.Sprintf(" %s=%d", name, e.Args[i])
+	}
+	if e.Dur > 0 {
+		s += fmt.Sprintf(" dur=%v", e.Dur)
+	}
+	return s
+}
+
+// MarshalJSON renders the event with named arguments, the shape
+// /debug/events serves. Allocation here is fine: JSON rendering is a
+// scrape-path operation, never a hot-path one.
+func (e Event) MarshalJSON() ([]byte, error) {
+	info := typeInfo[EvNone]
+	if int(e.Type) < len(typeInfo) {
+		info = typeInfo[e.Type]
+	}
+	args := make(map[string]uint64, 4)
+	for i, name := range info.args {
+		if name == "" {
+			break
+		}
+		args[name] = e.Args[i]
+	}
+	return json.Marshal(struct {
+		Seq   uint64            `json:"seq"`
+		Time  int64             `json:"time_unix_nano"`
+		Type  string            `json:"type"`
+		DurNS int64             `json:"dur_ns,omitempty"`
+		Args  map[string]uint64 `json:"args,omitempty"`
+	}{e.Seq, e.Time, e.Type.String(), int64(e.Dur), args})
+}
+
+// slot is one ring cell: a commit word plus seven payload words, exactly
+// one 64-byte cache line. A slot holding sequence s publishes commit
+// value s+1; while a writer owns it, commit carries the busy bit. All
+// words are atomics, so readers racing a wrapping writer read stale or
+// busy values — never torn bytes — and the commit check rejects them.
+type slot struct {
+	commit atomic.Uint64
+	w      [7]atomic.Uint64 // time, type, dur, args[0..3]
+}
+
+const busyBit = uint64(1) << 63
+
+// Ring is the fixed-size, lock-free event buffer. The capacity is a
+// power of two; new events overwrite the oldest.
+type Ring struct {
+	slots []slot
+	mask  uint64
+	next  atomic.Uint64
+}
+
+// NewRing creates a ring holding at least capacity events (rounded up to
+// a power of two, minimum 64).
+func NewRing(capacity int) *Ring {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{slots: make([]slot, n), mask: uint64(n) - 1}
+}
+
+// Cap reports the ring capacity in events.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Next reports the sequence number the next emitted event will receive.
+func (r *Ring) Next() uint64 { return r.next.Load() }
+
+// emit claims the next sequence number and publishes one event.
+func (r *Ring) emit(typ Type, now int64, dur int64, a0, a1, a2, a3 uint64) uint64 {
+	s := r.next.Add(1) - 1
+	sl := &r.slots[s&r.mask]
+	// Claim: readers that loaded the previous generation's commit value
+	// re-check it after copying and reject the slot once this store (or
+	// any payload store ordered after it) lands between their loads.
+	sl.commit.Store(s | busyBit)
+	sl.w[0].Store(uint64(now))
+	sl.w[1].Store(uint64(typ))
+	sl.w[2].Store(uint64(dur))
+	sl.w[3].Store(a0)
+	sl.w[4].Store(a1)
+	sl.w[5].Store(a2)
+	sl.w[6].Store(a3)
+	sl.commit.Store(s + 1)
+	return s
+}
+
+// read copies the event with sequence s if it is still intact.
+func (r *Ring) read(s uint64) (Event, bool) {
+	sl := &r.slots[s&r.mask]
+	if sl.commit.Load() != s+1 {
+		return Event{}, false // busy, overwritten, or not yet published
+	}
+	e := Event{
+		Seq:  s,
+		Time: int64(sl.w[0].Load()),
+		Type: Type(sl.w[1].Load()),
+		Dur:  time.Duration(sl.w[2].Load()),
+		Args: [4]uint64{sl.w[3].Load(), sl.w[4].Load(), sl.w[5].Load(), sl.w[6].Load()},
+	}
+	if sl.commit.Load() != s+1 {
+		return Event{}, false // a wrapping writer overtook the copy
+	}
+	return e, true
+}
+
+// Range copies the intact events with sequence numbers in [from, to),
+// oldest first. Sequence numbers in the result are strictly increasing;
+// events a wrapping writer has reclaimed are silently absent.
+func (r *Ring) Range(from, to uint64) []Event {
+	if to > r.next.Load() {
+		to = r.next.Load()
+	}
+	if n := uint64(len(r.slots)); to > n && from < to-n {
+		from = to - n
+	}
+	if from >= to {
+		return nil
+	}
+	out := make([]Event, 0, to-from)
+	for s := from; s < to; s++ {
+		if e, ok := r.read(s); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Snapshot copies the newest intact events, up to max (0 or negative
+// means the whole ring), oldest first.
+func (r *Ring) Snapshot(max int) []Event {
+	head := r.next.Load()
+	n := uint64(len(r.slots))
+	if max > 0 && uint64(max) < n {
+		n = uint64(max)
+	}
+	from := uint64(0)
+	if head > n {
+		from = head - n
+	}
+	return r.Range(from, head)
+}
+
+// SlowOp is one captured slow-operation span: the operation, its
+// duration, and the ring events emitted while it ran.
+type SlowOp struct {
+	Op     Op            `json:"-"`
+	Arg    uint64        `json:"arg"`
+	Start  int64         `json:"start_unix_nano"`
+	Dur    time.Duration `json:"dur_ns"`
+	Events []Event       `json:"events,omitempty"`
+}
+
+// MarshalJSON renders the op code as its name.
+func (s SlowOp) MarshalJSON() ([]byte, error) {
+	type alias SlowOp
+	return json.Marshal(struct {
+		OpName string `json:"op"`
+		alias
+	}{s.Op.String(), alias(s)})
+}
+
+// DefaultSlowOp is the slow-op capture threshold a new Tracer starts
+// with.
+const DefaultSlowOp = time.Millisecond
+
+// slowHistory bounds the retained slow-op spans.
+const slowHistory = 64
+
+// Tracer is the emission front end over a Ring plus the slow-op span
+// capturer. All methods are safe for concurrent use and safe on a nil
+// receiver — a nil Tracer is the disabled state and costs one pointer
+// comparison per instrumented site.
+type Tracer struct {
+	ring     *Ring
+	slowOpNS atomic.Int64 // ops at/above this duration are captured; <0 disables
+
+	mu       sync.Mutex
+	slow     []SlowOp // ring of the most recent slow-op spans
+	slowNext int
+	slowSeen uint64 // total slow ops observed (including evicted ones)
+}
+
+// New creates a tracer whose ring holds at least capacity events (0
+// picks 16384 — one megabyte of slots).
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 16384
+	}
+	t := &Tracer{ring: NewRing(capacity)}
+	t.slowOpNS.Store(int64(DefaultSlowOp))
+	return t
+}
+
+// Ring exposes the underlying ring (nil on a nil tracer).
+func (t *Tracer) Ring() *Ring {
+	if t == nil {
+		return nil
+	}
+	return t.ring
+}
+
+// SetSlowOpThreshold sets the capture threshold: operations and device
+// I/O lasting at least d are recorded. Zero captures every bracketed
+// operation; a negative d disables capture.
+func (t *Tracer) SetSlowOpThreshold(d time.Duration) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		t.slowOpNS.Store(-1)
+		return
+	}
+	t.slowOpNS.Store(int64(d))
+}
+
+// SlowOpThreshold reports the current capture threshold (-1: disabled).
+func (t *Tracer) SlowOpThreshold() time.Duration {
+	if t == nil {
+		return -1
+	}
+	return time.Duration(t.slowOpNS.Load())
+}
+
+// Emit publishes one point event.
+func (t *Tracer) Emit(typ Type, a0, a1, a2, a3 uint64) {
+	if t == nil {
+		return
+	}
+	t.ring.emit(typ, time.Now().UnixNano(), 0, a0, a1, a2, a3)
+}
+
+// EmitDur publishes one event carrying a duration.
+func (t *Tracer) EmitDur(typ Type, d time.Duration, a0, a1, a2, a3 uint64) {
+	if t == nil {
+		return
+	}
+	t.ring.emit(typ, time.Now().UnixNano(), int64(d), a0, a1, a2, a3)
+}
+
+// Span marks the start of a bracketed operation for slow-op capture.
+// The zero Span is what a nil tracer hands out and is inert.
+type Span struct {
+	seq   uint64
+	start int64
+}
+
+// OpBegin opens a span: the current ring position and wall clock.
+func (t *Tracer) OpBegin() Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{seq: t.ring.next.Load(), start: time.Now().UnixNano()}
+}
+
+// OpEnd closes a span. If the operation's duration meets the threshold,
+// the ring events emitted during it are captured into the slow-op
+// history and an EvSlowOp event is published.
+func (t *Tracer) OpEnd(op Op, arg uint64, sp Span) {
+	if t == nil {
+		return
+	}
+	th := t.slowOpNS.Load()
+	if th < 0 {
+		return
+	}
+	d := time.Now().UnixNano() - sp.start
+	if d < th {
+		return
+	}
+	evs := t.ring.Range(sp.seq, t.ring.next.Load())
+	t.ring.emit(EvSlowOp, sp.start, d, uint64(op), arg, uint64(len(evs)), 0)
+	rec := SlowOp{Op: op, Arg: arg, Start: sp.start, Dur: time.Duration(d), Events: evs}
+	t.mu.Lock()
+	if len(t.slow) < slowHistory {
+		t.slow = append(t.slow, rec)
+	} else {
+		t.slow[t.slowNext] = rec
+		t.slowNext = (t.slowNext + 1) % slowHistory
+	}
+	t.slowSeen++
+	t.mu.Unlock()
+}
+
+// SlowIO records one device operation's latency; operations at or above
+// the threshold emit an EvSlowIO event. Called by the page stores.
+func (t *Tracer) SlowIO(kind int, pageno uint32, bytes int, d time.Duration) {
+	if t == nil {
+		return
+	}
+	th := t.slowOpNS.Load()
+	if th < 0 || int64(d) < th {
+		return
+	}
+	t.ring.emit(EvSlowIO, time.Now().UnixNano(), int64(d), uint64(kind), uint64(pageno), uint64(bytes), 0)
+}
+
+// Events returns the newest intact events, oldest first, up to max (0:
+// the whole ring). With types given, only those event types are kept.
+func (t *Tracer) Events(max int, types ...Type) []Event {
+	if t == nil {
+		return nil
+	}
+	evs := t.ring.Snapshot(0)
+	if len(types) > 0 {
+		kept := evs[:0]
+		for _, e := range evs {
+			for _, want := range types {
+				if e.Type == want {
+					kept = append(kept, e)
+					break
+				}
+			}
+		}
+		evs = kept
+	}
+	if max > 0 && len(evs) > max {
+		evs = evs[len(evs)-max:]
+	}
+	return evs
+}
+
+// SlowOps returns the retained slow-op spans, oldest first, and the
+// total number observed (which may exceed the retained window).
+func (t *Tracer) SlowOps() ([]SlowOp, uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SlowOp, 0, len(t.slow))
+	out = append(out, t.slow[t.slowNext:]...)
+	out = append(out, t.slow[:t.slowNext]...)
+	return out, t.slowSeen
+}

@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(EvSplitBegin, 1, 2, 3, 0)
+	tr.EmitDur(EvSyncEnd, time.Second, 1, 0, 0, 0)
+	tr.SlowIO(IORead, 7, 4096, time.Second)
+	tr.SetSlowOpThreshold(0)
+	sp := tr.OpBegin()
+	tr.OpEnd(OpGet, 0, sp)
+	if got := tr.Events(0); got != nil {
+		t.Fatalf("nil tracer Events = %v, want nil", got)
+	}
+	if ops, n := tr.SlowOps(); ops != nil || n != 0 {
+		t.Fatalf("nil tracer SlowOps = %v, %d", ops, n)
+	}
+	if tr.Ring() != nil {
+		t.Fatal("nil tracer Ring != nil")
+	}
+}
+
+func TestEmitAndSnapshot(t *testing.T) {
+	tr := New(64)
+	tr.Emit(EvSplitBegin, 3, 7, 7, 1)
+	tr.EmitDur(EvSplitEnd, 5*time.Millisecond, 3, 7, 42, 2)
+	tr.Emit(EvOvflAlloc, 2, 11, 2<<11|11, 0)
+
+	evs := tr.Events(0)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		if e.Time == 0 {
+			t.Fatalf("event %d has zero timestamp", i)
+		}
+	}
+	if evs[0].Type != EvSplitBegin || evs[0].Args != [4]uint64{3, 7, 7, 1} {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Dur != 5*time.Millisecond {
+		t.Fatalf("event 1 dur = %v", evs[1].Dur)
+	}
+
+	// Filter by type.
+	only := tr.Events(0, EvOvflAlloc)
+	if len(only) != 1 || only[0].Type != EvOvflAlloc {
+		t.Fatalf("filtered events = %v", only)
+	}
+	// Cap by max keeps the newest.
+	last := tr.Events(1)
+	if len(last) != 1 || last[0].Type != EvOvflAlloc {
+		t.Fatalf("Events(1) = %v", last)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	tr := New(64) // minimum ring: 64 slots
+	n := 64 * 3
+	for i := 0; i < n; i++ {
+		tr.Emit(EvOvflAlloc, uint64(i), 0, 0, 0)
+	}
+	evs := tr.Events(0)
+	if len(evs) != 64 {
+		t.Fatalf("got %d events after wrap, want 64", len(evs))
+	}
+	for i, e := range evs {
+		want := uint64(n - 64 + i)
+		if e.Seq != want || e.Args[0] != want {
+			t.Fatalf("event %d = seq %d args %v, want seq %d", i, e.Seq, e.Args, want)
+		}
+	}
+}
+
+func TestSlowOpCapture(t *testing.T) {
+	tr := New(256)
+	tr.SetSlowOpThreshold(0) // capture everything
+
+	sp := tr.OpBegin()
+	tr.Emit(EvSplitBegin, 1, 2, 2, 0)
+	tr.Emit(EvSplitEnd, 1, 2, 9, 0)
+	tr.OpEnd(OpPut, 0xbeef, sp)
+
+	ops, seen := tr.SlowOps()
+	if seen != 1 || len(ops) != 1 {
+		t.Fatalf("SlowOps = %d ops, %d seen", len(ops), seen)
+	}
+	op := ops[0]
+	if op.Op != OpPut || op.Arg != 0xbeef || op.Dur < 0 {
+		t.Fatalf("captured op = %+v", op)
+	}
+	if len(op.Events) != 2 || op.Events[0].Type != EvSplitBegin || op.Events[1].Type != EvSplitEnd {
+		t.Fatalf("captured span = %v", op.Events)
+	}
+	// The EvSlowOp marker lands in the ring but not inside its own span.
+	markers := tr.Events(0, EvSlowOp)
+	if len(markers) != 1 || markers[0].Args[0] != uint64(OpPut) || markers[0].Args[2] != 2 {
+		t.Fatalf("slow-op marker = %v", markers)
+	}
+}
+
+func TestSlowOpThresholdFilters(t *testing.T) {
+	tr := New(64)
+	tr.SetSlowOpThreshold(time.Hour) // nothing is that slow
+	sp := tr.OpBegin()
+	tr.OpEnd(OpGet, 1, sp)
+	if _, seen := tr.SlowOps(); seen != 0 {
+		t.Fatal("fast op captured despite high threshold")
+	}
+	tr.SetSlowOpThreshold(-1) // disabled entirely
+	sp = tr.OpBegin()
+	tr.OpEnd(OpGet, 1, sp)
+	if _, seen := tr.SlowOps(); seen != 0 {
+		t.Fatal("op captured while capture disabled")
+	}
+}
+
+func TestSlowOpHistoryBounded(t *testing.T) {
+	tr := New(64)
+	tr.SetSlowOpThreshold(0)
+	for i := 0; i < slowHistory*2; i++ {
+		sp := tr.OpBegin()
+		tr.OpEnd(OpSync, uint64(i), sp)
+	}
+	ops, seen := tr.SlowOps()
+	if seen != uint64(slowHistory*2) {
+		t.Fatalf("seen = %d", seen)
+	}
+	if len(ops) != slowHistory {
+		t.Fatalf("retained %d, want %d", len(ops), slowHistory)
+	}
+	// Oldest first, covering the second half.
+	for i, op := range ops {
+		if want := uint64(slowHistory + i); op.Arg != want {
+			t.Fatalf("retained op %d has arg %d, want %d", i, op.Arg, want)
+		}
+	}
+}
+
+func TestTypeNamesRoundTrip(t *testing.T) {
+	for ty := EvSplitBegin; ty <= EvSlowIO; ty++ {
+		name := ty.String()
+		if strings.HasPrefix(name, "type(") {
+			t.Fatalf("type %d has no name", ty)
+		}
+		if got := ParseType(name); got != ty {
+			t.Fatalf("ParseType(%q) = %d, want %d", name, got, ty)
+		}
+	}
+	if ParseType("no-such-event") != EvNone {
+		t.Fatal("unknown name did not map to EvNone")
+	}
+}
+
+func TestEventJSON(t *testing.T) {
+	e := Event{Seq: 9, Time: 12345, Type: EvSplitBegin, Dur: time.Millisecond, Args: [4]uint64{1, 2, 3, 1}}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["type"] != "split-begin" || m["seq"] != float64(9) {
+		t.Fatalf("json = %s", b)
+	}
+	args, ok := m["args"].(map[string]any)
+	if !ok || args["old_bucket"] != float64(1) || args["uncontrolled"] != float64(1) {
+		t.Fatalf("json args = %s", b)
+	}
+}
+
+// TestRingConcurrentNoTears is the -race stress test: many writers
+// emitting invariant-carrying events while a reader continuously drains
+// snapshots, exactly as /debug/events does. Every observed event must
+// be internally consistent (no torn payloads) and every snapshot's
+// sequence numbers strictly monotonic.
+func TestRingConcurrentNoTears(t *testing.T) {
+	tr := New(256) // small ring so wrapping is constant
+	const (
+		writers = 8
+		perW    = 20000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writers: args carry an invariant (a2 = a0^a1, a3 = a0+a1) that any
+	// torn mix of two events would violate.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < perW; i++ {
+				tr.Emit(EvOvflAlloc, id, i, id^i, id+i)
+			}
+		}(uint64(w))
+	}
+
+	check := func(evs []Event) {
+		last := int64(-1)
+		for _, e := range evs {
+			if int64(e.Seq) <= last {
+				t.Errorf("sequence not strictly monotonic: %d after %d", e.Seq, last)
+				return
+			}
+			last = int64(e.Seq)
+			if e.Type != EvOvflAlloc {
+				t.Errorf("unexpected type %v in seq %d", e.Type, e.Seq)
+				return
+			}
+			a := e.Args
+			if a[2] != a[0]^a[1] || a[3] != a[0]+a[1] {
+				t.Errorf("torn event seq %d: args %v", e.Seq, a)
+				return
+			}
+		}
+	}
+
+	// Reader: drain snapshots concurrently with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			check(tr.Events(0))
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	<-done
+
+	// Quiescent ring: full, newest events only, and all intact.
+	evs := tr.Events(0)
+	if len(evs) != tr.Ring().Cap() {
+		t.Fatalf("quiescent snapshot has %d events, want %d", len(evs), tr.Ring().Cap())
+	}
+	check(evs)
+	if head := tr.Ring().Next(); head != writers*perW {
+		t.Fatalf("ring head = %d, want %d", head, writers*perW)
+	}
+	if evs[len(evs)-1].Seq != writers*perW-1 {
+		t.Fatalf("newest seq = %d, want %d", evs[len(evs)-1].Seq, writers*perW-1)
+	}
+}
+
+func TestEmitAllocFree(t *testing.T) {
+	tr := New(64)
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Emit(EvOvflAlloc, 1, 2, 3, 4)
+	}); n != 0 {
+		t.Fatalf("Emit allocates %.1f times per op, want 0", n)
+	}
+}
