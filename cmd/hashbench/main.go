@@ -9,8 +9,9 @@
 //	hashbench fig8b           Figure 8b: password DB vs ndbm and hsearch
 //	hashbench methods         hash vs btree under the same workload
 //	hashbench ablate          ablations: split policy, hash functions
-//	hashbench concurrency     read scaling at 1-8 goroutines; writes
-//	                          BENCH_concurrency.json
+//	hashbench concurrency     read + write scaling at 1-8 goroutines
+//	                          (read-only, mixed, write-heavy, hot-key);
+//	                          writes BENCH_concurrency.json
 //	hashbench metrics         instrumented workload; writes
 //	                          BENCH_metrics.json
 //	hashbench bulkload        batched write pipeline vs looped Put; writes
@@ -27,9 +28,11 @@
 //	          ceiling: points above N keys are skipped (0 = all, up
 //	          to 1M).
 //	-quick    shorthand for -n 4000
-//	-check X  bulkload only: exit nonzero if the PutBatch speedup at
-//	          the largest size falls below X, or if presized PutBatch
-//	          does not beat unsized (the CI regression gate)
+//	-check X  bulkload: exit nonzero if the PutBatch speedup at the
+//	          largest size falls below X, or if presized PutBatch
+//	          does not beat unsized. concurrency: exit nonzero if the
+//	          8-goroutine write-heavy speedup falls below X (skipped
+//	          on GOMAXPROCS=1 hosts). The CI regression gates.
 //	-telemetry ADDR
 //	          serve only: telemetry listen address (":0" picks a free
 //	          port; the first output line reports the choice)
@@ -48,7 +51,7 @@ import (
 func main() {
 	n := flag.Int("n", 0, "dictionary size (0 = the paper's 24474 keys)")
 	quick := flag.Bool("quick", false, "use a 4000-key dictionary")
-	check := flag.Float64("check", 0, "bulkload: fail below this PutBatch speedup (0 = no gate)")
+	check := flag.Float64("check", 0, "bulkload/concurrency: fail below this speedup (0 = no gate)")
 	telemetry := flag.String("telemetry", "127.0.0.1:0", "serve: telemetry listen address")
 	dur := flag.Duration("dur", 0, "serve: workload duration (0 = until killed)")
 	flag.Usage = usage
@@ -129,6 +132,11 @@ func main() {
 				return err
 			}
 			fmt.Println("\nwrote BENCH_concurrency.json")
+			if *check > 0 {
+				if err := res.Gate(*check); err != nil {
+					return err
+				}
+			}
 		case "metrics":
 			res, err := bench.MetricsRun(*n)
 			if err != nil {

@@ -15,13 +15,15 @@ import (
 	"unixhash/internal/pagefile"
 )
 
-// Concurrency measures read-path scaling: ops/sec against a warm
+// Concurrency measures operation scaling: ops/sec against a warm
 // memory-resident table at 1, 2, 4 and 8 goroutines, for a read-only
-// workload and for the classic 95% read / 5% write mix. Reads take the
-// table's shared lock and ride the lock-striped buffer pool; writes
-// serialize on the exclusive lock. Unlike the paper-figure experiments
-// this measures real wall-clock throughput, not simulated I/O time, so
-// the cost model is zero.
+// workload, the classic 95% read / 5% write mix, a write-heavy workload
+// (100% Put rewriting existing pairs) and a hot-key workload (zipfian
+// key choice, so traffic piles onto a few contended buckets). Reads and
+// writes both take the table's shared lock and latch only the bucket
+// they touch, so writes are expected to scale near-linearly too. Unlike
+// the paper-figure experiments this measures real wall-clock throughput,
+// not simulated I/O time, so the cost model is zero.
 
 // ConcurrencyPoint is one (goroutine count, workload) measurement.
 type ConcurrencyPoint struct {
@@ -32,16 +34,19 @@ type ConcurrencyPoint struct {
 	Speedup    float64 `json:"speedup_vs_1"`
 }
 
-// ConcurrencyResult aggregates both workloads plus the machine context
+// ConcurrencyResult aggregates the workloads plus the machine context
 // needed to interpret the scaling numbers (no speedup is possible when
-// GOMAXPROCS is 1).
+// GOMAXPROCS is 1 — Warning records that in the payload itself).
 type ConcurrencyResult struct {
 	Keys       int                `json:"keys"`
 	Bsize      int                `json:"bsize"`
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	NumCPU     int                `json:"num_cpu"`
+	Warning    string             `json:"warning,omitempty"`
 	ReadOnly   []ConcurrencyPoint `json:"read_only"`
 	Mixed      []ConcurrencyPoint `json:"mixed_95_read_5_write"`
+	Write      []ConcurrencyPoint `json:"write_heavy"`
+	HotKey     []ConcurrencyPoint `json:"hot_key_zipf"`
 }
 
 // concurrencyGoroutines are the fan-out levels measured.
@@ -82,30 +87,40 @@ func Concurrency(n int, dur time.Duration) (*ConcurrencyResult, error) {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 	}
-	for _, g := range concurrencyGoroutines {
-		pt, err := concurrencyPoint(r.t, pairs, g, dur, 0)
-		if err != nil {
-			return nil, err
-		}
-		res.ReadOnly = append(res.ReadOnly, pt)
+	if res.GOMAXPROCS == 1 {
+		res.Warning = "GOMAXPROCS=1: goroutines cannot run in parallel on this host; speedup figures are meaningless"
 	}
-	for _, g := range concurrencyGoroutines {
-		pt, err := concurrencyPoint(r.t, pairs, g, dur, 20)
-		if err != nil {
-			return nil, err
-		}
-		res.Mixed = append(res.Mixed, pt)
+	sections := []struct {
+		out        *[]ConcurrencyPoint
+		writeOneIn int
+		zipf       bool
+	}{
+		{&res.ReadOnly, 0, false},
+		{&res.Mixed, 20, false},
+		{&res.Write, 1, false},
+		{&res.HotKey, 1, true},
 	}
-	fillSpeedups(res.ReadOnly)
-	fillSpeedups(res.Mixed)
+	for _, sec := range sections {
+		for _, g := range concurrencyGoroutines {
+			pt, err := concurrencyPoint(r.t, pairs, g, dur, sec.writeOneIn, sec.zipf)
+			if err != nil {
+				return nil, err
+			}
+			*sec.out = append(*sec.out, pt)
+		}
+		fillSpeedups(*sec.out)
+	}
 	return res, nil
 }
 
 // concurrencyPoint runs g goroutines against t for roughly dur and
 // returns the throughput. writeOneIn = 0 means read-only; k > 0 makes
 // one op in k a Put that rewrites an existing pair (so the table never
-// grows and the point stays comparable across goroutine counts).
-func concurrencyPoint(t *core.Table, pairs []dataset.Pair, g int, dur time.Duration, writeOneIn int) (ConcurrencyPoint, error) {
+// grows and the point stays comparable across goroutine counts);
+// writeOneIn = 1 is therefore 100% Put. zipf skews the key choice to a
+// zipfian distribution so every goroutine hammers the same few hot
+// buckets.
+func concurrencyPoint(t *core.Table, pairs []dataset.Pair, g int, dur time.Duration, writeOneIn int, zipf bool) (ConcurrencyPoint, error) {
 	var stop atomic.Bool
 	var ops atomic.Int64
 	var firstErr atomic.Value
@@ -117,11 +132,20 @@ func concurrencyPoint(t *core.Table, pairs []dataset.Pair, g int, dur time.Durat
 		go func(seed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
+			var zf *rand.Zipf
+			if zipf {
+				zf = rand.NewZipf(rng, 1.3, 4, uint64(len(pairs)-1))
+			}
 			dst := make([]byte, 0, 256)
 			local := int64(0)
 			for !stop.Load() {
 				for i := 0; i < 64; i++ {
-					p := pairs[rng.Intn(len(pairs))]
+					var p dataset.Pair
+					if zipf {
+						p = pairs[zf.Uint64()]
+					} else {
+						p = pairs[rng.Intn(len(pairs))]
+					}
 					var err error
 					if writeOneIn > 0 && rng.Intn(writeOneIn) == 0 {
 						err = t.Put(p.Key, p.Data)
@@ -195,8 +219,34 @@ func (r *ConcurrencyResult) String() string {
 	}
 	writeSection("read-only", r.ReadOnly)
 	writeSection("95% read / 5% write", r.Mixed)
-	if r.GOMAXPROCS == 1 {
-		b.WriteString("\n(GOMAXPROCS=1: goroutines cannot run in parallel on this host,\n so speedup is bounded at ~1.0x; rerun on a multi-core machine.)\n")
+	writeSection("write-heavy (100% put)", r.Write)
+	writeSection("hot-key (zipfian, 100% put)", r.HotKey)
+	if r.Warning != "" {
+		fmt.Fprintf(&b, "\nWARNING: %s\n", r.Warning)
 	}
 	return b.String()
+}
+
+// Gate enforces the write-scaling regression bar: the 8-goroutine
+// write-heavy speedup must reach min (CI uses 3.0). On a single-core
+// host no parallel speedup is possible, so the gate is skipped with an
+// explanation rather than failing on hardware.
+func (r *ConcurrencyResult) Gate(min float64) error {
+	if r.GOMAXPROCS == 1 {
+		fmt.Printf("concurrency gate skipped: %s\n", r.Warning)
+		return nil
+	}
+	var at8 *ConcurrencyPoint
+	for i := range r.Write {
+		if r.Write[i].Goroutines == 8 {
+			at8 = &r.Write[i]
+		}
+	}
+	if at8 == nil {
+		return fmt.Errorf("concurrency gate: no 8-goroutine write-heavy point")
+	}
+	if at8.Speedup < min {
+		return fmt.Errorf("concurrency gate: 8-goroutine write speedup %.2fx < %.2fx", at8.Speedup, min)
+	}
+	return nil
 }

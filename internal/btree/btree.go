@@ -266,7 +266,7 @@ func (t *Tree) allocPage(init func(node)) (uint32, error) {
 		}
 		t.freeHead = le.Uint32(buf.Page[4:])
 		init(node(buf.Page))
-		buf.Dirty = true
+		buf.Dirty.Store(true)
 		t.pool.Put(buf)
 	} else {
 		pg = t.nextPage
@@ -287,7 +287,7 @@ func (t *Tree) withNew(pg uint32, init func(node), fn func(node) error) error {
 	}
 	clear(buf.Page)
 	init(node(buf.Page))
-	buf.Dirty = true
+	buf.Dirty.Store(true)
 	err = fn(node(buf.Page))
 	t.pool.Put(buf)
 	return err
@@ -302,7 +302,7 @@ func (t *Tree) freePage(pg uint32) error {
 	clear(buf.Page)
 	le.PutUint16(buf.Page[0:], typeFree)
 	le.PutUint32(buf.Page[4:], t.freeHead)
-	buf.Dirty = true
+	buf.Dirty.Store(true)
 	t.pool.Put(buf)
 	t.freeHead = pg
 	t.dirtyMet = true
@@ -491,7 +491,7 @@ func (t *Tree) put(key, data []byte, replace bool) error {
 			t.pool.Put(buf)
 			return err
 		}
-		buf.Dirty = true
+		buf.Dirty.Store(true)
 		t.nrecords--
 		t.dirtyMet = true
 	}
@@ -513,7 +513,7 @@ func (t *Tree) put(key, data []byte, replace bool) error {
 
 	if n.leafFits(len(key), len(onPage)) {
 		n.leafInsert(i, key, onPage, flags)
-		buf.Dirty = true
+		buf.Dirty.Store(true)
 		t.pool.Put(buf)
 	} else {
 		t.pool.Put(buf)
@@ -606,7 +606,7 @@ func (t *Tree) splitLeafAndInsert(leafPg uint32, path []pathElem, i int, key, on
 		}
 		n.leafInsert(n.nkeys(), e.k, e.d, e.flags)
 	}
-	buf.Dirty = true
+	buf.Dirty.Store(true)
 	t.pool.Put(buf)
 
 	// Build the right leaf.
@@ -625,7 +625,7 @@ func (t *Tree) splitLeafAndInsert(leafPg uint32, path []pathElem, i int, key, on
 		rn.leafInsert(rn.nkeys(), e.k, e.d, e.flags)
 	}
 	sepKey := append([]byte(nil), rn.leafKey(0)...)
-	rbuf.Dirty = true
+	rbuf.Dirty.Store(true)
 	t.pool.Put(rbuf)
 
 	// Fix the old right sibling's back link.
@@ -635,7 +635,7 @@ func (t *Tree) splitLeafAndInsert(leafPg uint32, path []pathElem, i int, key, on
 			return err
 		}
 		node(nb.Page).setPrevLeaf(rightPg)
-		nb.Dirty = true
+		nb.Dirty.Store(true)
 		t.pool.Put(nb)
 	}
 
@@ -658,7 +658,7 @@ func (t *Tree) insertIntoParent(path []pathElem, leftPg uint32, sepKey []byte, r
 		n := node(buf.Page)
 		n.setChild0(leftPg)
 		n.intInsert(0, sepKey, rightPg)
-		buf.Dirty = true
+		buf.Dirty.Store(true)
 		t.pool.Put(buf)
 		t.root = newRoot
 		t.dirtyMet = true
@@ -674,7 +674,7 @@ func (t *Tree) insertIntoParent(path []pathElem, leftPg uint32, sepKey []byte, r
 	at := parent.idx + 1 // the new entry goes right after the taken child
 	if n.intFits(len(sepKey)) {
 		n.intInsert(at, sepKey, rightPg)
-		buf.Dirty = true
+		buf.Dirty.Store(true)
 		t.pool.Put(buf)
 		return nil
 	}
@@ -707,7 +707,7 @@ func (t *Tree) insertIntoParent(path []pathElem, leftPg uint32, sepKey []byte, r
 	for j := 0; j < mid; j++ {
 		n.intInsert(j, keys[j], childs[j+1])
 	}
-	buf.Dirty = true
+	buf.Dirty.Store(true)
 	t.pool.Put(buf)
 
 	// Build right: keys[mid+1:], childs[mid+1:].
@@ -720,7 +720,7 @@ func (t *Tree) insertIntoParent(path []pathElem, leftPg uint32, sepKey []byte, r
 	for j := mid + 1; j < len(keys); j++ {
 		rn.intInsert(j-mid-1, keys[j], childs[j+1])
 	}
-	rbuf.Dirty = true
+	rbuf.Dirty.Store(true)
 	t.pool.Put(rbuf)
 
 	return t.insertIntoParent(path[:len(path)-1], parent.pg, promote, rightInt)
@@ -758,7 +758,7 @@ func (t *Tree) Delete(key []byte) error {
 		t.pool.Put(buf)
 		return err
 	}
-	buf.Dirty = true
+	buf.Dirty.Store(true)
 	t.pool.Put(buf)
 	t.nrecords--
 	t.dirtyMet = true

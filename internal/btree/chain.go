@@ -48,7 +48,7 @@ func (t *Tree) writeChain(data []byte) (uint32, error) {
 			hi = len(data)
 		}
 		copy(buf.Page[chainHdr:], data[lo:hi])
-		buf.Dirty = true
+		buf.Dirty.Store(true)
 		t.pool.Put(buf)
 	}
 	return pages[0], nil

@@ -25,12 +25,13 @@
 // so arbitrarily long overflow chains work with small pools.
 //
 // Concurrency contract: all Pool methods are safe for concurrent use.
-// Pin counts are atomic; within a shard, the map, the LRU list, the chain
-// links and the Dirty flags are guarded by the shard mutex. Page contents
-// are NOT guarded by the pool — the owning table must ensure that a page
-// is never written while another goroutine reads it (the hash table does
-// so with its reader/writer table lock). The lock order is always
-// table lock → shard lock; the pool never takes two shard locks at once.
+// Pin counts and Dirty flags are atomic; within a shard, the map, the
+// LRU list and the chain links are guarded by the shard mutex. Page
+// contents are NOT guarded by the pool — the owning table must ensure
+// that a page is never written while another goroutine reads it (the
+// hash table does so with per-bucket latches under its reader/writer
+// table lock). The lock order is always table lock → bucket latch →
+// shard lock; the pool never takes two shard locks at once.
 package buffer
 
 import (
@@ -61,11 +62,13 @@ func (a Addr) String() string {
 // Buf is a buffer header: one page-sized buffer plus bookkeeping. The
 // caller owns the Page contents while the buffer is pinned. Dirty may only
 // be set by a caller that has exclusive use of the page (the table's
-// writer lock); concurrent readers must treat Page as read-only.
+// bucket latch); concurrent readers must treat Page as read-only. Dirty
+// is atomic so the flush paths can observe it without the page owner's
+// latch.
 type Buf struct {
 	Addr  Addr
 	Page  []byte
-	Dirty bool
+	Dirty atomic.Bool
 
 	pins  atomic.Int32
 	owner uint32 // bucket whose chain this page belongs to (shard key)
@@ -392,7 +395,7 @@ func (p *Pool) get(addr Addr, owner uint32, prev *Buf, create bool) (*Buf, error
 	case err == nil:
 	case errors.Is(err, pagefile.ErrNotAllocated) && create:
 		clear(b.Page)
-		b.Dirty = true
+		b.Dirty.Store(true)
 		sh.n.NewPages++
 	case errors.Is(err, pagefile.ErrNotAllocated):
 		sh.recycle(b)
@@ -402,7 +405,7 @@ func (p *Pool) get(addr Addr, owner uint32, prev *Buf, create bool) (*Buf, error
 		return nil, err
 	}
 	if p.onLoad != nil && p.onLoad(addr, b.Page) {
-		b.Dirty = true
+		b.Dirty.Store(true)
 	}
 	sh.table[addr] = b
 	sh.lruInsert(b)
@@ -450,7 +453,7 @@ func (p *Pool) alloc(sh *shard, addr Addr, owner uint32) (*Buf, error) {
 // assignment would copy the atomic pin counter, which go vet rejects).
 func (b *Buf) reset(addr Addr, owner uint32, sh *shard) {
 	b.Addr = addr
-	b.Dirty = false
+	b.Dirty.Store(false)
 	b.pins.Store(0)
 	b.owner = owner
 	b.sh = sh
@@ -483,7 +486,7 @@ func chainPinned(b *Buf) bool {
 func (p *Pool) evict(sh *shard, b *Buf) error {
 	for b != nil {
 		next := b.ovfl
-		dirty := b.Dirty
+		dirty := b.Dirty.Load()
 		if err := p.flushBuf(b); err != nil {
 			return err
 		}
@@ -506,13 +509,13 @@ func (p *Pool) evict(sh *shard, b *Buf) error {
 }
 
 func (p *Pool) flushBuf(b *Buf) error {
-	if !b.Dirty {
+	if !b.Dirty.Load() {
 		return nil
 	}
 	if err := p.store.WritePage(p.mapAddr(b.Addr), b.Page); err != nil {
 		return err
 	}
-	b.Dirty = false
+	b.Dirty.Store(false)
 	return nil
 }
 
@@ -541,7 +544,7 @@ func (p *Pool) dropLocked(sh *shard, prev, b *Buf) {
 		p.resident.Add(-1)
 	}
 	b.ovfl = nil
-	b.Dirty = false
+	b.Dirty.Store(false)
 	b.pins.Store(0)
 }
 
@@ -583,9 +586,8 @@ const maxCoalesce = 64
 // still turns the flush into sequential WritePage calls. Buffers stay
 // resident. Collected buffers are pinned across the write pass so a
 // concurrent fault cannot evict (and recycle) them mid-flush; the Dirty
-// flag is cleared under the owning shard's lock after a successful
-// write. On error, buffers not yet written keep their Dirty flag, so a
-// later flush retries them.
+// flag is cleared after a successful write. On error, buffers not yet
+// written keep their Dirty flag, so a later flush retries them.
 func (p *Pool) FlushAll() error {
 	type dirtyRef struct {
 		b      *Buf
@@ -596,7 +598,7 @@ func (p *Pool) FlushAll() error {
 		sh := &p.shards[i]
 		sh.mu.Lock()
 		for b := sh.lru.prev; b != &sh.lru; b = b.prev {
-			if b.Dirty {
+			if b.Dirty.Load() {
 				b.Pin()
 				refs = append(refs, dirtyRef{b: b, pageno: p.mapAddr(b.Addr)})
 			}
@@ -635,10 +637,7 @@ func (p *Pool) FlushAll() error {
 		}
 		if err = writeRun(refs[lo:hi]); err == nil {
 			for _, r := range refs[lo:hi] {
-				sh := r.b.sh
-				sh.mu.Lock()
-				r.b.Dirty = false
-				sh.mu.Unlock()
+				r.b.Dirty.Store(false)
 			}
 		}
 		lo = hi

@@ -28,7 +28,7 @@ func TestPoolGetCreate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !b.Dirty {
+	if !b.Dirty.Load() {
 		t.Fatal("fresh page not marked dirty")
 	}
 	if !b.Pinned() {

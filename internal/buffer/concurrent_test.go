@@ -47,7 +47,7 @@ func TestPoolConcurrentPinBlocksEviction(t *testing.T) {
 					return
 				}
 				b.Page[0] = byte(w + 1)
-				b.Dirty = true
+				b.Dirty.Store(true)
 				p.Put(b)
 			}
 		}(w)
@@ -182,7 +182,7 @@ func TestPoolConcurrentOvercommit(t *testing.T) {
 					break
 				}
 				b.Page[0] = byte(w + 1)
-				b.Dirty = true
+				b.Dirty.Store(true)
 				held = append(held, b)
 			}
 			allPinned.Done()
@@ -221,7 +221,7 @@ func TestPoolConcurrentHammer(t *testing.T) {
 			t.Fatal(err)
 		}
 		b.Page[0] = byte(i + 1)
-		b.Dirty = true
+		b.Dirty.Store(true)
 		p.Put(b)
 	}
 
@@ -259,7 +259,7 @@ func TestPoolConcurrentHammer(t *testing.T) {
 						return
 					}
 					b.Page[1] = byte(w)
-					b.Dirty = true
+					b.Dirty.Store(true)
 					p.Put(b)
 				}
 			}

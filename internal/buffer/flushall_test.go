@@ -66,7 +66,7 @@ func TestFlushAllOrderAndCoalescing(t *testing.T) {
 			t.Fatal(err)
 		}
 		b.Page[0] = byte(pg)
-		b.Dirty = true
+		b.Dirty.Store(true)
 		p.Put(b)
 	}
 
@@ -128,7 +128,7 @@ func TestFlushAllRunCap(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		b.Dirty = true
+		b.Dirty.Store(true)
 		p.Put(b)
 	}
 	rs.writes = nil
@@ -154,7 +154,7 @@ func TestFlushAllPlainStore(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		b.Dirty = true
+		b.Dirty.Store(true)
 		p.Put(b)
 	}
 	rs.writes = nil

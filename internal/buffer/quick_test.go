@@ -51,7 +51,7 @@ func TestPoolCoherence(t *testing.T) {
 				if rng.Intn(2) == 0 { // write
 					v := byte(rng.Intn(254) + 1)
 					b.Page[0] = v
-					b.Dirty = true
+					b.Dirty.Store(true)
 					model[id] = v
 				}
 				p.Put(b)
@@ -93,7 +93,7 @@ func TestPoolRecycleKeepsDataIntact(t *testing.T) {
 			}
 			b.Page[0] = byte(i + 1)
 			b.Page[1] = byte(round)
-			b.Dirty = true
+			b.Dirty.Store(true)
 			p.Put(b)
 		}
 		for i := 0; i < cap_*3; i++ {

@@ -64,14 +64,14 @@ func (t *Table) putBatchLocked(pairs []Pair) error {
 	// mutated, and group commit must only ever over-sync.
 	defer t.mutSeq.Add(1)
 	// One durable dirty mark covers the whole batch.
-	if err := t.markDirtyLocked(); err != nil {
+	if err := t.markDirty(); err != nil {
 		return err
 	}
 
 	// Presize fast path: an empty table jumps straight to the bucket
 	// count the batch implies, so no pair is ever placed in a bucket
 	// that a later split would move it out of.
-	if t.hdr.nkeys == 0 {
+	if t.nkeysA.Load() == 0 {
 		t.presizeLocked(len(pairs))
 	}
 
@@ -104,7 +104,7 @@ func (t *Table) putBatchLocked(pairs []Pair) error {
 		groups++
 		lo = hi
 	}
-	t.dirtyHdr = true
+	t.dirtyHdr.Store(true)
 	t.tr.Emit(trace.EvBatchPhase, trace.BatchPhaseDistribute, uint64(groups), 0, 0)
 
 	// Deferred split pass: all the fill-factor splits the batch earned,
@@ -112,10 +112,9 @@ func (t *Table) putBatchLocked(pairs []Pair) error {
 	// grew an overflow chain and the fill factor did not already force
 	// growth — the same hybrid policy as the single-Put path, settled
 	// once per batch instead of once per insert.
-	uncontrolled := t.addedOvfl && !t.controlledOnly
-	t.addedOvfl = false
+	uncontrolled := t.addedOvfl.Swap(false) && !t.controlledOnly
 	splits := 0
-	for t.hdr.nkeys > int64(t.hdr.ffactor)*int64(t.hdr.maxBucket+1) {
+	for t.nkeysA.Load() > int64(t.hdr.ffactor)*int64(t.hdr.maxBucket+1) {
 		if err := t.expand(false); err != nil {
 			return err
 		}
@@ -133,7 +132,7 @@ func (t *Table) putBatchLocked(pairs []Pair) error {
 	t.m.puts.Add(int64(len(pairs)))
 	t.m.batchPuts.Inc()
 	t.m.batchPairs.Add(int64(len(pairs)))
-	t.m.setShape(t.hdr.nkeys, t.hdr.maxBucket)
+	t.m.setShape(t.nkeysA.Load(), t.hdr.maxBucket)
 	t.tr.Emit(trace.EvBatchEnd, uint64(len(pairs)), uint64(splits), 0, 0)
 	return nil
 }
@@ -148,7 +147,7 @@ func (t *Table) putBatchLocked(pairs []Pair) error {
 // exactly as expand does), preserving every existing overflow page
 // address. A target at or below the current size is a no-op.
 func (t *Table) presizeLocked(n int) {
-	if t.hdr.nkeys != 0 {
+	if t.nkeysA.Load() != 0 {
 		return
 	}
 	want := nextPow2(uint32((int64(n) + int64(t.hdr.ffactor) - 1) / int64(t.hdr.ffactor)))
@@ -167,9 +166,10 @@ func (t *Table) presizeLocked(n int) {
 		}
 		t.hdr.ovflPoint = newPoint
 	}
-	t.dirtyHdr = true
+	t.publishGeo()
+	t.dirtyHdr.Store(true)
 	t.m.presizes.Inc()
-	t.m.setShape(t.hdr.nkeys, t.hdr.maxBucket)
+	t.m.setShape(t.nkeysA.Load(), t.hdr.maxBucket)
 	t.tr.Emit(trace.EvBatchPhase, trace.BatchPhasePresize, uint64(want), 0, 0)
 }
 
@@ -297,9 +297,9 @@ func (t *Table) putBucketGroup(bucket uint32, pairs []Pair, idxs []int) error {
 			if err := pg.removeEntry(r.entry); err != nil {
 				return false, err
 			}
-			buf.Dirty = true
-			t.hdr.nkeys--
-			t.hdr.pairSum ^= sum
+			buf.Dirty.Store(true)
+			t.nkeysA.Add(-1)
+			t.xorPairSum(sum)
 			pending[r.pi].removed = true
 		}
 
@@ -376,11 +376,11 @@ func (t *Table) packPending(buf *buffer.Buf, pairs []Pair, pending []pendingPair
 			}
 			pg.addRegular(k, d)
 		}
-		buf.Dirty = true
+		buf.Dirty.Store(true)
 		p.inserted = true
 		*left--
-		t.hdr.nkeys++
-		t.hdr.pairSum ^= pairHash(k, d)
+		t.nkeysA.Add(1)
+		t.xorPairSum(pairHash(k, d))
 	}
 	return nil
 }

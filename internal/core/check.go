@@ -44,11 +44,11 @@ func (t *Table) Check() error {
 			return err
 		}
 	}
-	if count != t.hdr.nkeys {
-		return fmt.Errorf("hash check: %d keys found, header says %d", count, t.hdr.nkeys)
+	if count != t.nkeysA.Load() {
+		return fmt.Errorf("hash check: %d keys found, header says %d", count, t.nkeysA.Load())
 	}
-	if sum != t.hdr.pairSum {
-		return fmt.Errorf("hash check: pair fingerprint %#x, header says %#x", sum, t.hdr.pairSum)
+	if sum != t.pairSumA.Load() {
+		return fmt.Errorf("hash check: pair fingerprint %#x, header says %#x", sum, t.pairSumA.Load())
 	}
 
 	// Leak detection: every allocated bit must be claimed or be a

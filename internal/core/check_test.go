@@ -94,9 +94,9 @@ func TestCheckDetectsWrongBucket(t *testing.T) {
 		t.Fatal(err)
 	}
 	page(buf.Page).addRegular(wrong, []byte("x"))
-	buf.Dirty = true
+	buf.Dirty.Store(true)
 	store.pool.Put(buf)
-	store.hdr.nkeys++
+	store.nkeysA.Add(1)
 
 	if err := store.Check(); err == nil {
 		t.Fatal("Check accepted a key in the wrong bucket")
@@ -106,7 +106,7 @@ func TestCheckDetectsWrongBucket(t *testing.T) {
 func TestCheckDetectsCountMismatch(t *testing.T) {
 	tbl := newMemTable(t)
 	defer tbl.Close()
-	tbl.hdr.nkeys += 5
+	tbl.nkeysA.Add(5)
 	if err := tbl.Check(); err == nil {
 		t.Fatal("Check accepted a wrong key count")
 	}

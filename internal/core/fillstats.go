@@ -39,7 +39,7 @@ func (t *Table) FillStats() (FillStats, error) {
 	if err := t.checkOpen(); err != nil {
 		return FillStats{}, err
 	}
-	s := FillStats{Buckets: t.hdr.maxBucket + 1, Keys: t.hdr.nkeys}
+	s := FillStats{Buckets: t.hdr.maxBucket + 1, Keys: t.nkeysA.Load()}
 	usable := int(t.hdr.bsize) - pageHdrSize
 
 	var usedBytes, availBytes int64

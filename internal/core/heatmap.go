@@ -55,18 +55,20 @@ func (t *Table) Heatmap() (*Heatmap, error) {
 	if err := t.checkOpen(); err != nil {
 		return nil, err
 	}
+	maxB := t.geo.Load()
 	h := &Heatmap{
-		Buckets:   t.hdr.maxBucket + 1,
+		Buckets:   maxB + 1,
 		Bsize:     int(t.hdr.bsize),
-		NKeys:     t.hdr.nkeys,
-		PerBucket: make([]BucketHeat, 0, t.hdr.maxBucket+1),
+		NKeys:     t.nkeysA.Load(),
+		PerBucket: make([]BucketHeat, 0, maxB+1),
 	}
 	usable := int(t.hdr.bsize) - pageHdrSize
 	var usedTotal, availTotal int64
-	for b := uint32(0); b <= t.hdr.maxBucket; b++ {
+	for b := uint32(0); b <= maxB; b++ {
 		row := BucketHeat{Bucket: b}
 		used := 0
 		pages := 0
+		t.latchBucketRead(b)
 		err := t.walkChain(b, func(buf *buffer.Buf) (bool, error) {
 			if buf.Addr.Ovfl {
 				row.ChainPages++
@@ -82,6 +84,7 @@ func (t *Table) Heatmap() (*Heatmap, error) {
 				return true
 			})
 		})
+		t.stripeFor(b).RUnlock()
 		if err != nil {
 			return nil, err
 		}

@@ -50,7 +50,12 @@ func (it *Iterator) Next() bool {
 		return false
 	}
 	for {
+		// Latch the bucket whose chain the cursor is on: a split that
+		// involves it finishes (or is waited out) first, so the page walk
+		// never observes a chain mid-redistribution.
+		it.t.latchBucketRead(it.bucket)
 		ok, err := it.nextOnPage()
+		it.t.stripeFor(it.bucket).RUnlock()
 		if err != nil {
 			it.err = err
 			return false
@@ -125,7 +130,7 @@ func (it *Iterator) advancePage() bool {
 		return true
 	}
 	it.o = 0
-	if it.bucket >= it.t.hdr.maxBucket {
+	if it.bucket >= it.t.geo.Load() {
 		return false
 	}
 	it.bucket++

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"unixhash/internal/pagefile"
+	"unixhash/internal/trace"
+)
+
+// TestRouteBucketMatchesCalc pins the identity routeBucket relies on:
+// routing over the split pointer alone agrees with the stored-mask
+// calcBucket in every state the header can be in — both the states
+// expansion reaches (lowMask = highMask>>1) and the freshly initialized
+// state (maxBucket = 2^k-1 with masks one generation wider).
+func TestRouteBucketMatchesCalc(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	hashes := make([]uint32, 200)
+	for i := range hashes {
+		hashes[i] = rng.Uint32()
+	}
+	ref := func(h, maxB, high, low uint32) uint32 {
+		b := h & high
+		if b > maxB {
+			b = h & low
+		}
+		return b
+	}
+	// Expansion-reachable states.
+	for maxB := uint32(1); maxB <= 4097; maxB++ {
+		high := uint32(1)<<len32(maxB) - 1
+		low := high >> 1
+		for _, h := range hashes {
+			if got, want := routeBucket(h, maxB), ref(h, maxB, high, low); got != want {
+				t.Fatalf("maxBucket=%d h=%#x: routeBucket=%d calcBucket=%d", maxB, h, got, want)
+			}
+		}
+	}
+	// Freshly initialized states: maxBucket = 2^k-1, stored masks one
+	// generation wider than the derived ones.
+	for k := uint32(0); k < 16; k++ {
+		maxB := uint32(1)<<k - 1
+		low := maxB
+		high := uint32(1)<<(k+1) - 1
+		for _, h := range hashes {
+			if got, want := routeBucket(h, maxB), ref(h, maxB, high, low); got != want {
+				t.Fatalf("init k=%d h=%#x: routeBucket=%d calcBucket=%d", k, h, got, want)
+			}
+		}
+	}
+	// And against a live table through a run of real expansions.
+	tbl := mustOpen(t, "", &Options{Bsize: 128, Ffactor: 4})
+	defer tbl.Close()
+	for i := 0; i < 600; i++ {
+		if err := tbl.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%37 == 0 {
+			h := rng.Uint32()
+			if got, want := routeBucket(h, tbl.geo.Load()), tbl.calcBucket(h); got != want {
+				t.Fatalf("live table at %d keys, h=%#x: routeBucket=%d calcBucket=%d", i, h, got, want)
+			}
+		}
+	}
+}
+
+func len32(x uint32) int {
+	n := 0
+	for x != 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// TestSplitStormConcurrentOps is the tentpole -race stress: several
+// writers insert disjoint key ranges fast enough to force a continuous
+// split storm while deleters and readers interleave on the same buckets.
+// Afterwards every surviving key must read back exactly, the structural
+// Check must pass, and the trace ring must show balanced split begin/end
+// events — splits ran to completion under concurrent traffic.
+func TestSplitStormConcurrentOps(t *testing.T) {
+	tr := trace.New(1 << 15)
+	tbl := mustOpen(t, "", &Options{
+		Bsize:     256,
+		Ffactor:   4, // splits early and often
+		CacheSize: 64 * 1024,
+		Trace:     tr,
+	})
+	defer tbl.Close()
+
+	const (
+		writers   = 4
+		perWriter = 2500
+		churn     = 200
+	)
+	wkey := func(w, i int) []byte { return []byte(fmt.Sprintf("storm-%d-%05d", w, i)) }
+	wval := func(w, i int) []byte { return []byte(fmt.Sprintf("v-%d-%d", w, i)) }
+	ckey := func(i int) []byte { return []byte(fmt.Sprintf("churn-%03d", i)) }
+
+	for i := 0; i < churn; i++ {
+		if err := tbl.Put(ckey(i), []byte("c0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+4)
+
+	// Writers: disjoint ranges, so every insert is a fresh key and the
+	// fill-factor trigger fires continuously.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := tbl.Put(wkey(w, i), wval(w, i)); err != nil {
+					errs <- fmt.Errorf("writer %d put %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Deleter/re-inserter over the churn keys: Delete and Put race the
+	// splits the writers force.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 4000; i++ {
+			k := ckey(rng.Intn(churn))
+			if rng.Intn(2) == 0 {
+				if err := tbl.Delete(k); err != nil && !errors.Is(err, ErrNotFound) {
+					errs <- fmt.Errorf("deleter: %w", err)
+					return
+				}
+			} else {
+				if err := tbl.Put(k, []byte(fmt.Sprintf("c%d", i))); err != nil {
+					errs <- fmt.Errorf("deleter put: %w", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Readers: writers' keys must be exact once written; churn keys may
+	// be absent but never torn.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			dst := make([]byte, 0, 64)
+			for i := 0; i < 6000; i++ {
+				if rng.Intn(3) == 0 {
+					k := ckey(rng.Intn(churn))
+					v, err := tbl.Get(k)
+					switch {
+					case errors.Is(err, ErrNotFound):
+					case err != nil:
+						errs <- fmt.Errorf("reader %d churn: %w", r, err)
+						return
+					case v[0] != 'c':
+						errs <- fmt.Errorf("reader %d churn: torn value %q", r, v)
+						return
+					}
+				} else {
+					w, i := rng.Intn(writers), rng.Intn(perWriter)
+					var err error
+					dst, err = tbl.GetBuf(wkey(w, i), dst)
+					if errors.Is(err, ErrNotFound) {
+						continue // not written yet
+					}
+					if err != nil {
+						errs <- fmt.Errorf("reader %d: %w", r, err)
+						return
+					}
+					if !bytes.Equal(dst, wval(w, i)) {
+						errs <- fmt.Errorf("reader %d: key %d-%d: got %q", r, w, i, dst)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Every written key must be intact.
+	dst := make([]byte, 0, 64)
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			var err error
+			dst, err = tbl.GetBuf(wkey(w, i), dst)
+			if err != nil {
+				t.Fatalf("after storm: key %d-%d: %v", w, i, err)
+			}
+			if !bytes.Equal(dst, wval(w, i)) {
+				t.Fatalf("after storm: key %d-%d: got %q", w, i, dst)
+			}
+		}
+	}
+	if err := tbl.Check(); err != nil {
+		t.Fatalf("table corrupt after split storm: %v", err)
+	}
+
+	// The ring overwrites oldest-first, so an end whose begin was
+	// evicted is benign — but a begin with no later end means a split
+	// never finished. Replay the surviving window in sequence order:
+	// the open-split balance must return to zero.
+	begins := tr.Events(0, trace.EvSplitBegin)
+	ends := tr.Events(0, trace.EvSplitEnd)
+	if len(begins) == 0 {
+		t.Fatal("split storm produced no splits")
+	}
+	marks := append(append([]trace.Event{}, begins...), ends...)
+	sort.Slice(marks, func(i, j int) bool { return marks[i].Seq < marks[j].Seq })
+	open := 0
+	for _, e := range marks {
+		if e.Type == trace.EvSplitBegin {
+			open++
+		} else if open > 0 {
+			open-- // an end with no begin in the window: begin evicted
+		}
+	}
+	if open != 0 {
+		t.Fatalf("unbalanced splits: %d begins never ended (%d begins, %d ends in window)",
+			open, len(begins), len(ends))
+	}
+	chunks := tr.Events(0, trace.EvSplitChunk)
+	helped := 0
+	for _, e := range chunks {
+		if e.Args[3] == 1 {
+			helped++
+		}
+	}
+	waits := len(tr.Events(0, trace.EvLatchWait))
+	t.Logf("storm: %d splits, %d chunks (%d by helpers), %d latch waits",
+		len(begins), len(chunks), helped, waits)
+}
+
+// TestCrashMidIncrementalSplit power-cuts a table in the middle of a
+// split storm: after one completed sync, a burst of inserts forces a run
+// of incremental splits whose page writes stream into the crash journal
+// via evictions (the cache is tiny). Every prefix cut inside that storm
+// must recover to exactly the synced state — a half-moved bucket never
+// leaks into what Recover accepts.
+func TestCrashMidIncrementalSplit(t *testing.T) {
+	cs := pagefile.NewCrash(pagefile.NewMem(128, pagefile.CostModel{}))
+	// CacheSize of a few pages: split page writes reach the journal
+	// immediately through eviction, so prefixes cut mid-split.
+	tbl := mustOpen(t, "", &Options{Store: cs, Bsize: 128, Ffactor: 4, CacheSize: 1024})
+
+	model := map[string]string{}
+	for i := 0; i < 80; i++ {
+		k, v := key(i), val(i)
+		if err := tbl.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+		model[string(k)] = string(v)
+	}
+	if err := tbl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	syncLen := cs.Len()
+	epoch := tbl.Geometry().SyncEpoch
+	splitsBefore := tbl.Stats().Expansions
+
+	// The storm: unsynced inserts that force splits.
+	for i := 80; i < 200; i++ {
+		if err := tbl.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tbl.Stats().Expansions - splitsBefore; got == 0 {
+		t.Fatal("storm forced no splits; test is vacuous")
+	}
+	events := cs.Len()
+	if events == syncLen {
+		t.Fatal("storm wrote no pages; shrink the cache")
+	}
+	// Abandon the table without Close: the power cut.
+
+	// The contract, prefix by prefix: Recover either reproduces exactly
+	// the synced 80-key state, or fails loudly (ErrUnrecoverable for a
+	// state whose post-sync writes are not provably discardable). It
+	// never silently lands anywhere else — a half-moved bucket cannot
+	// pass the (nkeys, pairSum) gate. The prefix cut exactly at the sync
+	// must recover.
+	recovered, loud := 0, 0
+	for n := syncLen; n <= events; n++ {
+		ms, err := cs.Materialize(n, 0)
+		if err != nil {
+			t.Fatalf("materialize(%d): %v", n, err)
+		}
+		rt, rep, err := Recover("", &Options{Store: ms, Bsize: 128, Ffactor: 4})
+		if err != nil {
+			if n == syncLen {
+				t.Fatalf("prefix exactly at sync: recover failed: %v", err)
+			}
+			if !errors.Is(err, ErrUnrecoverable) {
+				t.Fatalf("prefix %d: unexpected recover error: %v", n, err)
+			}
+			loud++
+			continue
+		}
+		recovered++
+		got := readAll(t, rt)
+		if !mapsEqual(got, model) {
+			rt.Close()
+			t.Fatalf("prefix %d: recovered %d keys, want the %d-key synced state (report %+v)",
+				n, len(got), len(model), rep)
+		}
+		if rep.SyncEpoch < epoch {
+			rt.Close()
+			t.Fatalf("prefix %d: epoch went backwards: %d < %d", n, rep.SyncEpoch, epoch)
+		}
+		if err := rt.Check(); err != nil {
+			rt.Close()
+			t.Fatalf("prefix %d: post-recovery check: %v", n, err)
+		}
+		rt.Close()
+	}
+	t.Logf("mid-split storm: %d prefixes, %d recovered to the synced state, %d failed loud",
+		events-syncLen+1, recovered, loud)
+}

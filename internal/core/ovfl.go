@@ -78,7 +78,7 @@ func (t *Table) createBitmap(s uint32) error {
 	t.hdr.bitmaps[s] = uint16(makeOaddr(s, 1))
 	t.bitmapBuf[s] = buf
 	t.bitmapDirty[s] = true
-	t.dirtyHdr = true
+	t.dirtyHdr.Store(true)
 	return nil
 }
 
@@ -98,7 +98,16 @@ func bitmapClear(bm []byte, bit uint32) {
 // page if one exists, otherwise a fresh page at the current split point
 // (advancing the split point early if its page-number space is full).
 // The caller is responsible for initializing the page contents.
+//
+// The allocator state (bitmaps, spares, lastFreed, ovflPoint) is guarded
+// by ovflMu, taken here — callers may hold bucket latches but must not
+// hold ovflMu. Crucially, allocation only ever mutates spares at or past
+// the current split point, so concurrent readers mapping bucket pages
+// through frozen lower spares entries (see header.bucketToPage) are
+// unaffected.
 func (t *Table) allocOvfl() (oaddr, error) {
+	t.ovflMu.Lock()
+	defer t.ovflMu.Unlock()
 	// Fast path: the most recently freed page.
 	if lf := oaddr(t.hdr.lastFreed); lf != 0 {
 		s, pn := lf.split(), lf.pagenum()
@@ -110,7 +119,7 @@ func (t *Table) allocOvfl() (oaddr, error) {
 				t.bitmapDirty[s] = true
 				t.freeCount[s]--
 				t.hdr.lastFreed = 0
-				t.dirtyHdr = true
+				t.dirtyHdr.Store(true)
 				t.m.ovflReuses.Inc()
 				t.tr.Emit(trace.EvOvflReuse, uint64(s), uint64(pn), uint64(lf), 0)
 				return lf, nil
@@ -165,7 +174,7 @@ func (t *Table) allocOvfl() (oaddr, error) {
 			}
 			bitmapSet(bm, pn-1)
 			t.bitmapDirty[s] = true
-			t.dirtyHdr = true
+			t.dirtyHdr.Store(true)
 			t.m.ovflAllocs.Inc()
 			t.tr.Emit(trace.EvOvflAlloc, uint64(s), uint64(pn), uint64(makeOaddr(s, pn)), 0)
 			return makeOaddr(s, pn), nil
@@ -176,13 +185,16 @@ func (t *Table) allocOvfl() (oaddr, error) {
 		s++
 		t.hdr.spares[s] = t.hdr.spares[s-1]
 		t.hdr.ovflPoint = s
-		t.dirtyHdr = true
+		t.dirtyHdr.Store(true)
 	}
 }
 
 // freeOvfl reclaims an overflow page: its bit is cleared so a later
 // allocation can reuse it, and any resident buffer is discarded.
+// Like allocOvfl, it takes ovflMu itself.
 func (t *Table) freeOvfl(o oaddr) error {
+	t.ovflMu.Lock()
+	defer t.ovflMu.Unlock()
 	s, pn := o.split(), o.pagenum()
 	if s >= maxSplits || pn == 0 || pn > t.hdr.allocatedAt(s) {
 		return fmt.Errorf("%w: free of invalid overflow page %v", ErrCorrupt, o)
@@ -201,7 +213,7 @@ func (t *Table) freeOvfl(o oaddr) error {
 	t.bitmapDirty[s] = true
 	t.freeCount[s]++
 	t.hdr.lastFreed = uint32(o)
-	t.dirtyHdr = true
+	t.dirtyHdr.Store(true)
 	t.m.ovflFrees.Inc()
 	t.tr.Emit(trace.EvOvflFree, uint64(s), uint64(pn), uint64(o), 0)
 	t.pool.Discard(buffer.Addr{N: uint32(o), Ovfl: true})

@@ -12,7 +12,7 @@ import (
 
 // Crash recovery.
 //
-// The durable dirty mark (markDirtyLocked) guarantees that a dirty
+// The durable dirty mark (markDirty) guarantees that a dirty
 // on-disk header is always the header of the last completed sync, plus
 // the flag: geometry, spares, key count and pair fingerprint all describe
 // the state every pair of which was durably on disk. Recovery therefore
@@ -388,8 +388,14 @@ func (t *Table) applyRecovery(r *recovery) error {
 		}
 	}
 	t.hdr.lastFreed = 0
-	t.dirtyHdr = true
+	t.dirtyHdr.Store(true)
 	t.needsRecovery = false
+	// The surviving pairs are exactly the last-synced state, so resync
+	// the shared-phase running counters with the header before syncLocked
+	// folds them back.
+	t.nkeysA.Store(t.hdr.nkeys)
+	t.pairSumA.Store(t.hdr.pairSum)
+	t.publishGeo()
 	t.tr.Emit(trace.EvRecoveryStep, trace.RecoveryStepBitmaps, uint64(rebuilt), 0, 0)
 	if err := t.syncLocked(); err != nil {
 		return err

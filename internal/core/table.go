@@ -144,13 +144,15 @@ func (o *Options) withDefaults() (Options, error) {
 }
 
 // Table is a linear-hash table of byte-string key/data pairs. All methods
-// are safe for concurrent use. Read-only operations — Get, GetBuf, Has,
-// Len, Stats, Geometry and iteration — take a shared lock and run in
-// parallel with one another over the sharded buffer pool; writers (Put,
-// Delete, Sync, Close and anything that can split a bucket, grow the
-// bucket array or dirty the header) are exclusive, because a split moves
-// pairs between buckets and must not be observed half-done. The lock
-// order is table lock → buffer shard lock, and never the reverse.
+// are safe for concurrent use. Bucket-granular operations — Get, GetBuf,
+// Has, Put, PutNew, Delete, Len, Stats and iteration — take the table
+// lock shared and latch only the stripe covering the bucket chain they
+// touch, so readers AND writers on different buckets run in parallel;
+// splits are incremental and cooperative (see latch.go). Whole-table
+// operations (Sync, Close, PutBatch, Check, Recover, Geometry and the
+// dump/fillstats walkers) take the lock exclusively. The lock order is
+// table lock → splitMu → bucket stripes (ascending) → split-job/ovfl/
+// dirty mutexes → buffer shard lock, and never the reverse.
 type Table struct {
 	mu sync.RWMutex
 
@@ -163,15 +165,42 @@ type Table struct {
 	ownStore       bool
 	readonly       bool
 	closed         bool
-	dirtyHdr       bool
 	controlledOnly bool
 
+	// Bucket-granular concurrency state (see latch.go). geo publishes
+	// hdr.maxBucket for shared-phase routing; stripes are the per-bucket
+	// latches; splitMu admits one split at a time, with its shared
+	// progress in split/splitState. nkeysA and pairSumA are the live key
+	// count and pair fingerprint — hdr.nkeys/hdr.pairSum hold the
+	// last-synced values between syncs and are folded from the atomics by
+	// syncLocked. dirtyHdr and addedOvfl are the shared-phase forms of
+	// the old exclusive-writer booleans.
+	geo        atomic.Uint32
+	stripes    [nStripes]sync.RWMutex
+	splitMu    sync.Mutex
+	split      splitJob
+	splitState atomic.Uint64
+	nkeysA     atomic.Int64
+	pairSumA   atomic.Uint64
+	dirtyHdr   atomic.Bool
+	addedOvfl  atomic.Bool // an insert grew a chain: uncontrolled split pending
+
+	// ovflMu serializes the overflow allocator and bitmap state (ovfl.go)
+	// under concurrent bucket writers.
+	ovflMu sync.Mutex
+
 	// dirtyMarked records that the on-disk header carries the dirty flag:
-	// it is set by markDirtyLocked before the first mutation after an open
-	// or sync, and cleared when a sync durably writes a clean header. While
+	// it is set by markDirty before the first mutation after an open or
+	// sync, and cleared when a sync durably writes a clean header. While
 	// it is set, further mutations need no header write — the file is
-	// already marked. See the Durability model section of DESIGN.md.
-	dirtyMarked bool
+	// already marked (one atomic load on the write path). dirtyMu
+	// serializes the slow path, which is the only place a shared-phase
+	// writer encodes the header: safe precisely because every mutation is
+	// preceded by markDirty, so when the slow path runs, nothing has
+	// mutated since the last sync and the header image is the last-synced
+	// one. See the Durability model section of DESIGN.md.
+	dirtyMarked atomic.Bool
+	dirtyMu     sync.Mutex
 
 	// needsRecovery is set when an existing file is opened with its dirty
 	// flag set (AllowDirty). Until Recover clears it, the table is
@@ -180,7 +209,8 @@ type Table struct {
 	needsRecovery bool
 
 	// Bitmap pages are owned by the table, outside the LRU pool. They are
-	// only touched by writers (allocation, free, dump), under mu.Lock.
+	// touched by the allocator and the dump/recovery walkers, under
+	// ovflMu (shared phase) or the exclusive table lock.
 	bitmapBuf   [maxSplits][]byte
 	bitmapDirty [maxSplits]bool
 	freeCount   [maxSplits]int
@@ -188,8 +218,6 @@ type Table struct {
 	// scratch recycles page-sized buffers for big-pair chain I/O; each
 	// operation takes its own so concurrent readers never share one.
 	scratch sync.Pool
-
-	addedOvfl bool // an insert grew a chain: uncontrolled split pending
 
 	// Group commit (Options.GroupCommit). mutSeq counts completed write
 	// attempts; it is bumped under the exclusive table lock, so a load
@@ -243,6 +271,7 @@ func Open(path string, o *Options) (*Table, error) {
 
 	t := &Table{hash: opts.Hash, path: path, readonly: opts.ReadOnly, controlledOnly: opts.ControlledOnly, groupCommit: opts.GroupCommit, tr: opts.Trace}
 	t.gc.cond = sync.NewCond(&t.gc.mu)
+	t.split.cond = sync.NewCond(&t.split.mu)
 
 	existing := false
 	switch {
@@ -289,7 +318,7 @@ func Open(path string, o *Options) (*Table, error) {
 			if !opts.AllowDirty {
 				err = fmt.Errorf("hash: %s: %w", path, ErrNeedsRecovery)
 			}
-			t.dirtyMarked = true
+			t.dirtyMarked.Store(true)
 			t.needsRecovery = true
 		}
 	} else {
@@ -301,6 +330,11 @@ func Open(path string, o *Options) (*Table, error) {
 		}
 		return nil, err
 	}
+	// Seed the shared-phase routing and accounting atomics from the
+	// freshly loaded header.
+	t.publishGeo()
+	t.nkeysA.Store(t.hdr.nkeys)
+	t.pairSumA.Store(t.hdr.pairSum)
 
 	t.scratch.New = func() any { return make([]byte, t.hdr.bsize) }
 	cfg := buffer.Config{OnLoad: onPageLoad}
@@ -418,7 +452,7 @@ func (t *Table) initHeader(opts Options) error {
 	h.nkeys = 0
 	h.hdrPages = (uint32(headerSize) + h.bsize - 1) / h.bsize
 	h.checkHash = t.hash(hashfunc.CheckKey)
-	t.dirtyHdr = true
+	t.dirtyHdr.Store(true)
 	return nil
 }
 
@@ -467,15 +501,23 @@ func (t *Table) writeHeader(dirty bool) error {
 	return nil
 }
 
-// markDirtyLocked durably sets the file's dirty flag before the first
-// mutation after an open or sync. At that moment the in-memory header
-// still equals the last-synced header (no mutation has touched it yet),
-// so the on-disk dirty header records exactly the last-synced geometry,
-// key count and pair checksum — which is what recovery verifies against.
-// While dirtyMarked is set this is a no-op, so steady-state writes pay
-// nothing.
-func (t *Table) markDirtyLocked() error {
-	if t.dirtyMarked {
+// markDirty durably sets the file's dirty flag before the first mutation
+// after an open or sync. At that moment the in-memory header still
+// equals the last-synced header — every mutation path calls markDirty
+// before touching anything, live counters live in the atomics rather
+// than the header, and geometry only moves after an earlier mutation
+// already marked the file — so the on-disk dirty header records exactly
+// the last-synced geometry, key count and pair checksum, which is what
+// recovery verifies against. While dirtyMarked is set this is one atomic
+// load, so steady-state writes pay nothing; concurrent first-writers
+// serialize on dirtyMu and all but one find the flag already set.
+func (t *Table) markDirty() error {
+	if t.dirtyMarked.Load() {
+		return nil
+	}
+	t.dirtyMu.Lock()
+	defer t.dirtyMu.Unlock()
+	if t.dirtyMarked.Load() {
 		return nil
 	}
 	if err := t.writeHeader(true); err != nil {
@@ -484,13 +526,15 @@ func (t *Table) markDirtyLocked() error {
 	if err := t.store.Sync(); err != nil {
 		return err
 	}
-	t.dirtyMarked = true
+	t.dirtyMarked.Store(true)
 	return nil
 }
 
 // calcBucket implements the paper's lookup: mask the 32-bit hash value
 // with the high mask; if the result exceeds the maximum bucket, remask
-// with the low mask.
+// with the low mask. It reads the header masks directly, so it is only
+// for exclusive-lock paths (batch, check, recovery); the shared phase
+// routes with routeBucket over the geo atomic instead.
 func (t *Table) calcBucket(h uint32) uint32 {
 	b := h & t.hdr.highMask
 	if b > t.hdr.maxBucket {
@@ -561,8 +605,15 @@ func (t *Table) getBuf(key, dst []byte) ([]byte, error) {
 		return nil, ErrEmptyKey
 	}
 	t.m.gets.Inc()
-	bucket := t.calcBucket(t.hash(key))
+	bucket := t.lockBucket(t.hash(key), false)
+	out, err := t.getFromBucket(bucket, key, dst)
+	t.stripeFor(bucket).RUnlock()
+	return out, err
+}
 
+// getFromBucket walks one latched bucket chain for key. Caller holds the
+// bucket's stripe shared.
+func (t *Table) getFromBucket(bucket uint32, key, dst []byte) ([]byte, error) {
 	out := dst[:0]
 	found := false
 	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
@@ -762,8 +813,8 @@ func (t *Table) put(key, data []byte, replace bool) error {
 }
 
 func (t *Table) putInner(key, data []byte, replace bool) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if err := t.checkWritable(); err != nil {
 		return err
 	}
@@ -776,8 +827,53 @@ func (t *Table) putInner(key, data []byte, replace bool) error {
 	// under-sync.
 	defer t.mutSeq.Add(1)
 
-	bucket := t.calcBucket(t.hash(key))
+	h := t.hash(key)
 	big := t.isBig(len(key), len(data))
+	// A big pair's chain is written before the bucket latch is taken:
+	// chain pages are private until the ref lands on the bucket, so the
+	// chain I/O never extends a latch hold, and an allocation failure
+	// leaves the bucket unchanged. The file must be durably marked dirty
+	// before those writes reach the store.
+	var ref oaddr
+	if big {
+		if err := t.markDirty(); err != nil {
+			return err
+		}
+		var err error
+		if ref, err = t.putBigPair(key, data); err != nil {
+			return err
+		}
+	}
+
+	bucket := t.lockBucket(h, true)
+	err := t.putInBucket(bucket, key, data, replace, big, ref)
+	t.stripeFor(bucket).Unlock()
+	if err != nil {
+		if big && errors.Is(err, ErrKeyExists) {
+			// The pre-written chain never became reachable; reclaim it.
+			_ = t.freeBigChain(ref)
+		}
+		return err
+	}
+
+	// Hybrid split policy: split the next bucket in linear order when an
+	// insert grew an overflow chain (uncontrolled) or when the table
+	// exceeds its fill factor (controlled). The bucket latch is already
+	// released — the split takes its own pair of latches.
+	uncontrolled := t.addedOvfl.Swap(false) && !t.controlledOnly
+	if uncontrolled || t.nkeysA.Load() > int64(t.hdr.ffactor)*int64(t.geo.Load()+1) {
+		if err := t.maybeExpand(uncontrolled); err != nil {
+			return err
+		}
+	}
+	t.m.setShape(t.nkeysA.Load(), t.geo.Load())
+	return nil
+}
+
+// putInBucket performs the insert-or-replace against one latched bucket
+// chain. Caller holds the bucket's stripe exclusively; for big pairs the
+// chain at ref is already written.
+func (t *Table) putInBucket(bucket uint32, key, data []byte, replace, big bool, ref oaddr) error {
 	s, err := t.scanBucket(bucket, key, big, len(key), len(data))
 	if err != nil {
 		return err
@@ -786,19 +882,10 @@ func (t *Table) putInner(key, data []byte, replace bool) error {
 		return ErrKeyExists
 	}
 
-	// Durably mark the file dirty before the first write reaches the
-	// store (putBigPair below writes pages directly).
-	if err := t.markDirtyLocked(); err != nil {
+	// Durably mark the file dirty before the first page mutation (a
+	// no-op when a big-pair chain was already written).
+	if err := t.markDirty(); err != nil {
 		return err
-	}
-
-	// For big pairs the chain is written before the old entry is
-	// removed, so an allocation failure leaves the table unchanged.
-	var ref oaddr
-	if big {
-		if ref, err = t.putBigPair(key, data); err != nil {
-			return err
-		}
 	}
 
 	inserted := false
@@ -827,9 +914,9 @@ func (t *Table) putInner(key, data []byte, replace bool) error {
 			t.pool.Put(buf)
 			return err
 		}
-		buf.Dirty = true
-		t.hdr.nkeys--
-		t.hdr.pairSum ^= s.foundSum
+		buf.Dirty.Store(true)
+		t.nkeysA.Add(-1)
+		t.xorPairSum(s.foundSum)
 		// The vacated page is the preferred insertion point.
 		if big && pg.fitsRef() {
 			pg.addRef(ref)
@@ -856,7 +943,7 @@ func (t *Table) putInner(key, data []byte, replace bool) error {
 			inserted = true
 		}
 		if inserted {
-			buf.Dirty = true
+			buf.Dirty.Store(true)
 		}
 		t.pool.Put(buf)
 	}
@@ -882,26 +969,14 @@ func (t *Table) putInner(key, data []byte, replace bool) error {
 			}
 			pg.addRegular(key, data)
 		}
-		nb.Dirty = true
+		nb.Dirty.Store(true)
 		t.pool.Put(nb)
 		t.pool.Put(tail)
 	}
 
-	t.hdr.nkeys++
-	t.hdr.pairSum ^= pairHash(key, data)
-	t.dirtyHdr = true
-
-	// Hybrid split policy: split the next bucket in linear order when an
-	// insert grew an overflow chain (uncontrolled) or when the table
-	// exceeds its fill factor (controlled).
-	uncontrolled := t.addedOvfl && !t.controlledOnly
-	t.addedOvfl = false
-	if uncontrolled || t.hdr.nkeys > int64(t.hdr.ffactor)*int64(t.hdr.maxBucket+1) {
-		if err := t.expand(uncontrolled); err != nil {
-			return err
-		}
-	}
-	t.m.setShape(t.hdr.nkeys, t.hdr.maxBucket)
+	t.nkeysA.Add(1)
+	t.xorPairSum(pairHash(key, data))
+	t.dirtyHdr.Store(true)
 	return nil
 }
 
@@ -920,7 +995,7 @@ func (t *Table) insert(bucket uint32, key, data []byte) error {
 		pg := page(buf.Page)
 		if pg.fitsRegular(len(key), len(data)) {
 			pg.addRegular(key, data)
-			buf.Dirty = true
+			buf.Dirty.Store(true)
 			inserted = true
 			return true, nil
 		}
@@ -936,7 +1011,7 @@ func (t *Table) insert(bucket uint32, key, data []byte) error {
 				return false, fmt.Errorf("%w: pair does not fit on empty page", ErrCorrupt)
 			}
 			npg.addRegular(key, data)
-			nb.Dirty = true
+			nb.Dirty.Store(true)
 			t.pool.Put(nb)
 			inserted = true
 			return true, nil
@@ -959,7 +1034,7 @@ func (t *Table) insertRef(bucket uint32, ref oaddr) error {
 		pg := page(buf.Page)
 		if pg.fitsRef() {
 			pg.addRef(ref)
-			buf.Dirty = true
+			buf.Dirty.Store(true)
 			inserted = true
 			return true, nil
 		}
@@ -969,7 +1044,7 @@ func (t *Table) insertRef(bucket uint32, ref oaddr) error {
 				return false, err
 			}
 			page(nb.Page).addRef(ref)
-			nb.Dirty = true
+			nb.Dirty.Store(true)
 			t.pool.Put(nb)
 			inserted = true
 			return true, nil
@@ -1000,13 +1075,13 @@ func (t *Table) appendOvfl(tail *buffer.Buf) (*buffer.Buf, error) {
 	// The page may hold stale contents (reclaimed page): reformat.
 	clear(nb.Page)
 	initPage(page(nb.Page))
-	nb.Dirty = true
+	nb.Dirty.Store(true)
 	if err := page(tail.Page).setOvflLink(o); err != nil {
 		t.pool.Put(nb)
 		return nil, err
 	}
-	tail.Dirty = true
-	t.addedOvfl = true
+	tail.Dirty.Store(true)
+	t.addedOvfl.Store(true)
 	return nb, nil
 }
 
@@ -1022,8 +1097,8 @@ func (t *Table) Delete(key []byte) error {
 }
 
 func (t *Table) deleteInner(key []byte) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if err := t.checkWritable(); err != nil {
 		return err
 	}
@@ -1032,15 +1107,16 @@ func (t *Table) deleteInner(key []byte) error {
 	}
 	t.m.dels.Inc()
 	defer t.mutSeq.Add(1)
-	if err := t.markDirtyLocked(); err != nil {
+	if err := t.markDirty(); err != nil {
 		return err
 	}
-	bucket := t.calcBucket(t.hash(key))
+	bucket := t.lockBucket(t.hash(key), true)
 	removed, err := t.deleteFromBucket(bucket, key)
+	t.stripeFor(bucket).Unlock()
 	if err != nil {
 		return err
 	}
-	t.m.setShape(t.hdr.nkeys, t.hdr.maxBucket)
+	t.m.setShape(t.nkeysA.Load(), t.geo.Load())
 	if !removed {
 		return ErrNotFound
 	}
@@ -1116,11 +1192,11 @@ func (t *Table) deleteFromBucket(bucket uint32, key []byte) (bool, error) {
 			if err := pg.removeEntry(idx); err != nil {
 				return false, err
 			}
-			cur.Dirty = true
+			cur.Dirty.Store(true)
 			removed = true
-			t.hdr.nkeys--
-			t.hdr.pairSum ^= sum
-			t.dirtyHdr = true
+			t.nkeysA.Add(-1)
+			t.xorPairSum(sum)
+			t.dirtyHdr.Store(true)
 			// An overflow page left with no entries is unlinked from the
 			// chain and reclaimed.
 			if cur.Addr.Ovfl && pg.nentries() == 0 && prevBuf != nil {
@@ -1160,37 +1236,25 @@ func (t *Table) unlinkOvfl(prev, buf *buffer.Buf) error {
 	} else {
 		ppg.clearOvflLink()
 	}
-	prev.Dirty = true
+	prev.Dirty.Store(true)
 	o := oaddr(buf.Addr.N)
 	t.pool.Put(buf) // unpin before dropping
 	t.pool.Drop(prev, buf)
 	return t.freeOvfl(o)
 }
 
-// expand performs one step of linear-hash growth: the next bucket in the
-// predefined split order is split into itself and a new bucket at the end
-// of the table. uncontrolled records which half of the hybrid policy
-// triggered the split (chain growth vs. fill factor) in the metrics.
+// expand performs one step of linear-hash growth under the exclusive
+// table lock (the batch and recovery paths — no concurrent operations,
+// so the split runs synchronously rather than through the cooperative
+// job). The shared-phase equivalent is maybeExpand in latch.go; both
+// share growGeometry. uncontrolled records which half of the hybrid
+// policy triggered the split (chain growth vs. fill factor).
 func (t *Table) expand(uncontrolled bool) error {
 	if t.hdr.maxBucket == ^uint32(0) {
 		return fmt.Errorf("hash: table is at maximum size")
 	}
-	t.hdr.maxBucket++
-	newBucket := t.hdr.maxBucket
-	oldBucket := newBucket & t.hdr.lowMask
-	if newBucket > t.hdr.highMask {
-		// A generation completed: every bucket that existed at the start
-		// of the generation has split. Double the address space.
-		t.hdr.lowMask = t.hdr.highMask
-		t.hdr.highMask = newBucket | t.hdr.lowMask
-	}
-	// Advance the overflow split point when a new generation begins, so
-	// subsequent overflow pages are allocated after the new primaries.
-	if spareIdx := ceilLog2(newBucket + 1); spareIdx > t.hdr.ovflPoint {
-		t.hdr.spares[spareIdx] = t.hdr.spares[t.hdr.ovflPoint]
-		t.hdr.ovflPoint = spareIdx
-	}
-	t.dirtyHdr = true
+	oldBucket, newBucket := t.growGeometry()
+	t.publishGeo()
 	if uncontrolled {
 		t.m.splitsUncontrolled.Inc()
 	} else {
@@ -1249,7 +1313,7 @@ func (t *Table) splitBucket(oldBucket, newBucket uint32) error {
 	}
 	clear(ob.Page)
 	initPage(page(ob.Page))
-	ob.Dirty = true
+	ob.Dirty.Store(true)
 	t.pool.Put(ob)
 	for _, o := range chain {
 		if err := t.freeOvfl(o); err != nil {
@@ -1264,7 +1328,7 @@ func (t *Table) splitBucket(oldBucket, newBucket uint32) error {
 	}
 	clear(nb.Page)
 	initPage(page(nb.Page))
-	nb.Dirty = true
+	nb.Dirty.Store(true)
 	t.pool.Put(nb)
 
 	// Redistribute.
@@ -1300,7 +1364,7 @@ func (t *Table) splitBucket(oldBucket, newBucket uint32) error {
 func (t *Table) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return int(t.hdr.nkeys)
+	return int(t.nkeysA.Load())
 }
 
 // Sync flushes all dirty pages, bitmaps and the header to the store.
@@ -1411,7 +1475,12 @@ func (t *Table) syncLocked() error {
 	if err := t.flushBitmaps(); err != nil {
 		return err
 	}
-	if !t.dirtyHdr && !t.dirtyMarked {
+	// Fold the shared-phase running counters back into the header image
+	// before it is written: between syncs hdr.nkeys/hdr.pairSum hold the
+	// last-synced values and the atomics carry the live state.
+	t.hdr.nkeys = t.nkeysA.Load()
+	t.hdr.pairSum = t.pairSumA.Load()
+	if !t.dirtyHdr.Load() && !t.dirtyMarked.Load() {
 		// Nothing changed since the last completed sync: the on-disk
 		// header is already clean and current.
 		err := t.store.Sync()
@@ -1435,8 +1504,8 @@ func (t *Table) syncLocked() error {
 		return err
 	}
 	t.tr.Emit(trace.EvSyncPhase, trace.SyncPhaseHeader, t.hdr.syncEpoch, 0, 0)
-	t.dirtyHdr = false
-	t.dirtyMarked = false
+	t.dirtyHdr.Store(false)
+	t.dirtyMarked.Store(false)
 	t.m.syncs.Inc()
 	t.m.syncLatency.Observe(time.Since(t0))
 	t.tr.EmitDur(trace.EvSyncEnd, time.Since(t0), t.hdr.syncEpoch, 0, 0, 0)
@@ -1509,19 +1578,22 @@ type Geometry struct {
 	Spares    [maxSplits]uint32
 }
 
-// Geometry returns the table's current shape for tools and tests.
+// Geometry returns the table's current shape for tools and tests. It
+// takes the exclusive lock: the spares array and header geometry mutate
+// under ovflMu/splitMu during the shared phase, and the exclusive lock
+// is the one order that quiesces both.
 func (t *Table) Geometry() Geometry {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return Geometry{
 		Bsize:     int(t.hdr.bsize),
 		Ffactor:   int(t.hdr.ffactor),
 		MaxBucket: t.hdr.maxBucket,
 		OvflPoint: t.hdr.ovflPoint,
 		HdrPages:  t.hdr.hdrPages,
-		NKeys:     t.hdr.nkeys,
+		NKeys:     t.nkeysA.Load(),
 		SyncEpoch: t.hdr.syncEpoch,
-		Dirty:     t.dirtyMarked,
+		Dirty:     t.dirtyMarked.Load(),
 		Spares:    t.hdr.spares,
 	}
 }

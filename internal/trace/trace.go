@@ -83,6 +83,15 @@ const (
 
 	// A device operation (pagefile) that exceeded the slow-op threshold.
 	EvSlowIO // io kind (IORead/IOWrite/IOSync), page number, bytes
+
+	// One bounded chunk of a cooperative split moved: by_helper is 1 when
+	// a concurrent writer (not the split initiator) moved it.
+	EvSplitChunk // old bucket, new bucket, entries moved, by_helper
+
+	// An operation found its bucket involved in an in-flight split and
+	// waited; helped is 1 when it was a writer that moved chunks while
+	// waiting.
+	EvLatchWait // bucket, helped
 )
 
 // Phase codes carried in EvSyncPhase's first argument.
@@ -136,6 +145,8 @@ var typeInfo = [...]struct {
 	EvBufEvict:     {name: "buf-evict", args: [4]string{"addr", "overflow", "dirty"}},
 	EvSlowOp:       {name: "slow-op", args: [4]string{"op", "arg", "events"}},
 	EvSlowIO:       {name: "slow-io", args: [4]string{"kind", "page", "bytes"}},
+	EvSplitChunk:   {name: "split-chunk", args: [4]string{"old_bucket", "new_bucket", "entries_moved", "by_helper"}},
+	EvLatchWait:    {name: "latch-wait", args: [4]string{"bucket", "helped"}},
 }
 
 // String returns the type's wire name (used by /debug/events filters).
