@@ -4,7 +4,7 @@ GO ?= go
 # -race is slow, so check races where the locks actually live.
 RACE_PKGS = ./internal/core ./internal/buffer ./internal/db ./internal/trace
 
-.PHONY: check build vet test race crash fuzz-crash bench concurrency metrics bulkload telemetry clean
+.PHONY: check build vet test race crash fuzz-crash wal-crash fuzz-wal-crash bench concurrency metrics bulkload txn telemetry clean
 
 check: vet build test race crash
 
@@ -28,6 +28,15 @@ crash:
 fuzz-crash:
 	$(GO) test -run=NONE -fuzz=FuzzTableCrashRecovery -fuzztime=30s ./internal/core
 
+# WAL crash matrix: consistent power cuts across the page store AND the
+# log (torn page writes, torn log appends, mid-checkpoint cuts) must
+# recover every acknowledged commit or fail loudly.
+wal-crash:
+	$(GO) test -count=1 -run 'WAL|TornTail|Txn' ./internal/core ./internal/wal
+
+fuzz-wal-crash:
+	$(GO) test -run=NONE -fuzz=FuzzWALCrashRecovery -fuzztime=30s ./internal/core
+
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
 
@@ -45,6 +54,12 @@ metrics:
 bulkload:
 	$(GO) run ./cmd/hashbench -check 1.0 bulkload
 
+# Durable single Put via WAL commit vs the full sync protocol; refreshes
+# BENCH_txn.json and fails if the WAL is not at least 10x cheaper on the
+# simulated cost model (the acceptance bar).
+txn:
+	$(GO) run ./cmd/hashbench -check 10 txn
+
 # Telemetry smoke: start a live traced workload with the telemetry
 # server up, scrape every endpoint (including a 1s CPU profile) and
 # watch it through dbcli hashmon; fails on any non-200 or empty body.
@@ -52,4 +67,4 @@ telemetry:
 	$(GO) test -count=1 -run TestTelemetryEndToEnd -v .
 
 clean:
-	rm -f BENCH_concurrency.json BENCH_metrics.json BENCH_bulkload.json
+	rm -f BENCH_concurrency.json BENCH_metrics.json BENCH_bulkload.json BENCH_txn.json

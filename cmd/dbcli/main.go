@@ -10,6 +10,7 @@
 //	dbcli -method recno file.db append VALUE
 //	dbcli [...] load FILE                       # bulk import KEY<TAB>VALUE lines
 //	dbcli [...] del KEY | list | count | stats | metrics | check | verify
+//	dbcli -wal file.db txn put K V del K ...    # atomic multi-op commit (hash)
 //	dbcli hashmon URL [INTERVAL [COUNT]]        # watch a live telemetry endpoint
 //
 // hashmon polls a running telemetry server's /stats endpoint (started
@@ -34,6 +35,12 @@
 // cache hit ratio, method-specific detail) for any method. metrics
 // opens a hash file with a metric registry, runs the statistics scan,
 // and prints the registry in the Prometheus text format.
+//
+// txn (hash only) applies a sequence of put K V / del K groups as one
+// atomic transaction through the write-ahead log: durable after a
+// single log append + fsync, all-or-nothing on error. Create the table
+// with -wal; one that already has log checkpoints re-attaches its log
+// automatically.
 package main
 
 import (
@@ -57,6 +64,7 @@ import (
 
 func main() {
 	method := flag.String("method", "hash", "access method: hash, btree, recno")
+	useWAL := flag.Bool("wal", false, "hash only: attach a write-ahead log (FILE.wal), enabling txn")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -98,6 +106,13 @@ func main() {
 		}
 		reg = metrics.New()
 		cfg = &db.Config{Hash: &core.Options{ReadOnly: true, AllowDirty: true, Metrics: reg}}
+	case *useWAL:
+		// A table that already has log checkpoints re-attaches its log
+		// automatically; the flag is what creates a transactional table.
+		if m != db.Hash {
+			fatal(errors.New("-wal requires -method hash"))
+		}
+		cfg = &db.Config{Hash: &core.Options{WAL: true}}
 	}
 	d, err := db.Open(path, m, cfg)
 	if err != nil {
@@ -214,6 +229,49 @@ func main() {
 		if err := reg.WriteProm(os.Stdout); err != nil {
 			fatal(err)
 		}
+	case "txn":
+		// A sequence of `put K V` / `del K` groups applied atomically
+		// through the hash method's write-ahead log: one Begin/Commit,
+		// durable after a single log append + fsync, all-or-nothing.
+		ht, ok := underlyingHash(d)
+		if !ok {
+			fatal(errors.New("txn requires -method hash"))
+		}
+		x, err := ht.Begin()
+		if err != nil {
+			fatal(err)
+		}
+		nops := 0
+		for i := 0; i < len(rest); {
+			switch rest[i] {
+			case "put":
+				if i+2 >= len(rest) {
+					fatal(errors.New("txn: put needs KEY VALUE"))
+				}
+				if err := x.Put([]byte(rest[i+1]), []byte(rest[i+2])); err != nil {
+					x.Rollback()
+					fatal(err)
+				}
+				i += 3
+			case "del":
+				if i+1 >= len(rest) {
+					fatal(errors.New("txn: del needs KEY"))
+				}
+				if err := x.Delete([]byte(rest[i+1])); err != nil {
+					x.Rollback()
+					fatal(err)
+				}
+				i += 2
+			default:
+				x.Rollback()
+				fatal(fmt.Errorf("txn: want put K V or del K, got %q", rest[i]))
+			}
+			nops++
+		}
+		if err := x.Commit(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("committed %d ops\n", nops)
 	case "check":
 		need(0)
 		bt, ok := underlyingBtree(d)
@@ -325,6 +383,10 @@ func printStats(s db.Stats) {
 			h.Gets, h.GetMisses, h.Puts, h.Deletes, h.Syncs)
 		fmt.Printf("splits:          %d controlled, %d uncontrolled\n",
 			h.SplitsControlled, h.SplitsUncontrolled)
+		if h.WalLSN != 0 || h.WalAppends != 0 {
+			fmt.Printf("wal:             checkpoint lsn %d, %d commits, %d appends, %d fsyncs\n",
+				h.WalLSN, h.TxnCommits, h.WalAppends, h.WalFsyncs)
+		}
 	case s.Btree != nil:
 		b := s.Btree
 		fmt.Printf("depth:           %d\n", b.Depth)
@@ -487,7 +549,7 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dbcli [-method hash|btree|recno] file.db {put K V|append V|load FILE|get K|del K|list|range FROM|count|stats|metrics|check|verify}
+	fmt.Fprintln(os.Stderr, `usage: dbcli [-method hash|btree|recno] [-wal] file.db {put K V|append V|load FILE|get K|del K|list|range FROM|count|stats|metrics|check|verify|txn {put K V|del K}...}
        dbcli hashmon URL [INTERVAL [COUNT]]`)
 	flag.PrintDefaults()
 }

@@ -16,10 +16,13 @@
 //	                          BENCH_metrics.json
 //	hashbench bulkload        batched write pipeline vs looped Put; writes
 //	                          BENCH_bulkload.json
+//	hashbench txn             durable single Put via WAL commit vs full
+//	                          sync, with commit latency percentiles;
+//	                          writes BENCH_txn.json
 //	hashbench serve           live traced workload with the telemetry
 //	                          endpoint up (watch with dbcli hashmon)
 //	hashbench all             everything above except concurrency,
-//	                          metrics, bulkload and serve
+//	                          metrics, bulkload, txn and serve
 //
 // Flags:
 //
@@ -32,7 +35,9 @@
 //	          largest size falls below X, or if presized PutBatch
 //	          does not beat unsized. concurrency: exit nonzero if the
 //	          8-goroutine write-heavy speedup falls below X (skipped
-//	          on GOMAXPROCS=1 hosts). The CI regression gates.
+//	          on GOMAXPROCS=1 hosts). txn: exit nonzero if the WAL
+//	          durable-put speedup over full sync falls below X. The
+//	          CI regression gates.
 //	-telemetry ADDR
 //	          serve only: telemetry listen address (":0" picks a free
 //	          port; the first output line reports the choice)
@@ -172,6 +177,27 @@ func main() {
 				fmt.Printf("gate passed: batch speedup %.2fx >= %.2fx, presized beats unsized\n",
 					res.SpeedupAtMax, *check)
 			}
+		case "txn":
+			res, err := bench.Txn(*n)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			data, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile("BENCH_txn.json", data, 0o644); err != nil {
+				return err
+			}
+			fmt.Println("\nwrote BENCH_txn.json")
+			if *check > 0 {
+				if err := res.Gate(*check); err != nil {
+					return err
+				}
+				fmt.Printf("gate passed: WAL durable-put speedup %.2fx >= %.2fx\n",
+					res.WalSpeedup, *check)
+			}
 		case "serve":
 			return bench.Serve(*n, *telemetry, *dur, os.Stdout)
 		default:
@@ -200,7 +226,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: hashbench [-n N | -quick] {fig5|fig6|fig7|fig8a|fig8b|methods|ablate|concurrency|metrics|bulkload|serve|all}
+	fmt.Fprintf(os.Stderr, `usage: hashbench [-n N | -quick] {fig5|fig6|fig7|fig8a|fig8b|methods|ablate|concurrency|metrics|bulkload|txn|serve|all}
 
 Regenerates the evaluation figures of "A New Hashing Package for UNIX"
 (Seltzer & Yigit, USENIX Winter 1991). See EXPERIMENTS.md for the

@@ -12,6 +12,10 @@
 //	hashcli file.db load FILE          bulk import KEY<TAB>VALUE lines
 //	                                   ('-' = stdin) via the batch writer
 //	hashcli file.db compact NEW.db     rebuild into a right-sized file
+//	hashcli -wal file.db txn OPS...    apply several ops atomically, where
+//	                                   OPS is a sequence of put K V and
+//	                                   del K groups; all-or-nothing, made
+//	                                   durable by one log append + fsync
 //
 // Flags (creation-time parameters; ignored when the file exists):
 //
@@ -19,6 +23,9 @@
 //	-ffactor N   fill factor (default 8)
 //	-nelem N     expected final element count
 //	-cache N     buffer pool bytes (default 65536)
+//	-wal         attach a write-ahead log (file.db.wal) and enable txn;
+//	             a table that already has log checkpoints re-attaches
+//	             its log automatically, flag or no flag
 //
 //	-telemetry ADDR   serve live telemetry (/metrics, /stats,
 //	                  /debug/events, ...) for the duration of the
@@ -43,6 +50,7 @@ func main() {
 	ffactor := flag.Int("ffactor", 0, "fill factor for a new table")
 	nelem := flag.Int("nelem", 0, "expected final element count for a new table")
 	cache := flag.Int("cache", 0, "buffer pool size in bytes")
+	useWAL := flag.Bool("wal", false, "attach a write-ahead log (FILE.wal); required to create a transactional table")
 	telemetry := flag.String("telemetry", "", "serve telemetry on this address while the command runs")
 	flag.Usage = usage
 	flag.Parse()
@@ -57,7 +65,7 @@ func main() {
 	readonly := cmd == "get" || cmd == "has" || cmd == "list" || cmd == "count" || cmd == "compact"
 	opts := &core.Options{
 		Bsize: *bsize, Ffactor: *ffactor, Nelem: *nelem, CacheSize: *cache,
-		ReadOnly: readonly,
+		ReadOnly: readonly, WAL: *useWAL,
 	}
 	if *telemetry != "" {
 		opts.Trace = trace.New(0)
@@ -174,6 +182,45 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(n)
+	case "txn":
+		// A sequence of `put K V` / `del K` groups, applied atomically:
+		// either every op is durable after one log append + fsync, or
+		// (on any parse or apply error) none of them happened.
+		x, err := t.Begin()
+		if err != nil {
+			fatal(err)
+		}
+		nops := 0
+		for i := 0; i < len(rest); {
+			switch rest[i] {
+			case "put":
+				if i+2 >= len(rest) {
+					fatal(fmt.Errorf("txn: put needs KEY VALUE"))
+				}
+				if err := x.Put([]byte(rest[i+1]), []byte(rest[i+2])); err != nil {
+					x.Rollback()
+					fatal(err)
+				}
+				i += 3
+			case "del":
+				if i+1 >= len(rest) {
+					fatal(fmt.Errorf("txn: del needs KEY"))
+				}
+				if err := x.Delete([]byte(rest[i+1])); err != nil {
+					x.Rollback()
+					fatal(err)
+				}
+				i += 2
+			default:
+				x.Rollback()
+				fatal(fmt.Errorf("txn: want put K V or del K, got %q", rest[i]))
+			}
+			nops++
+		}
+		if err := x.Commit(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("committed %d ops\n", nops)
 	case "compact":
 		need(1)
 		g := t.Geometry()
@@ -204,6 +251,6 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hashcli [flags] file.db {put K V|putnew K V|get K|del K|has K|list|count|load FILE|compact NEW}`)
+	fmt.Fprintln(os.Stderr, `usage: hashcli [flags] file.db {put K V|putnew K V|get K|del K|has K|list|count|load FILE|compact NEW|txn {put K V|del K}...}`)
 	flag.PrintDefaults()
 }

@@ -17,7 +17,11 @@
 // pair fingerprint); a file left dirty by a crash gets a dry-run of
 // recovery, reporting whether its last-synced state is intact. With
 // -recover a dirty file is restored to its last-synced state and
-// stamped clean. With -metrics the file's pairs are read back and
+// stamped clean; a table with a write-ahead log (file.db.wal attaches
+// automatically) then has its committed transactions past the last
+// checkpoint replayed, and the report counts them. A WAL-managed file
+// whose log holds unapplied commits is flagged in the default and
+// -stats views. With -metrics the file's pairs are read back and
 // replayed through an instrumented in-memory table sharing one metric
 // registry, and the full registry (gets, splits, buffer hits, sync
 // latency buckets, ...) is printed in the Prometheus text format. Any
@@ -92,6 +96,11 @@ func main() {
 	}
 	if g := t.Geometry(); g.Dirty {
 		fmt.Fprintf(os.Stderr, "hashdump: warning: %s was not cleanly closed; contents may predate the crash (run -recover)\n", path)
+	} else if g.WalPending > 0 {
+		// The header is clean but the write-ahead log holds acknowledged
+		// commits that never reached the pages: this view is the last
+		// checkpoint, not the last commit.
+		fmt.Fprintf(os.Stderr, "hashdump: warning: %s has %d committed transactions in its log not yet in the pages (run -recover)\n", path, g.WalPending)
 	}
 	if *heatmap {
 		if err := printHeatmap(t, *verbose); err != nil {
@@ -114,6 +123,9 @@ func main() {
 		fmt.Printf("overflow pages:  %d chain, %d big-pair, %d bitmap\n",
 			fs.OverflowPages, fs.BigPairPages, fs.BitmapPages)
 		fmt.Printf("split point:     %d\n", g.OvflPoint)
+		if g.WalLSN != 0 || g.WalPending > 0 {
+			fmt.Printf("wal checkpoint:  lsn %d (%d commits pending replay)\n", g.WalLSN, g.WalPending)
+		}
 		fmt.Printf("longest chain:   %d pages\n", fs.MaxChain)
 		fmt.Printf("chain lengths:  ")
 		for i, n := range fs.ChainDist {

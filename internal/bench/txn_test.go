@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTxnShape runs the txn harness at a small size and checks the
+// acceptance bar end to end: the WAL durable put must be at least 10x
+// cheaper than the full sync protocol on the simulated cost model, and
+// the payload must carry the latency percentiles and counters.
+func TestTxnShape(t *testing.T) {
+	res, err := Txn(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Gate(10); err != nil {
+		t.Fatal(err)
+	}
+	if res.WalTxn.WalAppends != 60 || res.WalTxn.WalFsyncs == 0 {
+		t.Fatalf("waltxn log counters: %+v", res.WalTxn)
+	}
+	if res.FullSync.WalAppends != 0 {
+		t.Fatalf("fullsync touched a log: %+v", res.FullSync)
+	}
+	if res.FullSync.CommitP50US <= res.WalTxn.CommitP50US {
+		t.Fatalf("full-sync p50 %dus not above WAL p50 %dus",
+			res.FullSync.CommitP50US, res.WalTxn.CommitP50US)
+	}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TxnResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.WalSpeedup != res.WalSpeedup {
+		t.Fatalf("JSON roundtrip lost the speedup: %v != %v", back.WalSpeedup, res.WalSpeedup)
+	}
+	if s := res.String(); !strings.Contains(s, "WAL speedup") {
+		t.Fatalf("String() missing summary: %q", s)
+	}
+}

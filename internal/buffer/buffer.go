@@ -543,9 +543,16 @@ func (p *Pool) dropLocked(sh *shard, prev, b *Buf) {
 		delete(sh.table, b.Addr)
 		p.resident.Add(-1)
 	}
+	pinned := b.pins.Load() > 0
 	b.ovfl = nil
 	b.Dirty.Store(false)
 	b.pins.Store(0)
+	// An unpinned buffer can be recycled: once out of the table no new
+	// pin can reach it. A pinned one may still be referenced by its
+	// holder, so its memory is left to the collector.
+	if !pinned {
+		sh.recycle(b)
+	}
 }
 
 // Discard drops the buffer for addr without writing it, if resident.

@@ -185,17 +185,17 @@ func TestHeaderRejectsGarbage(t *testing.T) {
 		maxBucket: 0, highMask: 1, lowMask: 0, hdrPages: 2,
 	}
 	corrupt := []func(b []byte){
-		func(b []byte) { le.PutUint32(b[0:], 0x12345) },     // magic
-		func(b []byte) { le.PutUint32(b[4:], 99) },          // version
-		func(b []byte) { le.PutUint32(b[8:], 4321) },        // lorder
-		func(b []byte) { le.PutUint32(b[12:], 100) },        // bsize not pow2
-		func(b []byte) { le.PutUint32(b[16:], 3) },          // bshift mismatch
-		func(b []byte) { le.PutUint32(b[20:], 0) },          // ffactor 0
-		func(b []byte) { le.PutUint32(b[24:], 7) },          // maxBucket > highMask
-		func(b []byte) { le.PutUint32(b[36:], 99) },         // ovflPoint
-		func(b []byte) { le.PutUint64(b[44:], 1<<63) },      // negative nkeys
-		func(b []byte) { le.PutUint32(b[52:], 9) },          // hdrPages
-		func(b []byte) { le.PutUint32(b[hdrCrcOff-12:], 4) }, // unknown flags
+		func(b []byte) { le.PutUint32(b[0:], 0x12345) },      // magic
+		func(b []byte) { le.PutUint32(b[4:], 99) },           // version
+		func(b []byte) { le.PutUint32(b[8:], 4321) },         // lorder
+		func(b []byte) { le.PutUint32(b[12:], 100) },         // bsize not pow2
+		func(b []byte) { le.PutUint32(b[16:], 3) },           // bshift mismatch
+		func(b []byte) { le.PutUint32(b[20:], 0) },           // ffactor 0
+		func(b []byte) { le.PutUint32(b[24:], 7) },           // maxBucket > highMask
+		func(b []byte) { le.PutUint32(b[36:], 99) },          // ovflPoint
+		func(b []byte) { le.PutUint64(b[44:], 1<<63) },       // negative nkeys
+		func(b []byte) { le.PutUint32(b[52:], 9) },           // hdrPages
+		func(b []byte) { le.PutUint32(b[hdrCrcOff-20:], 4) }, // unknown flags
 	}
 	for i, f := range corrupt {
 		buf := make([]byte, headerSize)

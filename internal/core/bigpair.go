@@ -22,11 +22,16 @@ import (
 //
 // The first page's payload begins with uint32 key length and uint32 data
 // length, followed by the key bytes and then the data bytes, streaming
-// across the chain. Chain pages are write-once and read sequentially, so
-// they bypass the LRU pool and go straight to the store; caching them
-// would only evict hot bucket pages. Chain I/O borrows a page-sized
-// scratch buffer per call (t.getScratch), so concurrent readers never
-// share a buffer.
+// across the chain. Chain pages move through the buffer pool like every
+// other data page: a chain write leaves dirty buffers that reach the
+// store only at the next sync. Writing chains straight to the store
+// (the original design) broke crash recovery — a chain that reused a
+// page freed since the last sync would overwrite, before any checkpoint,
+// a page the last-synced state still contained, so the recovery gate's
+// fingerprint walk no longer reproduced the synced state and a WAL
+// replay had nothing sound to replay onto. Chain reads borrow a
+// page-sized scratch copy per call (t.getScratch), so concurrent
+// readers never share a buffer.
 const (
 	bigHdrSize     = 4
 	bigLenPrefix   = 8 // uint32 klen + uint32 dlen on the first page
@@ -45,10 +50,10 @@ func (t *Table) isBig(klen, dlen int) bool {
 }
 
 // putBigPair writes key and data to a fresh chain and returns its start
-// address. The pair is streamed into the scratch page segment by segment
-// — length prefix, key, data — so no contiguous payload copy of the pair
-// is ever materialized (for multi-megabyte pairs that copy doubled the
-// insert's memory traffic; see TestPutAllocs).
+// address. The pair is streamed into the chain's pool buffers segment by
+// segment — length prefix, key, data — so no contiguous payload copy of
+// the pair is ever materialized (for multi-megabyte pairs that copy
+// doubled the insert's memory traffic; see TestPutAllocs).
 func (t *Table) putBigPair(key, data []byte) (oaddr, error) {
 	var prefix [bigLenPrefix]byte
 	le.PutUint32(prefix[0:], uint32(len(key)))
@@ -73,19 +78,24 @@ func (t *Table) putBigPair(key, data []byte) (oaddr, error) {
 		}
 		addrs = append(addrs, o)
 	}
-	buf := t.getScratch()
-	defer t.putScratch(buf)
 	segs := [3][]byte{prefix[:], key, data}
 	seg, segOff := 0, 0
 	for i, o := range addrs {
-		clear(buf)
-		le.PutUint16(buf[bigMagicOffset:], bigMagic)
+		b, err := t.pool.GetOwned(ovflBufAddr(o), uint32(o), true)
+		if err != nil {
+			for _, a := range addrs {
+				_ = t.freeOvfl(a)
+			}
+			return 0, err
+		}
+		clear(b.Page)
+		le.PutUint16(b.Page[bigMagicOffset:], bigMagic)
 		next := oaddr(0)
 		if i+1 < npages {
 			next = addrs[i+1]
 		}
-		le.PutUint16(buf[bigNextOffset:], uint16(next))
-		out := buf[bigHdrSize:]
+		le.PutUint16(b.Page[bigNextOffset:], uint16(next))
+		out := b.Page[bigHdrSize:]
 		for len(out) > 0 && seg < len(segs) {
 			n := copy(out, segs[seg][segOff:])
 			out = out[n:]
@@ -94,9 +104,8 @@ func (t *Table) putBigPair(key, data []byte) (oaddr, error) {
 				seg, segOff = seg+1, 0
 			}
 		}
-		if err := t.store.WritePage(t.hdr.oaddrToPage(o), buf); err != nil {
-			return 0, err
-		}
+		b.Dirty.Store(true)
+		t.pool.Put(b)
 	}
 	t.m.bigPairs.Inc()
 	t.tr.Emit(trace.EvBigPairWrite, uint64(len(addrs)), uint64(len(key)), uint64(len(data)), uint64(addrs[0]))
@@ -106,9 +115,12 @@ func (t *Table) putBigPair(key, data []byte) (oaddr, error) {
 // readBigChainPage fetches one chain page into buf (a page-sized scratch
 // buffer owned by the caller) and returns (payload view, next address).
 func (t *Table) readBigChainPage(o oaddr, buf []byte) ([]byte, oaddr, error) {
-	if err := t.store.ReadPage(t.hdr.oaddrToPage(o), buf); err != nil {
+	b, err := t.pool.GetOwned(ovflBufAddr(o), uint32(o), false)
+	if err != nil {
 		return nil, 0, fmt.Errorf("hash: big pair chain page %v: %w", o, err)
 	}
+	copy(buf, b.Page)
+	t.pool.Put(b)
 	if !isBigPage(buf) {
 		return nil, 0, fmt.Errorf("%w: page %v is not a big-pair page", ErrCorrupt, o)
 	}

@@ -303,7 +303,7 @@ func TestCrashUnrecoverableIsLoud(t *testing.T) {
 
 	// Re-mark the header dirty, as a crashed writer would have left it.
 	var h header
-	buf := make([]byte, 3*128) // headerSize 276 -> 3 pages at bsize 128
+	buf := make([]byte, 3*128) // headerSize 284 -> 3 pages at bsize 128
 	for i := 0; i < 3; i++ {
 		if err := ms.ReadPage(uint32(i), buf[i*128:(i+1)*128]); err != nil {
 			t.Fatal(err)

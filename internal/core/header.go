@@ -19,7 +19,10 @@ import (
 // checksum of the stored key/data pairs (pairSum, used by crash recovery
 // to verify that the pages hold exactly the last-synced state), and a
 // CRC-32 over the header bytes so a torn header write is detected rather
-// than decoded.
+// than decoded. The checkpoint LSN (walLSN) extends v4 for write-ahead
+// logging: every transaction with a commit LSN at or below it has been
+// flushed into the pages; commits above it live only in the sibling log
+// file and are replayed by Recover.
 //
 // spares[i] is cumulative: the total number of overflow pages allocated
 // at split points 0..i. The page-address calculations depend on it:
@@ -50,13 +53,23 @@ const (
 		2*maxSplits + // bitmaps
 		8 + // syncEpoch
 		4 + // flags
-		8 // pairSum
+		8 + // pairSum
+		8 // walLSN
 
 	headerSize = hdrCrcOff + 4 // + crc32
 )
 
 // Header flag bits.
-const hdrDirty = 1 << 0 // mutations may not have reached stable storage
+const (
+	hdrDirty = 1 << 0 // mutations may not have reached stable storage
+	// hdrWAL marks the table as WAL-managed. It is stamped durably the
+	// first time a writable open attaches a log — before any commit can
+	// be acknowledged — so a crashed table proves it has a log even when
+	// its checkpoint LSN is still zero (no checkpoint has run yet).
+	// Opening a flagged table without its log would silently roll back
+	// acknowledged commits; Open refuses, or auto-attaches the sidecar.
+	hdrWAL = 1 << 1
+)
 
 type header struct {
 	lorder    uint32 // byte order tag; this implementation writes 1234
@@ -76,6 +89,7 @@ type header struct {
 	syncEpoch uint64 // bumped on every successful sync
 	flags     uint32 // hdrDirty
 	pairSum   uint64 // XOR of pairHash over every stored pair
+	walLSN    uint64 // checkpoint LSN: WAL commits <= this are in the pages
 }
 
 const lorderLittle = 1234
@@ -112,6 +126,7 @@ func (h *header) encode(buf []byte) {
 	le.PutUint64(buf[off:], h.syncEpoch)
 	le.PutUint32(buf[off+8:], h.flags)
 	le.PutUint64(buf[off+12:], h.pairSum)
+	le.PutUint64(buf[off+20:], h.walLSN)
 	le.PutUint32(buf[hdrCrcOff:], crc32.ChecksumIEEE(buf[:hdrCrcOff]))
 }
 
@@ -155,6 +170,7 @@ func (h *header) decode(buf []byte) error {
 	h.syncEpoch = le.Uint64(buf[off:])
 	h.flags = le.Uint32(buf[off+8:])
 	h.pairSum = le.Uint64(buf[off+12:])
+	h.walLSN = le.Uint64(buf[off+20:])
 	return h.validate()
 }
 
@@ -182,7 +198,7 @@ func (h *header) validate() error {
 	if h.nkeys < 0 {
 		return fmt.Errorf("%w: negative key count", ErrCorrupt)
 	}
-	if h.flags&^uint32(hdrDirty) != 0 {
+	if h.flags&^uint32(hdrDirty|hdrWAL) != 0 {
 		return fmt.Errorf("%w: unknown header flags %#x", ErrCorrupt, h.flags)
 	}
 	want := (uint32(headerSize) + h.bsize - 1) / h.bsize

@@ -28,14 +28,20 @@ import (
 // The lock order, top to bottom (never taken upward):
 //
 //	t.mu (shared for bucket ops, exclusive for Sync/Close/PutBatch/...)
+//	→ wal.Log.mu (txn commit appends while holding t.mu shared)
 //	→ t.splitMu (one split at a time)
-//	→ bucket stripe latches (two at most, ascending stripe index)
+//	→ bucket stripe latches (single ops take two at most; a txn commit
+//	  takes every stripe its ops route to — always in ascending stripe
+//	  index, so multi-latch acquisition cannot deadlock single ops
+//	  or other commits)
 //	→ t.split.mu / t.ovflMu / t.dirtyMu
 //	→ buffer shard locks
 //
 // A split initiator holds its shared table lock until the split
 // completes, so an exclusive acquirer (Sync, Close, PutBatch) can never
-// observe a half-redistributed bucket.
+// observe a half-redistributed bucket. The WAL's own mutex sits above
+// the stripe latches: a commit finishes its log append and fsync before
+// latching any bucket, and nothing that holds a latch ever appends.
 
 const (
 	// nStripes is the number of bucket latches. Buckets map to stripes by

@@ -37,6 +37,13 @@ const (
 	MetricRecoverSuccess  = "hash_recover_success_total"
 	MetricRecoverFailures = "hash_recover_failures_total"
 	MetricRecoverRepairs  = "hash_recover_repairs_total"
+	// Write-ahead logging (Options.WAL). Commits are completed
+	// transactions; replays are committed transactions reapplied by
+	// Recover; checkpoints are syncs that truncated the log. The log's
+	// own I/O counters are exported by wal.Log.RegisterMetrics (wal_*).
+	MetricTxnCommits  = "hash_txn_commits_total"
+	MetricWalReplays  = "hash_wal_replayed_txns_total"
+	MetricCheckpoints = "hash_checkpoints_total"
 )
 
 // tableMetrics holds the table's resolved metric handles. Handles are
@@ -69,6 +76,9 @@ type tableMetrics struct {
 	recoverSuccess     *metrics.Counter
 	recoverFailures    *metrics.Counter
 	recoverRepairs     *metrics.Counter
+	txnCommits         *metrics.Counter
+	walReplays         *metrics.Counter
+	checkpoints        *metrics.Counter
 }
 
 // init resolves every handle from reg, creating a private registry when
@@ -103,6 +113,9 @@ func (m *tableMetrics) init(reg *metrics.Registry) {
 	m.recoverSuccess = reg.Counter(MetricRecoverSuccess)
 	m.recoverFailures = reg.Counter(MetricRecoverFailures)
 	m.recoverRepairs = reg.Counter(MetricRecoverRepairs)
+	m.txnCommits = reg.Counter(MetricTxnCommits)
+	m.walReplays = reg.Counter(MetricWalReplays)
+	m.checkpoints = reg.Counter(MetricCheckpoints)
 }
 
 // setShape publishes the table's key count and bucket count as gauges.

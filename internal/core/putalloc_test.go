@@ -12,7 +12,7 @@ import (
 // page, and fingerprint/metric updates use pre-resolved atomics. A
 // big-pair replace is allowed a small fixed budget (chain fingerprint
 // readback plus pool bookkeeping) but must stay flat regardless of value
-// size — putBigPair streams segments through the per-table scratch page
+// size — putBigPair streams segments straight into recycled pool buffers
 // and keeps its chain-address list on the stack for chains up to 16
 // pages, so the encode itself contributes zero.
 func TestPutAllocs(t *testing.T) {

@@ -56,15 +56,21 @@ type RecoveryReport struct {
 	LinksCut       int    // post-sync overflow links cut
 	RefsDropped    int    // post-sync entries dropped
 	BitmapsRebuilt int    // overflow-use bitmaps rebuilt from reachability
+	WALTxns        int    // committed transactions replayed from the log
+	WALOps         int    // puts/deletes those transactions contained
 }
 
 // String renders the report for the CLIs.
 func (r RecoveryReport) String() string {
-	if !r.WasDirty {
-		return fmt.Sprintf("clean (epoch %d, %d keys)", r.SyncEpoch, r.NKeys)
+	wal := ""
+	if r.WALTxns > 0 {
+		wal = fmt.Sprintf(", %d txns (%d ops) replayed from the log", r.WALTxns, r.WALOps)
 	}
-	return fmt.Sprintf("recovered to epoch %d: %d keys, %d pages reset, %d links cut, %d entries dropped, %d bitmaps rebuilt",
-		r.SyncEpoch, r.NKeys, r.PagesReset, r.LinksCut, r.RefsDropped, r.BitmapsRebuilt)
+	if !r.WasDirty {
+		return fmt.Sprintf("clean (epoch %d, %d keys)%s", r.SyncEpoch, r.NKeys, wal)
+	}
+	return fmt.Sprintf("recovered to epoch %d: %d keys, %d pages reset, %d links cut, %d entries dropped, %d bitmaps rebuilt%s",
+		r.SyncEpoch, r.NKeys, r.PagesReset, r.LinksCut, r.RefsDropped, r.BitmapsRebuilt, wal)
 }
 
 // pageRepair is the planned edit for one physical page.
@@ -438,6 +444,11 @@ func Recover(path string, o *Options) (*Table, RecoveryReport, error) {
 		rep.NKeys = t.hdr.nkeys
 		rep.SyncEpoch = t.hdr.syncEpoch
 		t.mu.Unlock()
+		if err := t.replayWAL(&rep); err != nil {
+			t.m.recoverFailures.Inc()
+			t.Close()
+			return nil, rep, err
+		}
 		return t, rep, nil
 	}
 	t.m.recoverAttempts.Inc()
@@ -475,7 +486,57 @@ func Recover(path string, o *Options) (*Table, RecoveryReport, error) {
 	t.m.recoverRepairs.Add(int64(rep.PagesReset + rep.LinksCut + rep.RefsDropped))
 	t.m.setShape(t.hdr.nkeys, t.hdr.maxBucket)
 	t.mu.Unlock()
+	if err := t.replayWAL(&rep); err != nil {
+		t.m.recoverFailures.Inc()
+		t.Close()
+		return nil, rep, err
+	}
 	return t, rep, nil
+}
+
+// replayWAL re-applies the committed transactions the write-ahead log
+// holds past the last checkpoint. The page-level recovery above restored
+// (or confirmed) the exact checkpoint state, so the redo records apply
+// onto precisely the state they were logged against. Called without t.mu
+// held: each op goes through the normal Put/Delete path, so splits,
+// overflow allocation and accounting behave exactly as they did at
+// commit time. The final Sync is a checkpoint — it stamps the replayed
+// LSN into the header and truncates the log.
+func (t *Table) replayWAL(rep *RecoveryReport) error {
+	pending := t.walPending
+	t.walPending = nil
+	if t.wal == nil || len(pending) == 0 {
+		return nil
+	}
+	for _, tx := range pending {
+		for _, op := range tx.Ops {
+			var err error
+			if op.Delete {
+				// Redo semantics are "ensure absent": the delete may have
+				// reached the pages before the crash.
+				if err = t.Delete(op.Key); errors.Is(err, ErrNotFound) {
+					err = nil
+				}
+			} else {
+				err = t.Put(op.Key, op.Data)
+			}
+			if err != nil {
+				return fmt.Errorf("hash: replay txn %d: %w", tx.LSN, err)
+			}
+			rep.WALOps++
+		}
+		t.appliedLSN.Store(tx.LSN)
+		t.m.walReplays.Inc()
+		rep.WALTxns++
+	}
+	if err := t.Sync(); err != nil {
+		return fmt.Errorf("hash: post-replay checkpoint: %w", err)
+	}
+	t.mu.RLock()
+	rep.NKeys = t.hdr.nkeys
+	rep.SyncEpoch = t.hdr.syncEpoch
+	t.mu.RUnlock()
+	return nil
 }
 
 // Verify checks the table without modifying it. On a cleanly synced

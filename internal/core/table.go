@@ -15,6 +15,7 @@ import (
 	"unixhash/internal/pagefile"
 	"unixhash/internal/telemetry"
 	"unixhash/internal/trace"
+	"unixhash/internal/wal"
 )
 
 // Options parameterizes a hash table at creation time, mirroring the
@@ -92,6 +93,24 @@ type Options struct {
 	// and /debug/pprof. ":0" picks a free port, reported by
 	// Table.TelemetryAddr. The server stops when the table closes.
 	TelemetryAddr string
+	// WAL attaches a write-ahead redo log to the table and enables the
+	// Begin/Commit transaction API (see Table.Begin): a committed
+	// transaction is durable after one sequential log append plus one log
+	// fsync, instead of a full two-phase Sync. Sync becomes a checkpoint —
+	// it flushes the pages as before, stamps the applied LSN in the
+	// header, and truncates the log. Plain Put/Delete remain
+	// volatile-until-checkpoint exactly as without the option. File-backed
+	// tables keep the log in a sibling "<path>.wal" file; memory tables
+	// use an in-memory device.
+	WAL bool
+	// WALDevice overrides the log device (tests, crash simulation,
+	// benchmarks). Implies WAL. The caller retains ownership: Close
+	// leaves the device open.
+	WALDevice wal.Device
+	// WALCost is the simulated I/O cost model charged to log appends and
+	// log fsyncs, the sequential-I/O counterpart of Cost. Zero charges
+	// nothing.
+	WALCost wal.CostModel
 }
 
 // Validate checks the option fields without applying defaults: a zero
@@ -220,9 +239,14 @@ type Table struct {
 	scratch sync.Pool
 
 	// Group commit (Options.GroupCommit). mutSeq counts completed write
-	// attempts; it is bumped under the exclusive table lock, so a load
-	// outside the lock is a lower bound on what the next syncLocked will
-	// cover. gc coordinates the leader/follower protocol in syncShared.
+	// attempts. Since PR 6 it is bumped under the *shared* table lock
+	// (deferred in putInner/deleteInner/Commit), so a load taken before a
+	// leader acquires the exclusive lock is a lower bound on what that
+	// leader's syncLocked will cover: the exclusive acquisition waits out
+	// every in-flight shared-phase writer, including the deferred bump.
+	// gc coordinates the leader/follower protocol in syncShared; round
+	// and lastErr let followers of a failed round report the leader's
+	// error instead of dog-piling fresh fsyncs onto a failing store.
 	groupCommit bool
 	mutSeq      atomic.Uint64
 	gc          struct {
@@ -230,7 +254,23 @@ type Table struct {
 		cond     *sync.Cond
 		inflight bool   // a leader is running syncLocked
 		synced   uint64 // highest mutSeq value durably covered
+		round    uint64 // completed leader rounds (successful or not)
+		lastErr  error  // outcome of the most recent round
 	}
+
+	// Write-ahead log state (Options.WAL). appliedLSN is the commit LSN
+	// of the last transaction whose effects are in the table (memory or
+	// pages); syncLocked folds it into hdr.walLSN at checkpoint.
+	// walPending holds committed-but-unapplied transactions found in the
+	// log at open; Recover replays them. walOwnDev records that Close
+	// must close the device. walErr poisons the transaction path after a
+	// commit applied only partially (see Txn.Commit).
+	wal        *wal.Log
+	walOwnDev  bool
+	appliedLSN atomic.Uint64
+	walPending []wal.Txn
+	walErrMu   sync.Mutex
+	walErr     error
 
 	// m holds the table's resolved metric handles (see metrics.go). All
 	// structural counters live here; TableStats is a compatibility view.
@@ -336,6 +376,34 @@ func Open(path string, o *Options) (*Table, error) {
 	t.nkeysA.Store(t.hdr.nkeys)
 	t.pairSumA.Store(t.hdr.pairSum)
 
+	// The hdrWAL flag (stamped durably at the first writable WAL attach,
+	// before any commit can be acknowledged) proves this table is
+	// WAL-managed: opening it without its log would silently roll back
+	// every commit since the last checkpoint — including commits made
+	// before the *first* checkpoint, when walLSN is still zero.
+	// Path-backed tables auto-attach the sidecar log; a store-backed
+	// table needs its device handed in. walLSN != 0 is kept as a belt
+	// for pre-flag files.
+	if (t.hdr.flags&hdrWAL != 0 || t.hdr.walLSN != 0) && !opts.WAL && opts.WALDevice == nil {
+		if t.path == "" {
+			if t.ownStore {
+				t.store.Close()
+			}
+			return nil, fmt.Errorf("hash: table is wal-managed (checkpoint %d) but no log device was provided: %w",
+				t.hdr.walLSN, ErrUnrecoverable)
+		}
+		opts.WAL = true
+	}
+	if opts.WAL || opts.WALDevice != nil {
+		if err := t.openWAL(&opts); err != nil {
+			t.closeWAL()
+			if t.ownStore {
+				t.store.Close()
+			}
+			return nil, err
+		}
+	}
+
 	t.scratch.New = func() any { return make([]byte, t.hdr.bsize) }
 	cfg := buffer.Config{OnLoad: onPageLoad}
 	if t.tr != nil {
@@ -358,6 +426,9 @@ func Open(path string, o *Options) (*Table, error) {
 	t.m.init(opts.Metrics)
 	t.pool.RegisterMetrics(t.m.reg, "buffer_")
 	t.store.Stats().Register(t.m.reg, "pagefile_")
+	if t.wal != nil {
+		t.wal.RegisterMetrics(t.m.reg)
+	}
 	t.m.setShape(t.hdr.nkeys, t.hdr.maxBucket)
 	if t.tr != nil {
 		t.store.Stats().SetTrace(t.tr)
@@ -365,6 +436,7 @@ func Open(path string, o *Options) (*Table, error) {
 	if opts.TelemetryAddr != "" {
 		if err := t.startTelemetry(opts.TelemetryAddr); err != nil {
 			t.pool.InvalidateAll()
+			t.closeWAL()
 			if t.ownStore {
 				t.store.Close()
 			}
@@ -372,6 +444,99 @@ func Open(path string, o *Options) (*Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// openWAL attaches the write-ahead log: it opens (or creates) the device,
+// scans it for committed transactions, and reconciles the log against the
+// header's checkpoint LSN. Commits past the checkpoint have not reached
+// the pages — the table then needs Recover, exactly like a dirty header.
+// Called from Open with the table not yet published; the caller cleans up
+// via closeWAL on error.
+func (t *Table) openWAL(opts *Options) error {
+	dev := opts.WALDevice
+	switch {
+	case dev != nil:
+		// Caller-owned device.
+	case t.path == "":
+		dev = wal.NewMemDevice()
+		t.walOwnDev = true
+	default:
+		fd, err := wal.OpenFileDevice(t.path + ".wal")
+		if err != nil {
+			return fmt.Errorf("hash: open wal: %w", err)
+		}
+		dev = fd
+		t.walOwnDev = true
+	}
+	l, sr, err := wal.Open(dev, opts.WALCost, t.tr)
+	if err != nil {
+		if t.walOwnDev {
+			dev.Close()
+		}
+		t.walOwnDev = false
+		return fmt.Errorf("hash: open wal: %w", err)
+	}
+	t.wal = l
+	t.appliedLSN.Store(t.hdr.walLSN)
+	l.EnsureLSN(t.hdr.walLSN)
+
+	if sr.HeaderOK && (sr.Epoch > t.hdr.syncEpoch || sr.CheckpointLSN > t.hdr.walLSN) {
+		// The log claims a checkpoint the table never took: the table file
+		// was replaced or rolled back underneath its log. No automatic
+		// answer is safe here.
+		return fmt.Errorf("hash: %w: wal is ahead of the table (log epoch %d lsn %d, table epoch %d lsn %d)",
+			ErrUnrecoverable, sr.Epoch, sr.CheckpointLSN, t.hdr.syncEpoch, t.hdr.walLSN)
+	}
+	// Stamp the table as WAL-managed before any commit can be
+	// acknowledged, so even a crash before the first checkpoint (walLSN
+	// still zero) leaves a header that proves a log exists and must be
+	// consulted at the next open.
+	if !t.readonly && t.hdr.flags&hdrWAL == 0 {
+		t.hdr.flags |= hdrWAL
+		if err := t.writeHeader(t.hdr.dirty()); err != nil {
+			return err
+		}
+		if err := t.store.Sync(); err != nil {
+			return fmt.Errorf("hash: stamp wal flag: %w", err)
+		}
+	}
+	// Committed transactions past the header's checkpoint LSN are durable
+	// in the log but not in the pages. Stale ones (at or below the
+	// checkpoint) are already folded in and are skipped.
+	for _, tx := range sr.Txns {
+		if tx.LSN > t.hdr.walLSN {
+			t.walPending = append(t.walPending, tx)
+		}
+	}
+	if len(t.walPending) > 0 {
+		// Replay happens in Recover, not here: it needs the recovery gate
+		// to bless the page state first. A clean header still means the
+		// pages hold exactly the checkpoint state (markDirty precedes any
+		// page write), so the gate passes trivially there.
+		t.needsRecovery = true
+		if !opts.AllowDirty {
+			return fmt.Errorf("hash: %s: unapplied wal commits: %w", t.path, ErrNeedsRecovery)
+		}
+		return nil
+	}
+	if !t.readonly && !t.needsRecovery &&
+		(!sr.HeaderOK || sr.Torn || sr.LastLSN != 0 || sr.CheckpointLSN != t.hdr.walLSN || sr.Epoch != t.hdr.syncEpoch) {
+		// No pending commits but the log is fresh, stale or torn:
+		// normalize it so the next commit appends to a clean file.
+		if err := t.wal.Reset(t.hdr.walLSN, t.hdr.syncEpoch); err != nil {
+			return fmt.Errorf("hash: reset wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// closeWAL closes the log device if the table owns it.
+func (t *Table) closeWAL() {
+	if t.wal != nil && t.walOwnDev {
+		_ = t.wal.Close()
+	}
+	t.wal = nil
+	t.walOwnDev = false
 }
 
 // boolArg renders a bool as a trace event argument.
@@ -1412,8 +1577,12 @@ func (t *Table) syncImpl() error {
 // leader and runs one syncLocked on behalf of everyone waiting. A
 // leader's sync covers every mutation sequenced before it took the table
 // lock, so a successful round satisfies all joined followers at the cost
-// of a single fsync pair. Followers of a failed round retry as leaders,
-// so an error is never silently swallowed.
+// of a single fsync pair. A follower that waited out a round whose leader
+// failed gets that leader's error: the store just refused an fsync, and a
+// retry-as-leader from every waiter would turn one failure into a stampede
+// of doomed flush attempts against a poisoned store (each burning its own
+// FlushAll and fsync). The next explicit Sync call still retries the
+// protocol from scratch.
 func (t *Table) syncShared() error {
 	want := t.mutSeq.Load()
 	t.gc.mu.Lock()
@@ -1426,7 +1595,13 @@ func (t *Table) syncShared() error {
 		if !t.gc.inflight {
 			break
 		}
+		round := t.gc.round
 		t.gc.cond.Wait()
+		if t.gc.round != round && t.gc.synced < want && t.gc.lastErr != nil {
+			err := t.gc.lastErr
+			t.gc.mu.Unlock()
+			return err
+		}
 	}
 	t.gc.inflight = true
 	t.gc.mu.Unlock()
@@ -1441,6 +1616,8 @@ func (t *Table) syncShared() error {
 
 	t.gc.mu.Lock()
 	t.gc.inflight = false
+	t.gc.round++
+	t.gc.lastErr = err
 	if err == nil && covered > t.gc.synced {
 		t.gc.synced = covered
 	}
@@ -1477,9 +1654,20 @@ func (t *Table) syncLocked() error {
 	}
 	// Fold the shared-phase running counters back into the header image
 	// before it is written: between syncs hdr.nkeys/hdr.pairSum hold the
-	// last-synced values and the atomics carry the live state.
+	// last-synced values and the atomics carry the live state. With a WAL
+	// attached the applied LSN rides along — after this sync completes,
+	// every transaction at or below it is in the pages, so this sync is a
+	// checkpoint.
 	t.hdr.nkeys = t.nkeysA.Load()
 	t.hdr.pairSum = t.pairSumA.Load()
+	applied := uint64(0)
+	if t.wal != nil {
+		applied = t.appliedLSN.Load()
+		if t.hdr.walLSN != applied {
+			t.hdr.walLSN = applied
+			t.dirtyHdr.Store(true)
+		}
+	}
 	if !t.dirtyHdr.Load() && !t.dirtyMarked.Load() {
 		// Nothing changed since the last completed sync: the on-disk
 		// header is already clean and current.
@@ -1509,7 +1697,46 @@ func (t *Table) syncLocked() error {
 	t.m.syncs.Inc()
 	t.m.syncLatency.Observe(time.Since(t0))
 	t.tr.EmitDur(trace.EvSyncEnd, time.Since(t0), t.hdr.syncEpoch, 0, 0, 0)
+	return t.checkpointWAL(applied)
+}
+
+// checkpointWAL completes a checkpoint after a successful header sync:
+// every commit at or below applied is durably in the pages, so the log
+// records are dead weight and the file is truncated back to its header.
+// The reset is skipped when the log holds commits beyond applied — that
+// happens during recovery, whose internal sync runs before the pending
+// transactions are replayed, and after a partially applied commit
+// (walErr), where the un-replayed records are precisely what makes the
+// next Recover converge. Skipping is always safe: a stale log only costs
+// a scan-and-skip at the next open. A reset failure is returned loudly
+// but does not undo the sync — the pages and header are already durable.
+func (t *Table) checkpointWAL(applied uint64) error {
+	if t.wal == nil || t.walDamaged() != nil || t.wal.LastLSN() > applied {
+		return nil
+	}
+	logBytes := t.wal.Size()
+	if err := t.wal.Reset(applied, t.hdr.syncEpoch); err != nil {
+		return fmt.Errorf("hash: wal checkpoint: %w", err)
+	}
+	t.m.checkpoints.Inc()
+	t.tr.Emit(trace.EvCheckpoint, applied, t.hdr.syncEpoch, uint64(logBytes), 0)
 	return nil
+}
+
+// walDamaged returns the poison error set after a commit applied only
+// partially, or nil.
+func (t *Table) walDamaged() error {
+	t.walErrMu.Lock()
+	defer t.walErrMu.Unlock()
+	return t.walErr
+}
+
+func (t *Table) setWALDamaged(err error) {
+	t.walErrMu.Lock()
+	if t.walErr == nil {
+		t.walErr = err
+	}
+	t.walErrMu.Unlock()
 }
 
 // Close flushes (unless read-only) and closes the table. Closing a
@@ -1532,6 +1759,11 @@ func (t *Table) Close() error {
 	}
 	if e := t.pool.InvalidateAll(); err == nil {
 		err = e
+	}
+	if t.wal != nil && t.walOwnDev {
+		if e := t.wal.Close(); err == nil {
+			err = e
+		}
 	}
 	if t.ownStore {
 		if e := t.store.Close(); err == nil {
@@ -1575,7 +1807,16 @@ type Geometry struct {
 	NKeys     int64
 	SyncEpoch uint64
 	Dirty     bool // the on-disk header carried the dirty flag at open
-	Spares    [maxSplits]uint32
+	// WalLSN is the checkpoint LSN from the header; AppliedLSN the last
+	// commit applied in memory. They differ between a commit and the
+	// next checkpoint. Both zero without Options.WAL.
+	WalLSN     uint64
+	AppliedLSN uint64
+	// WalPending counts committed transactions found in the log but not
+	// yet replayed into the pages — nonzero only on a table opened with
+	// AllowDirty after a crash, before Recover runs.
+	WalPending int
+	Spares     [maxSplits]uint32
 }
 
 // Geometry returns the table's current shape for tools and tests. It
@@ -1586,14 +1827,27 @@ func (t *Table) Geometry() Geometry {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return Geometry{
-		Bsize:     int(t.hdr.bsize),
-		Ffactor:   int(t.hdr.ffactor),
-		MaxBucket: t.hdr.maxBucket,
-		OvflPoint: t.hdr.ovflPoint,
-		HdrPages:  t.hdr.hdrPages,
-		NKeys:     t.nkeysA.Load(),
-		SyncEpoch: t.hdr.syncEpoch,
-		Dirty:     t.dirtyMarked.Load(),
-		Spares:    t.hdr.spares,
+		Bsize:      int(t.hdr.bsize),
+		Ffactor:    int(t.hdr.ffactor),
+		MaxBucket:  t.hdr.maxBucket,
+		OvflPoint:  t.hdr.ovflPoint,
+		HdrPages:   t.hdr.hdrPages,
+		NKeys:      t.nkeysA.Load(),
+		SyncEpoch:  t.hdr.syncEpoch,
+		Dirty:      t.dirtyMarked.Load(),
+		WalLSN:     t.hdr.walLSN,
+		AppliedLSN: t.appliedLSN.Load(),
+		WalPending: len(t.walPending),
+		Spares:     t.hdr.spares,
 	}
+}
+
+// WALStats returns the attached log's activity counters (appends,
+// fsyncs, joins, simulated I/O time). ok is false when the table has no
+// write-ahead log.
+func (t *Table) WALStats() (st wal.Stats, ok bool) {
+	if t.wal == nil {
+		return wal.Stats{}, false
+	}
+	return t.wal.Stats(), true
 }

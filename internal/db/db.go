@@ -138,6 +138,11 @@ type HashStats struct {
 	OvflAllocs         int64
 	OvflFrees          int64
 	Syncs              int64
+	// Write-ahead log activity; all zero for a table without a log.
+	WalLSN     uint64 // checkpoint LSN from the header
+	TxnCommits int64
+	WalAppends int64
+	WalFsyncs  int64
 }
 
 // BtreeStats is the btree method's detail.
@@ -297,7 +302,7 @@ func (d *hashDB) Stats() (Stats, error) {
 		return Stats{}, err
 	}
 	c := d.t.Pool().Counters()
-	return Stats{
+	s := Stats{
 		Method:        Hash,
 		Keys:          fs.Keys,
 		Pages:         int64(d.t.Store().NPages()),
@@ -323,8 +328,15 @@ func (d *hashDB) Stats() (Stats, error) {
 			OvflAllocs:         snap.Counter(core.MetricOvflAllocs),
 			OvflFrees:          snap.Counter(core.MetricOvflFrees),
 			Syncs:              snap.Counter(core.MetricSyncs),
+			WalLSN:             d.t.Geometry().WalLSN,
+			TxnCommits:         snap.Counter(core.MetricTxnCommits),
 		},
-	}, nil
+	}
+	if ws, ok := d.t.WALStats(); ok {
+		s.Hash.WalAppends = ws.Appends
+		s.Hash.WalFsyncs = ws.Fsyncs
+	}
+	return s, nil
 }
 
 // Table exposes the underlying hash table for method-specific

@@ -697,6 +697,26 @@ func (f *FaultStore) WritePage(pageno uint32, buf []byte) error {
 	return f.Inner.WritePage(pageno, buf)
 }
 
+// WritePages implements VectorWriter with a per-page fault check and
+// partial application: pages before the faulted one reach the inner
+// store, modeling a coalesced run interrupted mid-way. Flush paths must
+// therefore treat a failed run as an unknown mixture of written and
+// unwritten pages — exactly what the real positioned-write stores leave
+// behind on a short write.
+func (f *FaultStore) WritePages(pageno uint32, buf []byte) error {
+	ps := f.PageSize()
+	for i := 0; i*ps < len(buf); i++ {
+		p := pageno + uint32(i)
+		if err := f.check(OpWrite, p); err != nil {
+			return err
+		}
+		if err := f.Inner.WritePage(p, buf[i*ps:(i+1)*ps]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Sync implements Store. Sync faults are page-less: only the Op and
 // After fields of an injected Fault are consulted.
 func (f *FaultStore) Sync() error {
@@ -715,4 +735,5 @@ var (
 	_ Store        = (*FaultStore)(nil)
 	_ VectorWriter = (*FileStore)(nil)
 	_ VectorWriter = (*MemStore)(nil)
+	_ VectorWriter = (*FaultStore)(nil)
 )

@@ -92,6 +92,18 @@ const (
 	// waited; helped is 1 when it was a writer that moved chunks while
 	// waiting.
 	EvLatchWait // bucket, helped
+
+	// A transaction's frames landed in the write-ahead log (not yet
+	// durable until the covering wal-fsync).
+	EvWalAppend // commit lsn, ops, bytes
+
+	// A log fsync made every appended byte below `bytes` durable;
+	// followers that joined the group fsync never emit this.
+	EvWalFsync // last lsn, bytes
+
+	// A checkpoint folded the applied LSN into the table header and
+	// reset the log.
+	EvCheckpoint // lsn, epoch, log_bytes
 )
 
 // Phase codes carried in EvSyncPhase's first argument.
@@ -147,6 +159,9 @@ var typeInfo = [...]struct {
 	EvSlowIO:       {name: "slow-io", args: [4]string{"kind", "page", "bytes"}},
 	EvSplitChunk:   {name: "split-chunk", args: [4]string{"old_bucket", "new_bucket", "entries_moved", "by_helper"}},
 	EvLatchWait:    {name: "latch-wait", args: [4]string{"bucket", "helped"}},
+	EvWalAppend:    {name: "wal-append", args: [4]string{"lsn", "ops", "bytes"}},
+	EvWalFsync:     {name: "wal-fsync", args: [4]string{"lsn", "bytes"}},
+	EvCheckpoint:   {name: "checkpoint", args: [4]string{"lsn", "epoch", "log_bytes"}},
 }
 
 // String returns the type's wire name (used by /debug/events filters).
@@ -177,6 +192,7 @@ const (
 	OpDelete
 	OpSync
 	OpBatch
+	OpCommit
 )
 
 func (o Op) String() string {
@@ -191,6 +207,8 @@ func (o Op) String() string {
 		return "sync"
 	case OpBatch:
 		return "batch"
+	case OpCommit:
+		return "commit"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }

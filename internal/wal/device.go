@@ -1,0 +1,210 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Device is the byte-granular append target a Log writes to. Unlike the
+// page stores in internal/pagefile, a log device is addressed in bytes:
+// records are variable-length and always appended at the tail, so the
+// natural device contract is positioned read/write plus truncate. All
+// implementations must be safe for concurrent use.
+type Device interface {
+	// ReadAt fills p from offset off, returning io.EOF semantics like
+	// io.ReaderAt.
+	ReadAt(p []byte, off int64) (int, error)
+	// WriteAt writes p at offset off, extending the device if needed.
+	WriteAt(p []byte, off int64) (int, error)
+	// Size reports the current device length in bytes.
+	Size() (int64, error)
+	// Truncate cuts (or zero-extends) the device to size bytes.
+	Truncate(size int64) error
+	// Sync forces written bytes to stable storage.
+	Sync() error
+	// Close releases the device.
+	Close() error
+}
+
+// ---------------------------------------------------------------------------
+// FileDevice
+
+// FileDevice is a Device backed by an operating-system file — the
+// table's sibling ".wal" file in the normal configuration.
+type FileDevice struct {
+	mu     sync.Mutex
+	f      *os.File
+	closed bool
+}
+
+// OpenFileDevice opens (creating if necessary) the log file at path.
+func OpenFileDevice(path string) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileDevice{f: f}, nil
+}
+
+func (d *FileDevice) checkOpen() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return os.ErrClosed
+	}
+	return nil
+}
+
+// ReadAt implements Device.
+func (d *FileDevice) ReadAt(p []byte, off int64) (int, error) {
+	if err := d.checkOpen(); err != nil {
+		return 0, err
+	}
+	return d.f.ReadAt(p, off)
+}
+
+// WriteAt implements Device.
+func (d *FileDevice) WriteAt(p []byte, off int64) (int, error) {
+	if err := d.checkOpen(); err != nil {
+		return 0, err
+	}
+	return d.f.WriteAt(p, off)
+}
+
+// Size implements Device.
+func (d *FileDevice) Size() (int64, error) {
+	if err := d.checkOpen(); err != nil {
+		return 0, err
+	}
+	fi, err := d.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Truncate implements Device.
+func (d *FileDevice) Truncate(size int64) error {
+	if err := d.checkOpen(); err != nil {
+		return err
+	}
+	return d.f.Truncate(size)
+}
+
+// Sync implements Device.
+func (d *FileDevice) Sync() error {
+	if err := d.checkOpen(); err != nil {
+		return err
+	}
+	return d.f.Sync()
+}
+
+// Close implements Device. The file is synced first, mirroring the page
+// stores' close contract.
+func (d *FileDevice) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	err := d.f.Sync()
+	if cerr := d.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// MemDevice
+
+// MemDevice is a Device kept entirely in memory, used by memory-resident
+// tables, benchmarks and tests.
+type MemDevice struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// NewMemDevice creates an empty in-memory log device.
+func NewMemDevice() *MemDevice { return &MemDevice{} }
+
+// ReadAt implements Device.
+func (d *MemDevice) ReadAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("wal: negative read offset %d", off)
+	}
+	if off >= int64(len(d.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, d.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements Device.
+func (d *MemDevice) WriteAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("wal: negative write offset %d", off)
+	}
+	end := off + int64(len(p))
+	if end > int64(len(d.buf)) {
+		grown := make([]byte, end)
+		copy(grown, d.buf)
+		d.buf = grown
+	}
+	copy(d.buf[off:end], p)
+	return len(p), nil
+}
+
+// Size implements Device.
+func (d *MemDevice) Size() (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(len(d.buf)), nil
+}
+
+// Truncate implements Device.
+func (d *MemDevice) Truncate(size int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch {
+	case size < 0:
+		return fmt.Errorf("wal: negative truncate size %d", size)
+	case size <= int64(len(d.buf)):
+		d.buf = d.buf[:size]
+	default:
+		grown := make([]byte, size)
+		copy(grown, d.buf)
+		d.buf = grown
+	}
+	return nil
+}
+
+// Sync implements Device (a memory device has nothing to flush).
+func (d *MemDevice) Sync() error { return nil }
+
+// Close implements Device.
+func (d *MemDevice) Close() error { return nil }
+
+// Bytes returns a copy of the device contents, for tests.
+func (d *MemDevice) Bytes() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]byte, len(d.buf))
+	copy(out, d.buf)
+	return out
+}
+
+var (
+	_ Device = (*FileDevice)(nil)
+	_ Device = (*MemDevice)(nil)
+)

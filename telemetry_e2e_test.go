@@ -95,8 +95,16 @@ func TestTelemetryEndToEnd(t *testing.T) {
 	var events struct {
 		Count int `json:"count"`
 	}
-	if err := json.Unmarshal(get("/debug/events"), &events); err != nil {
-		t.Fatalf("/debug/events not JSON: %v", err)
+	// On a loaded single-CPU host the workload goroutine may not have
+	// been scheduled between the server coming up and this scrape, so
+	// poll briefly before declaring the ring dead.
+	for deadline := time.Now().Add(5 * time.Second); ; time.Sleep(50 * time.Millisecond) {
+		if err := json.Unmarshal(get("/debug/events"), &events); err != nil {
+			t.Fatalf("/debug/events not JSON: %v", err)
+		}
+		if events.Count > 0 || time.Now().After(deadline) {
+			break
+		}
 	}
 	if events.Count == 0 {
 		t.Fatal("/debug/events empty under live load")
