@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages with dedicated concurrency stress tests; the full suite under
 # -race is slow, so check races where the locks actually live.
-RACE_PKGS = ./internal/core ./internal/buffer ./internal/db ./internal/trace
+RACE_PKGS = ./internal/core ./internal/buffer ./internal/db ./internal/trace ./internal/server
 
-.PHONY: check build vet test race crash fuzz-crash wal-crash fuzz-wal-crash bench concurrency metrics bulkload txn telemetry clean
+.PHONY: check build vet test race crash fuzz-crash wal-crash fuzz-wal-crash bench concurrency metrics bulkload txn serve serveload telemetry clean
 
 check: vet build test race crash
 
@@ -60,6 +60,19 @@ bulkload:
 txn:
 	$(GO) run ./cmd/hashbench -check 10 txn
 
+# Run the sharded network front end on its defaults (8 in-memory
+# shards, WAL on, port 7700, ops dashboard on 7701). Talk to it with
+# `printf 'PUT k v\r\nGET k\r\n' | nc localhost 7700`.
+serve:
+	$(GO) run ./cmd/dbserver -addr :7700 -telemetry :7701
+
+# Network front end benchmark: pipelined write throughput at 1 vs 8
+# shards over real TCP plus a mixed workload with window latency
+# percentiles; refreshes BENCH_serve.json and fails if 8 shards buy
+# less than 3x the single-shard aggregate write throughput.
+serveload:
+	$(GO) run ./cmd/hashbench -check 3.0 serveload
+
 # Telemetry smoke: start a live traced workload with the telemetry
 # server up, scrape every endpoint (including a 1s CPU profile) and
 # watch it through dbcli hashmon; fails on any non-200 or empty body.
@@ -67,4 +80,4 @@ telemetry:
 	$(GO) test -count=1 -run TestTelemetryEndToEnd -v .
 
 clean:
-	rm -f BENCH_concurrency.json BENCH_metrics.json BENCH_bulkload.json BENCH_txn.json
+	rm -f BENCH_concurrency.json BENCH_metrics.json BENCH_bulkload.json BENCH_txn.json BENCH_serve.json

@@ -56,7 +56,6 @@ import (
 	"strings"
 	"time"
 
-	"unixhash/internal/btree"
 	"unixhash/internal/core"
 	"unixhash/internal/db"
 	"unixhash/internal/metrics"
@@ -194,12 +193,14 @@ func main() {
 		}
 	case "range":
 		need(1)
-		bt, ok := underlyingBtree(d)
-		if !ok {
+		c, err := db.Seek(d, []byte(rest[0]))
+		if errors.Is(err, db.ErrUnsupported) {
 			fatal(errors.New("range requires -method btree"))
 		}
+		if err != nil {
+			fatal(err)
+		}
 		w := bufio.NewWriter(os.Stdout)
-		c := bt.Seek([]byte(rest[0]))
 		for c.Next() {
 			fmt.Fprintf(w, "%s\t%s\n", c.Key(), c.Value())
 		}
@@ -231,13 +232,14 @@ func main() {
 		}
 	case "txn":
 		// A sequence of `put K V` / `del K` groups applied atomically
-		// through the hash method's write-ahead log: one Begin/Commit,
-		// durable after a single log append + fsync, all-or-nothing.
-		ht, ok := underlyingHash(d)
-		if !ok {
-			fatal(errors.New("txn requires -method hash"))
+		// through the redesigned db transaction interface: one
+		// Begin/Commit, durable after a single log append + fsync,
+		// all-or-nothing. Only the hash method (opened with -wal)
+		// supports it; Begin itself reports why when it cannot.
+		x, err := d.Begin()
+		if errors.Is(err, db.ErrNoTxn) {
+			fatal(errors.New("txn requires -method hash (with -wal)"))
 		}
-		x, err := ht.Begin()
 		if err != nil {
 			fatal(err)
 		}
@@ -274,35 +276,20 @@ func main() {
 		fmt.Printf("committed %d ops\n", nops)
 	case "check":
 		need(0)
-		bt, ok := underlyingBtree(d)
-		if !ok {
-			fatal(errors.New("check requires -method btree"))
-		}
-		if err := bt.Check(); err != nil {
+		if err := db.Check(d); err != nil {
+			if errors.Is(err, db.ErrUnsupported) {
+				fatal(errors.New("check requires -method btree"))
+			}
 			fatal(err)
 		}
 		fmt.Println("ok")
 	case "verify":
 		need(0)
-		switch m {
-		case db.Hash:
-			ht, ok := underlyingHash(d)
-			if !ok {
-				fatal(errors.New("internal: hash db without a table"))
+		if err := db.Verify(d); err != nil {
+			if errors.Is(err, db.ErrUnsupported) {
+				fatal(errors.New("verify is not supported for recno"))
 			}
-			if err := ht.Verify(); err != nil {
-				fatal(err)
-			}
-		case db.Btree:
-			bt, ok := underlyingBtree(d)
-			if !ok {
-				fatal(errors.New("internal: btree db without a tree"))
-			}
-			if err := bt.Check(); err != nil {
-				fatal(err)
-			}
-		default:
-			fatal(errors.New("verify is not supported for recno"))
+			fatal(err)
 		}
 		fmt.Println("ok")
 	default:
@@ -404,24 +391,6 @@ func printStats(s db.Stats) {
 		fmt.Printf("ops:             %d gets (%d misses), %d puts, %d deletes, %d syncs\n",
 			r.Gets, r.GetMisses, r.Puts, r.Deletes, r.Syncs)
 	}
-}
-
-// underlyingHash reaches through the db adapter for hash-only verbs.
-func underlyingHash(d db.DB) (*core.Table, bool) {
-	type tabler interface{ Table() *core.Table }
-	if t, ok := d.(tabler); ok {
-		return t.Table(), true
-	}
-	return nil, false
-}
-
-// underlyingBtree reaches through the db adapter for btree-only verbs.
-func underlyingBtree(d db.DB) (*btree.Tree, bool) {
-	type treer interface{ Tree() *btree.Tree }
-	if t, ok := d.(treer); ok {
-		return t.Tree(), true
-	}
-	return nil, false
 }
 
 func printPair(w *bufio.Writer, m db.Method, k, v []byte) {

@@ -1,0 +1,108 @@
+// Command dbserver serves a sharded hash database over TCP: the
+// package's network front end. Keys hash across N shards, each its own
+// WAL-backed linear-hash table with a private buffer pool, so writes
+// from many connections apply in parallel instead of serializing on
+// one table lock. The wire protocol is the small RESP-like text
+// protocol of internal/server (GET/PUT/DEL/BATCH/TXN/STATS); try it by
+// hand with nc:
+//
+//	dbserver -addr :7700 -dir /var/tmp/kv &
+//	printf 'PUT greeting hello\r\nGET greeting\r\n' | nc localhost 7700
+//
+// Flags:
+//
+//	-addr HOST:PORT   listen address (default :7700; :0 picks a port)
+//	-shards N         shard count (default 8; fixed at directory creation)
+//	-dir PATH         database directory; empty serves memory-resident
+//	                  shards (data lost on exit)
+//	-wal              write-ahead logs per shard, enabling TXN (default
+//	                  true; -wal=false serves a txn-less store)
+//	-cache N          buffer pool bytes per shard
+//	-bsize N          bucket size for new shards
+//	-ffactor N        fill factor for new shards
+//	-nelem N          expected total element count (divided across shards)
+//	-telemetry ADDR   ops dashboard: /metrics aggregates every shard and
+//	                  the server_* series on one page, /stats breaks the
+//	                  aggregate down per shard, /debug/heatmap maps every
+//	                  shard's buckets
+//
+// SIGINT/SIGTERM shut down gracefully: stop accepting, drain in-flight
+// commands and pending coalesced writes, then sync and close every
+// shard.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"unixhash/internal/core"
+	"unixhash/internal/db"
+	"unixhash/internal/metrics"
+	"unixhash/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7700", "listen address")
+	shards := flag.Int("shards", 8, "shard count (fixed when the directory is created)")
+	dir := flag.String("dir", "", "database directory; empty = memory-resident")
+	wal := flag.Bool("wal", true, "write-ahead log per shard (enables TXN)")
+	cache := flag.Int("cache", 0, "buffer pool bytes per shard")
+	bsize := flag.Int("bsize", 0, "bucket size for new shards")
+	ffactor := flag.Int("ffactor", 0, "fill factor for new shards")
+	nelem := flag.Int("nelem", 0, "expected total element count")
+	telemetry := flag.String("telemetry", "", "serve the ops dashboard on this address")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "dbserver: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// One registry spans the stack: every shard's engine metrics
+	// aggregate into it, and the server's connection counters join them.
+	reg := metrics.New()
+	d, err := db.OpenSharded(*dir, *shards, &db.Config{Hash: &core.Options{
+		Bsize: *bsize, Ffactor: *ffactor, Nelem: *nelem, CacheSize: *cache,
+		WAL: *wal, Metrics: reg,
+	}})
+	if err != nil {
+		fatal(err)
+	}
+
+	s, err := server.Serve(*addr, server.Options{DB: d, Metrics: reg})
+	if err != nil {
+		d.Close()
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dbserver: serving %d shards on %s\n", d.NShards(), s.Addr())
+
+	if *telemetry != "" {
+		ts, err := db.ServeTelemetry(d, *telemetry)
+		if err != nil {
+			s.Close()
+			d.Close()
+			fatal(err)
+		}
+		defer ts.Close()
+		fmt.Fprintf(os.Stderr, "dbserver: telemetry http://%s\n", ts.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "dbserver: shutting down")
+	if err := s.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "dbserver: close: %v\n", err)
+	}
+	if err := d.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dbserver: %v\n", err)
+	os.Exit(1)
+}

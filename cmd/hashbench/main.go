@@ -21,8 +21,14 @@
 //	                          writes BENCH_txn.json
 //	hashbench serve           live traced workload with the telemetry
 //	                          endpoint up (watch with dbcli hashmon)
+//	hashbench serveload       the network front end over real TCP:
+//	                          pipelined write throughput at 1 vs 8
+//	                          shards plus a mixed workload with window
+//	                          latency percentiles; writes
+//	                          BENCH_serve.json
 //	hashbench all             everything above except concurrency,
-//	                          metrics, bulkload, txn and serve
+//	                          metrics, bulkload, txn, serve and
+//	                          serveload
 //
 // Flags:
 //
@@ -36,8 +42,15 @@
 //	          does not beat unsized. concurrency: exit nonzero if the
 //	          8-goroutine write-heavy speedup falls below X (skipped
 //	          on GOMAXPROCS=1 hosts). txn: exit nonzero if the WAL
-//	          durable-put speedup over full sync falls below X. The
-//	          CI regression gates.
+//	          durable-put speedup over full sync falls below X.
+//	          serveload: exit nonzero if the 8-shard aggregate write
+//	          throughput speedup over 1 shard falls below X. The CI
+//	          regression gates.
+//	-conns M  serveload: client connection count (default 8)
+//	-pipeline D
+//	          serveload: commands pipelined per window (default 64)
+//	-mix P    serveload: write percentage of the mixed phase
+//	          (default 30)
 //	-telemetry ADDR
 //	          serve only: telemetry listen address (":0" picks a free
 //	          port; the first output line reports the choice)
@@ -59,6 +72,9 @@ func main() {
 	check := flag.Float64("check", 0, "bulkload/concurrency: fail below this speedup (0 = no gate)")
 	telemetry := flag.String("telemetry", "127.0.0.1:0", "serve: telemetry listen address")
 	dur := flag.Duration("dur", 0, "serve: workload duration (0 = until killed)")
+	conns := flag.Int("conns", 0, "serveload: client connections (0 = 8)")
+	pipeline := flag.Int("pipeline", 0, "serveload: pipeline depth (0 = 64)")
+	mix := flag.Int("mix", 0, "serveload: mixed-phase write percentage (0 = 30)")
 	flag.Usage = usage
 	flag.Parse()
 	if *quick && *n == 0 {
@@ -200,6 +216,27 @@ func main() {
 			}
 		case "serve":
 			return bench.Serve(*n, *telemetry, *dur, os.Stdout)
+		case "serveload":
+			res, err := bench.Serveload(*conns, *pipeline, *mix)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			data, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile("BENCH_serve.json", data, 0o644); err != nil {
+				return err
+			}
+			fmt.Println("\nwrote BENCH_serve.json")
+			if *check > 0 {
+				if err := res.Gate(*check); err != nil {
+					return err
+				}
+				fmt.Printf("gate passed: 8-shard write speedup %.2fx >= %.2fx\n",
+					res.WriteSpeedup, *check)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -226,7 +263,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: hashbench [-n N | -quick] {fig5|fig6|fig7|fig8a|fig8b|methods|ablate|concurrency|metrics|bulkload|txn|serve|all}
+	fmt.Fprintf(os.Stderr, `usage: hashbench [-n N | -quick] {fig5|fig6|fig7|fig8a|fig8b|methods|ablate|concurrency|metrics|bulkload|txn|serve|serveload|all}
 
 Regenerates the evaluation figures of "A New Hashing Package for UNIX"
 (Seltzer & Yigit, USENIX Winter 1991). See EXPERIMENTS.md for the

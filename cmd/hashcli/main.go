@@ -42,6 +42,7 @@ import (
 	"os"
 
 	"unixhash/internal/core"
+	"unixhash/internal/db"
 	"unixhash/internal/trace"
 )
 
@@ -185,7 +186,11 @@ func main() {
 	case "txn":
 		// A sequence of `put K V` / `del K` groups, applied atomically:
 		// either every op is durable after one log append + fsync, or
-		// (on any parse or apply error) none of them happened.
+		// (on any parse or apply error) none of them happened. The verb
+		// drives the transaction through the db.Txn interface — the
+		// same surface dbcli and dbserver use — which the core
+		// transaction satisfies directly.
+		var x db.Txn
 		x, err := t.Begin()
 		if err != nil {
 			fatal(err)

@@ -75,8 +75,9 @@ type Options struct {
 	// into (hash_*, buffer_*, pagefile_*; see DESIGN.md). Nil creates a
 	// private registry — instrumentation is always on; the option only
 	// decides who else can read it. Sharing one registry between tables
-	// aggregates same-named series (first registration wins for computed
-	// values).
+	// (e.g. the shards of a db.Sharded) aggregates same-named series:
+	// plain counters share one cell, and computed collectors and
+	// histograms are summed across every registrant at read time.
 	Metrics *metrics.Registry
 	// Trace, when set, receives structured events (splits, overflow page
 	// traffic, sync phases, recovery steps, batch phases, buffer

@@ -83,6 +83,13 @@ type DB interface {
 	PutNew(key, data []byte) error
 	// Delete removes key (ErrNotFound if absent).
 	Delete(key []byte) error
+	// Begin starts a transaction: an atomic batch of Put/Delete made
+	// durable and visible as one unit by Commit. Real on the hash method
+	// when it was opened with a write-ahead log (core.Options.WAL —
+	// without one Begin reports core.ErrNoWAL); btree and recno report
+	// ErrNoTxn. Sharded databases return a routing transaction that is
+	// atomic within each shard (see Sharded.Begin).
+	Begin() (Txn, error)
 	// Seq returns a cursor over every pair. Hash yields bucket order,
 	// Btree ascending key order, Recno record order.
 	Seq() Cursor
@@ -116,6 +123,11 @@ type Stats struct {
 	Hash  *HashStats
 	Btree *BtreeStats
 	Recno *RecnoStats
+	// Shards carries the per-shard breakdown of a sharded database
+	// (OpenSharded): entry i is shard i's own Stats. Nil for unsharded
+	// databases; the top-level fields of a sharded Stats are the
+	// aggregate over every shard.
+	Shards []Stats `json:",omitempty"`
 }
 
 // HashStats is the hash method's detail: the paper's fill statistics
@@ -339,9 +351,11 @@ func (d *hashDB) Stats() (Stats, error) {
 	return s, nil
 }
 
-// Table exposes the underlying hash table for method-specific
-// operations (durability Verify, crash recovery).
-func (d *hashDB) Table() *core.Table { return d.t }
+// table exposes the underlying hash table inside the package (telemetry
+// mounting, Verify). Deliberately unexported: applications use the DB
+// interface — method-specific operations go through Begin, Verify, Check
+// and Seek, never through the concrete table.
+func (d *hashDB) table() *core.Table { return d.t }
 
 // --- btree adapter ---
 
@@ -424,9 +438,9 @@ func (d *btreeDB) Stats() (Stats, error) {
 	}, nil
 }
 
-// Tree exposes the underlying btree for method-specific operations
-// (ordered Seek, structural Check).
-func (d *btreeDB) Tree() *btree.Tree { return d.t }
+// tree exposes the underlying btree inside the package (Seek, Check).
+// Unexported for the same reason as hashDB.table.
+func (d *btreeDB) tree() *btree.Tree { return d.t }
 
 // --- recno adapter ---
 

@@ -146,12 +146,27 @@ func TestBtreeRangeThroughAdapter(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	tr := d.(interface{ Tree() *btree.Tree }).Tree()
-	c := tr.Seek([]byte("k50"))
+	c, err := Seek(d, []byte("k50"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !c.Next() || string(c.Key()) != "k50" {
 		t.Fatalf("Seek through adapter -> %q", c.Key())
 	}
-	if err := tr.Check(); err != nil {
+	if err := Check(d); err != nil {
 		t.Fatal(err)
+	}
+
+	// The ordered helpers refuse methods that cannot answer them.
+	h, err := Open("", Hash, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := Seek(h, nil); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("Seek on hash = %v, want ErrUnsupported", err)
+	}
+	if err := Check(h); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("Check on hash = %v, want ErrUnsupported", err)
 	}
 }

@@ -1,0 +1,73 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Method-specific inspection through the uniform interface. These
+// helpers are the sanctioned replacement for reaching through the
+// adapters to the concrete *core.Table / *btree.Tree: callers keep a
+// plain DB, and the type dispatch lives here, inside the package.
+
+// ErrUnsupported reports an inspection helper applied to an access
+// method that cannot answer it (e.g. Seek on hash, Verify on recno).
+var ErrUnsupported = errors.New("db: operation not supported by this access method")
+
+// Verify checks an open database's integrity without modifying it.
+// For hash it runs the durability verifier (is the last-synced state
+// intact, are the header invariants consistent?); for btree the
+// structural checker; a sharded database verifies every shard. Recno
+// has no verifier and reports ErrUnsupported.
+func Verify(d DB) error {
+	switch x := d.(type) {
+	case *hashDB:
+		return x.table().Verify()
+	case *btreeDB:
+		return x.tree().Check()
+	case *Sharded:
+		for i, sh := range x.shards {
+			if err := sh.table().Verify(); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: verify (%v)", ErrUnsupported, methodOf(d))
+}
+
+// Check runs the btree structural checker. It exists alongside Verify
+// for symmetry with the historical CLI verb; other methods report
+// ErrUnsupported.
+func Check(d DB) error {
+	if x, ok := d.(*btreeDB); ok {
+		return x.tree().Check()
+	}
+	return fmt.Errorf("%w: check (%v)", ErrUnsupported, methodOf(d))
+}
+
+// Seek returns an ordered cursor positioned at the first key >= from.
+// Only the btree can answer an ordered scan; every other method reports
+// ErrUnsupported.
+func Seek(d DB, from []byte) (Cursor, error) {
+	if x, ok := d.(*btreeDB); ok {
+		return x.tree().Seek(from), nil
+	}
+	return nil, fmt.Errorf("%w: ordered seek (%v)", ErrUnsupported, methodOf(d))
+}
+
+// methodOf names a DB's access method for error messages without
+// calling Stats (which may fail on a closed database).
+func methodOf(d DB) string {
+	switch d.(type) {
+	case *hashDB:
+		return "hash"
+	case *btreeDB:
+		return "btree"
+	case *recnoDB:
+		return "recno"
+	case *Sharded:
+		return "sharded hash"
+	}
+	return fmt.Sprintf("%T", d)
+}

@@ -1,6 +1,9 @@
 package db
 
 import (
+	"fmt"
+
+	"unixhash/internal/core"
 	"unixhash/internal/telemetry"
 )
 
@@ -8,9 +11,13 @@ import (
 // (see internal/telemetry for the endpoint list). Every method serves
 // /stats from db.Stats; the hash method additionally mounts its metrics
 // registry (/metrics), tracer (/debug/events, /debug/slowops) and
-// bucket heatmap (/debug/heatmap). addr ":0" picks a free port — read
-// it back with the server's Addr. The caller owns the returned server
-// and must Close it before closing the database.
+// bucket heatmap (/debug/heatmap). A sharded database mounts the shared
+// registry every shard aggregates into, the shards' tracer, a per-shard
+// heatmap array, and a /stats document whose "Shards" member breaks the
+// aggregate down — one ops dashboard for the whole fleet of shards
+// (dbserver points its -telemetry flag here). addr ":0" picks a free
+// port — read it back with the server's Addr. The caller owns the
+// returned server and must Close it before closing the database.
 func ServeTelemetry(d DB, addr string) (*telemetry.Server, error) {
 	o := telemetry.Options{
 		Stats: func() (any, error) {
@@ -21,11 +28,37 @@ func ServeTelemetry(d DB, addr string) (*telemetry.Server, error) {
 			return s, nil
 		},
 	}
-	if h, ok := d.(*hashDB); ok {
-		t := h.Table()
+	switch x := d.(type) {
+	case *hashDB:
+		t := x.table()
 		o.Registry = t.MetricsRegistry()
 		o.Tracer = t.Tracer()
 		o.Heatmap = func() (any, error) { return t.Heatmap() }
+	case *Sharded:
+		o.Registry = x.reg
+		o.Tracer = x.shards[0].table().Tracer()
+		o.Heatmap = func() (any, error) { return shardedHeatmap(x) }
 	}
 	return telemetry.Serve(addr, o)
+}
+
+// shardHeat is one shard's slice of the sharded heatmap document.
+type shardHeat struct {
+	Shard   int           `json:"shard"`
+	Heatmap *core.Heatmap `json:"heatmap"`
+}
+
+// shardedHeatmap walks every shard's buckets; each shard takes its own
+// table lock shared, so the walk runs against live traffic just like
+// the single-table endpoint.
+func shardedHeatmap(s *Sharded) (any, error) {
+	out := make([]shardHeat, 0, len(s.shards))
+	for i, sh := range s.shards {
+		hm, err := sh.table().Heatmap()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		out = append(out, shardHeat{Shard: i, Heatmap: hm})
+	}
+	return out, nil
 }

@@ -14,11 +14,13 @@
 //   - Names are stable, Prometheus-style identifiers ("hash_gets_total",
 //     "pagefile_sync_seconds"), so the text dump is scrapable as-is.
 //
-// Registering the same name twice returns the same metric, so two
-// components sharing a registry aggregate into one series (the expvar
-// semantic). Func-backed metrics (CounterFunc/GaugeFunc) let a component
-// export values it already maintains elsewhere — e.g. the buffer pool's
-// per-shard counters — without double counting on the hot path.
+// Registering the same name twice aggregates into one series (the
+// expvar semantic): Counter/Gauge/Histogram return the shared handle,
+// and func-backed metrics (CounterFunc/GaugeFunc) and AddHistogram
+// collect every registration and sum them at read time. That is what
+// lets N sharded tables — each registering its own buffer pool, page
+// store and log collectors — publish under one registry (one /metrics
+// page) without clobbering or double counting each other.
 package metrics
 
 import (
@@ -177,8 +179,14 @@ type entry struct {
 	help string
 	c    *Counter
 	g    *Gauge
-	fn   func() int64
-	h    *Histogram
+	// Func-backed kinds collect every registration under the name and
+	// sum them at read time, so N components (e.g. sharded tables) each
+	// exporting their own collector aggregate into one series.
+	fns []func() int64
+	// Histograms likewise: Histogram() hands out one shared handle, but
+	// AddHistogram may attach several component-owned histograms that
+	// are merged bucket-wise on snapshot and exposition.
+	hs []*Histogram
 }
 
 // helpText returns the entry's HELP line body: the curated text when one
@@ -200,9 +208,36 @@ func (e *entry) value() int64 {
 	case kindGauge:
 		return e.g.Load()
 	case kindCounterFunc, kindGaugeFunc:
-		return e.fn()
+		var v int64
+		for _, fn := range e.fns {
+			v += fn()
+		}
+		return v
 	}
 	return 0
+}
+
+// histSnapshot merges the entry's histograms into one snapshot.
+func (e *entry) histSnapshot() HistogramSnapshot {
+	if len(e.hs) == 1 {
+		return e.hs[0].Snapshot()
+	}
+	var s HistogramSnapshot
+	var buckets [nBuckets]int64
+	for _, h := range e.hs {
+		s.Count += h.count.Load()
+		s.SumNanos += h.sum.Load()
+		for i := range h.buckets {
+			buckets[i] += h.buckets[i].Load()
+		}
+	}
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		s.Buckets = append(s.Buckets, BucketCount{Bound: BucketBound(i), Count: n})
+	}
+	return s
 }
 
 // Registry is an ordered, deduplicating collection of named metrics.
@@ -269,42 +304,47 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // CounterFunc registers a counter whose value is computed by fn at read
 // time (for components that maintain their own counters, e.g. per-shard
-// tallies summed on scrape). If the name exists the first registration
-// wins — fn must already feed the same series.
+// tallies summed on scrape). Registering the same name again adds fn to
+// the series: reads report the sum of every registered collector, so N
+// tables sharing a registry aggregate instead of shadowing each other.
 func (r *Registry) CounterFunc(name string, fn func() int64) {
 	e := r.register(name, kindCounterFunc)
-	if e.fn == nil {
-		e.fn = fn
-	}
+	e.fns = append(e.fns, fn)
 }
 
-// GaugeFunc registers a computed gauge; first registration wins.
+// GaugeFunc registers a computed gauge; like CounterFunc, repeated
+// registrations under one name are summed at read time.
 func (r *Registry) GaugeFunc(name string, fn func() int64) {
 	e := r.register(name, kindGaugeFunc)
-	if e.fn == nil {
-		e.fn = fn
-	}
+	e.fns = append(e.fns, fn)
 }
 
-// Histogram registers (or finds) the latency histogram called name.
+// Histogram registers (or finds) the latency histogram called name. All
+// callers receive the same handle, so their observations aggregate.
 func (r *Registry) Histogram(name string) *Histogram {
 	e := r.register(name, kindHistogram)
-	if e.h == nil {
-		e.h = &Histogram{}
+	if len(e.hs) == 0 {
+		e.hs = append(e.hs, &Histogram{})
 	}
-	return e.h
+	return e.hs[0]
 }
 
 // AddHistogram registers an existing histogram under name, for components
 // that own their histogram (e.g. a page store's latency tracking) and
-// want it exported. First registration wins; the registered histogram is
-// returned.
+// want it exported. Attaching a second distinct histogram to the same
+// name merges them: snapshots and the text exposition report bucket-wise
+// sums, so per-shard stores publish one combined latency series. The
+// histogram handed in is returned (registering the same one twice is a
+// no-op).
 func (r *Registry) AddHistogram(name string, h *Histogram) *Histogram {
 	e := r.register(name, kindHistogram)
-	if e.h == nil {
-		e.h = h
+	for _, have := range e.hs {
+		if have == h {
+			return h
+		}
 	}
-	return e.h
+	e.hs = append(e.hs, h)
+	return h
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry,
@@ -343,7 +383,7 @@ func (r *Registry) Snapshot() Snapshot {
 		case kindGauge, kindGaugeFunc:
 			s.Gauges[e.name] = e.value()
 		case kindHistogram:
-			s.Histograms[e.name] = e.h.Snapshot()
+			s.Histograms[e.name] = e.histSnapshot()
 		}
 	}
 	return s
@@ -371,7 +411,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
 				e.name, e.helpText(), e.name, e.name, e.value())
 		case kindHistogram:
-			err = writePromHistogram(w, e.name, e.helpText(), e.h)
+			err = writePromHistogram(w, e.name, e.helpText(), e.hs)
 		}
 		if err != nil {
 			return err
@@ -380,13 +420,20 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	return nil
 }
 
-func writePromHistogram(w io.Writer, name, help string, h *Histogram) error {
+func writePromHistogram(w io.Writer, name, help string, hs []*Histogram) error {
 	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
 		return err
 	}
-	cum := int64(0)
+	cum, count, sum := int64(0), int64(0), time.Duration(0)
+	for _, h := range hs {
+		count += h.Count()
+		sum += h.Sum()
+	}
 	for i := 0; i < nBuckets; i++ {
-		n := h.buckets[i].Load()
+		n := int64(0)
+		for _, h := range hs {
+			n += h.buckets[i].Load()
+		}
 		cum += n
 		if n == 0 && i < nBuckets-1 {
 			continue // keep the dump short: only materialized buckets
@@ -400,6 +447,6 @@ func writePromHistogram(w io.Writer, name, help string, h *Histogram) error {
 		}
 	}
 	_, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n",
-		name, h.Sum().Seconds(), name, h.Count())
+		name, sum.Seconds(), name, count)
 	return err
 }

@@ -187,3 +187,58 @@ func TestCounterAllocFree(t *testing.T) {
 		t.Fatalf("hot-path metric updates allocate: %v allocs/op", n)
 	}
 }
+
+// TestMultiRegistration pins the sharded-registry contract: N components
+// registering func-backed collectors or histograms under one name must
+// aggregate (sum) rather than shadow each other — the property that lets
+// every shard of a sharded table publish on one /metrics page.
+func TestMultiRegistration(t *testing.T) {
+	r := New()
+
+	a, b := int64(3), int64(4)
+	r.CounterFunc("multi_reads_total", func() int64 { return a })
+	r.CounterFunc("multi_reads_total", func() int64 { return b })
+	if got := r.Snapshot().Counter("multi_reads_total"); got != 7 {
+		t.Fatalf("summed counterfunc = %d, want 7", got)
+	}
+
+	r.GaugeFunc("multi_resident", func() int64 { return 10 })
+	r.GaugeFunc("multi_resident", func() int64 { return 5 })
+	if got := r.Snapshot().Gauge("multi_resident"); got != 15 {
+		t.Fatalf("summed gaugefunc = %d, want 15", got)
+	}
+
+	var h1, h2 Histogram
+	r.AddHistogram("multi_seconds", &h1)
+	r.AddHistogram("multi_seconds", &h2)
+	r.AddHistogram("multi_seconds", &h1) // same histogram again: no-op
+	h1.Observe(time.Microsecond)
+	h1.Observe(3 * time.Microsecond)
+	h2.Observe(3 * time.Microsecond)
+	hs := r.Snapshot().Histograms["multi_seconds"]
+	if hs.Count != 3 || hs.SumNanos != int64(7*time.Microsecond) {
+		t.Fatalf("merged histogram = %+v, want count 3 sum 7us", hs)
+	}
+
+	var dump strings.Builder
+	if err := r.WriteProm(&dump); err != nil {
+		t.Fatal(err)
+	}
+	out := dump.String()
+	for _, want := range []string{
+		"multi_reads_total 7",
+		"multi_resident 15",
+		`multi_seconds_bucket{le="+Inf"} 3`,
+		"multi_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteProm output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Registry.Histogram keeps handing out one shared handle even after
+	// AddHistogram attached component-owned ones.
+	if got := r.Histogram("multi_seconds"); got != &h1 {
+		t.Fatal("Histogram must return the first registered histogram")
+	}
+}

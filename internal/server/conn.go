@@ -1,0 +1,326 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"unixhash/internal/db"
+)
+
+// maxCoalesce caps the write-coalescing buffer: this many consecutive
+// pipelined PUTs collapse into one PutBatch call. It matches
+// core.DefaultBatchSize so a full window is exactly one batched
+// table-lock acquisition per shard.
+const maxCoalesce = 4096
+
+// conn serves one client connection. The loop reads pipelined
+// commands, coalescing consecutive plain PUTs into a pending batch;
+// the batch — and the reply buffer — flush when the pipeline window
+// ends (no more request bytes in memory), when a non-PUT command
+// arrives (replies must stay in request order, and a following GET
+// must observe the writes), or when the batch is full.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	r   *reader
+	w   *writer
+
+	pending []db.Pair // coalesced PUTs not yet applied
+	txn     db.Txn    // open transaction, or nil
+	getBuf  []byte    // reused GetBuf storage
+}
+
+func (c *conn) serve() {
+	defer func() {
+		if c.txn != nil {
+			c.txn.Rollback()
+		}
+		c.nc.Close()
+		c.srv.connDone(c)
+	}()
+	for {
+		if c.r.buffered() == 0 {
+			// Pipeline-window boundary: everything the client has sent is
+			// handled, so apply pending writes and push replies before
+			// blocking on the network.
+			c.flushPending()
+			if c.w.Flush() != nil {
+				return
+			}
+		}
+		args, err := c.r.ReadCommand()
+		if err != nil {
+			c.readFailed(err)
+			return
+		}
+		if args == nil { // blank line between commands
+			continue
+		}
+		c.srv.mCmds.Inc()
+		if !c.dispatch(args) {
+			c.flushPending()
+			c.w.Flush()
+			return
+		}
+	}
+}
+
+// readFailed ends the loop on a read error: shutdown drain, clean
+// disconnect, or protocol violation. Pending coalesced writes are
+// applied in every case — the client pipelined them before the
+// connection died, and the pipelining contract (below) promises
+// acceptance once read.
+func (c *conn) readFailed(err error) {
+	c.flushPending()
+	switch {
+	case c.srv.draining() && errors.Is(err, os.ErrDeadlineExceeded):
+		// Graceful shutdown nudged the blocked read. In-flight work is
+		// done (the read was at a window boundary); say goodbye.
+		c.w.Error("server shutting down")
+	case errors.Is(err, io.EOF):
+		// Clean close between commands.
+	default:
+		c.srv.mErrors.Inc()
+		c.w.Error(err.Error())
+	}
+	c.w.Flush()
+}
+
+// dispatch executes one command, returning false to close the
+// connection. Replies are buffered, not yet flushed.
+func (c *conn) dispatch(args [][]byte) bool {
+	cmd := asciiUpper(args[0])
+	// Every command except a plain PUT is a coalescing barrier: the
+	// pending batch must land first so replies stay ordered and reads
+	// observe earlier pipelined writes.
+	if cmd != "PUT" || c.txn != nil {
+		c.flushPending()
+	}
+	switch cmd {
+	case "GET":
+		if !c.arity(args, 2) {
+			return true
+		}
+		v, err := c.srv.db.GetBuf(args[1], c.getBuf)
+		switch {
+		case errors.Is(err, db.ErrNotFound):
+			c.w.Nil()
+		case err != nil:
+			c.cmdErr(err)
+		default:
+			c.getBuf = v[:0]
+			c.w.Bulk(v)
+		}
+	case "PUT":
+		if !c.arity(args, 3) {
+			return true
+		}
+		if c.txn != nil {
+			if err := c.txn.Put(args[1], args[2]); err != nil {
+				c.cmdErr(err)
+			} else {
+				c.w.Status("QUEUED")
+			}
+			return true
+		}
+		// Coalesce: park the pair, owe the +OK. The parser allocated the
+		// argument slices, so they stay valid until the batch applies.
+		c.pending = append(c.pending, db.Pair{Key: args[1], Data: args[2]})
+		if len(c.pending) >= maxCoalesce {
+			c.flushPending()
+		}
+	case "DEL":
+		if !c.arity(args, 2) {
+			return true
+		}
+		if c.txn != nil {
+			if err := c.txn.Delete(args[1]); err != nil {
+				c.cmdErr(err)
+			} else {
+				c.w.Status("QUEUED")
+			}
+			return true
+		}
+		switch err := c.srv.db.Delete(args[1]); {
+		case errors.Is(err, db.ErrNotFound):
+			c.w.Int(0)
+		case err != nil:
+			c.cmdErr(err)
+		default:
+			c.w.Int(1)
+		}
+	case "BATCH":
+		c.batch(args)
+	case "TXN":
+		c.txnCmd(args)
+	case "STATS":
+		s, err := c.srv.db.Stats()
+		if err != nil {
+			c.cmdErr(err)
+			return true
+		}
+		j, err := json.Marshal(s)
+		if err != nil {
+			c.cmdErr(err)
+			return true
+		}
+		c.w.Bulk(j)
+	case "PING":
+		c.w.Status("PONG")
+	case "QUIT":
+		c.w.Status("OK")
+		return false
+	default:
+		c.srv.mErrors.Inc()
+		c.w.Error(fmt.Sprintf("unknown command %q", cmd))
+	}
+	return true
+}
+
+// batch applies BATCH k1 v1 [k2 v2 ...]: the explicit form of what
+// coalescing does implicitly — one PutBatch, one reply (:n pairs).
+func (c *conn) batch(args [][]byte) {
+	if len(args) < 3 || len(args)%2 == 0 {
+		c.srv.mErrors.Inc()
+		c.w.Error("BATCH wants KEY VALUE pairs")
+		return
+	}
+	pairs := make([]db.Pair, 0, (len(args)-1)/2)
+	for i := 1; i < len(args); i += 2 {
+		pairs = append(pairs, db.Pair{Key: args[i], Data: args[i+1]})
+	}
+	if err := c.srv.db.PutBatch(pairs); err != nil {
+		c.cmdErr(err)
+		return
+	}
+	c.srv.mBatchPuts.Add(int64(len(pairs)))
+	c.w.Int(int64(len(pairs)))
+}
+
+// txnCmd handles TXN BEGIN|COMMIT|ROLLBACK. Between BEGIN and COMMIT,
+// PUT and DEL queue into the transaction (+QUEUED) and become visible
+// and durable as one unit at COMMIT; GET does not observe the
+// transaction's own queued writes. On a sharded database the unit is
+// per shard (see db.Sharded.Begin).
+func (c *conn) txnCmd(args [][]byte) {
+	if len(args) != 2 {
+		c.srv.mErrors.Inc()
+		c.w.Error("TXN wants BEGIN, COMMIT or ROLLBACK")
+		return
+	}
+	switch asciiUpper(args[1]) {
+	case "BEGIN":
+		if c.txn != nil {
+			c.srv.mErrors.Inc()
+			c.w.Error("transaction already open")
+			return
+		}
+		x, err := c.srv.db.Begin()
+		if err != nil {
+			c.cmdErr(err)
+			return
+		}
+		c.txn = x
+		c.w.Status("OK")
+	case "COMMIT":
+		if c.txn == nil {
+			c.srv.mErrors.Inc()
+			c.w.Error("no transaction")
+			return
+		}
+		err := c.txn.Commit()
+		c.txn = nil
+		if err != nil {
+			c.cmdErr(err)
+			return
+		}
+		c.srv.mTxnCommits.Inc()
+		c.w.Status("OK")
+	case "ROLLBACK":
+		if c.txn == nil {
+			c.srv.mErrors.Inc()
+			c.w.Error("no transaction")
+			return
+		}
+		err := c.txn.Rollback()
+		c.txn = nil
+		if err != nil {
+			c.cmdErr(err)
+			return
+		}
+		c.w.Status("OK")
+	default:
+		c.srv.mErrors.Inc()
+		c.w.Error("TXN wants BEGIN, COMMIT or ROLLBACK")
+	}
+}
+
+// flushPending applies the coalesced PUTs as one PutBatch and writes
+// the owed +OK replies. On failure every owed reply becomes the same
+// -ERR: the batch is all-or-nothing per shard, and per-key blame is
+// not available.
+func (c *conn) flushPending() {
+	if len(c.pending) == 0 {
+		return
+	}
+	n := len(c.pending)
+	err := c.srv.db.PutBatch(c.pending)
+	c.pending = c.pending[:0]
+	if err != nil {
+		c.srv.mErrors.Inc()
+		for i := 0; i < n; i++ {
+			c.w.Error(err.Error())
+		}
+		return
+	}
+	if n > 1 {
+		c.srv.mCoalesced.Add(int64(n))
+	}
+	for i := 0; i < n; i++ {
+		c.w.Status("OK")
+	}
+}
+
+// cmdErr reports a command-level failure: the connection survives, the
+// client sees -ERR.
+func (c *conn) cmdErr(err error) {
+	c.srv.mErrors.Inc()
+	c.w.Error(err.Error())
+}
+
+// arity checks the argument count, replying -ERR on mismatch.
+func (c *conn) arity(args [][]byte, n int) bool {
+	if len(args) != n {
+		c.srv.mErrors.Inc()
+		c.w.Error(fmt.Sprintf("%s wants %d arguments", asciiUpper(args[0]), n-1))
+		return false
+	}
+	return true
+}
+
+// nudge unblocks a read parked on the network so the connection can
+// notice a shutdown; the past deadline makes the read fail immediately
+// with os.ErrDeadlineExceeded.
+func (c *conn) nudge() { c.nc.SetReadDeadline(time.Unix(1, 0)) }
+
+// asciiUpper returns the verb upper-cased without allocating for the
+// already-upper-case common case.
+func asciiUpper(b []byte) string {
+	if !bytes.ContainsFunc(b, func(r rune) bool { return r >= 'a' && r <= 'z' }) {
+		return string(b)
+	}
+	u := make([]byte, len(b))
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		u[i] = c
+	}
+	return string(u)
+}

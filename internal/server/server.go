@@ -1,0 +1,147 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"unixhash/internal/db"
+	"unixhash/internal/metrics"
+)
+
+// Options configures Serve.
+type Options struct {
+	// DB is the database the server fronts. Required. For parallel
+	// write throughput this should be a db.Sharded database: the
+	// server's coalesced writes apply as PutBatch calls, which take
+	// each table's lock exclusively — one table serializes them, N
+	// shards run N at once.
+	DB db.DB
+	// Metrics, when non-nil, receives the server_* series (connection
+	// and command counters). Pass the same registry the database's
+	// shards aggregate into and one /metrics page carries the whole
+	// stack, storage to sockets.
+	Metrics *metrics.Registry
+}
+
+// Server is a listening network front end. Close stops it gracefully:
+// the listener closes, every blocked connection is nudged awake, each
+// applies its in-flight work (pending coalesced writes included) and
+// says goodbye, and Close returns when the last one has drained.
+type Server struct {
+	db db.DB
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[*conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	mConns      *metrics.Counter
+	mActive     *metrics.Gauge
+	mCmds       *metrics.Counter
+	mErrors     *metrics.Counter
+	mCoalesced  *metrics.Counter
+	mBatchPuts  *metrics.Counter
+	mTxnCommits *metrics.Counter
+}
+
+// Serve starts listening on addr ("host:port"; ":0" picks a free port,
+// read it back with Addr) and serves o.DB until Close.
+func Serve(addr string, o Options) (*Server, error) {
+	if o.DB == nil {
+		return nil, errors.New("server: Options.DB is required")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{db: o.DB, ln: ln, conns: make(map[*conn]struct{})}
+	reg := o.Metrics
+	if reg == nil {
+		reg = metrics.New() // private sink: the counters still work
+	}
+	reg.Help("server_conns_total", "Connections accepted")
+	s.mConns = reg.Counter("server_conns_total")
+	reg.Help("server_conns_active", "Connections currently open")
+	s.mActive = reg.Gauge("server_conns_active")
+	reg.Help("server_cmds_total", "Commands executed")
+	s.mCmds = reg.Counter("server_cmds_total")
+	reg.Help("server_errors_total", "Commands answered with -ERR")
+	s.mErrors = reg.Counter("server_errors_total")
+	reg.Help("server_puts_coalesced_total", "PUTs applied through a coalesced batch")
+	s.mCoalesced = reg.Counter("server_puts_coalesced_total")
+	reg.Help("server_batch_puts_total", "Pairs applied through explicit BATCH commands")
+	s.mBatchPuts = reg.Counter("server_batch_puts_total")
+	reg.Help("server_txn_commits_total", "TXN COMMIT commands that succeeded")
+	s.mTxnCommits = reg.Counter("server_txn_commits_total")
+
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's resolved address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := &conn{srv: s, nc: nc, r: newReader(nc), w: newWriter(nc)}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.mConns.Inc()
+		s.mActive.Add(1)
+		go c.serve()
+	}
+}
+
+// connDone unregisters a finished connection.
+func (s *Server) connDone(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.mActive.Add(-1)
+	s.wg.Done()
+}
+
+// draining reports whether Close has begun; connections use it to tell
+// a shutdown nudge from a real timeout.
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close stops accepting, wakes every connection parked on a read, and
+// waits for all of them to drain: a connection mid-command finishes
+// it, applies any pending coalesced writes, flushes its replies, and
+// exits. The database is not closed — the caller owns it and typically
+// wants a final Sync after the server is quiet.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.nudge()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
