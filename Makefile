@@ -4,7 +4,7 @@ GO ?= go
 # -race is slow, so check races where the locks actually live.
 RACE_PKGS = ./internal/core ./internal/buffer ./internal/db ./internal/trace ./internal/server
 
-.PHONY: check build vet test race crash fuzz-crash wal-crash fuzz-wal-crash bench concurrency metrics bulkload txn serve serveload telemetry clean
+.PHONY: check build vet test race crash fuzz-crash wal-crash fuzz-wal-crash bench concurrency metrics bulkload txn misses serve serveload telemetry clean
 
 check: vet build test race crash
 
@@ -60,6 +60,13 @@ bulkload:
 txn:
 	$(GO) run ./cmd/hashbench -check 10 txn
 
+# Negative-lookup latency vs overflow-chain depth, tag filter on vs off,
+# plus a cold scan through the vectored chain read-ahead; refreshes
+# BENCH_misses.json and fails if a filtered depth-4 miss costs more than
+# 2x a depth-0 miss or the scan prefetched nothing.
+misses:
+	$(GO) run ./cmd/hashbench -check 2.0 misses
+
 # Run the sharded network front end on its defaults (8 in-memory
 # shards, WAL on, port 7700, ops dashboard on 7701). Talk to it with
 # `printf 'PUT k v\r\nGET k\r\n' | nc localhost 7700`.
@@ -80,4 +87,4 @@ telemetry:
 	$(GO) test -count=1 -run TestTelemetryEndToEnd -v .
 
 clean:
-	rm -f BENCH_concurrency.json BENCH_metrics.json BENCH_bulkload.json BENCH_txn.json BENCH_serve.json
+	rm -f BENCH_concurrency.json BENCH_metrics.json BENCH_bulkload.json BENCH_txn.json BENCH_serve.json BENCH_misses.json

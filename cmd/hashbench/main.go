@@ -19,6 +19,11 @@
 //	hashbench txn             durable single Put via WAL commit vs full
 //	                          sync, with commit latency percentiles;
 //	                          writes BENCH_txn.json
+//	hashbench misses          negative-lookup latency vs overflow-chain
+//	                          depth with the per-bucket tag filter on
+//	                          vs off, plus a cold scan through the
+//	                          vectored chain read-ahead; writes
+//	                          BENCH_misses.json
 //	hashbench serve           live traced workload with the telemetry
 //	                          endpoint up (watch with dbcli hashmon)
 //	hashbench serveload       the network front end over real TCP:
@@ -44,8 +49,10 @@
 //	          on GOMAXPROCS=1 hosts). txn: exit nonzero if the WAL
 //	          durable-put speedup over full sync falls below X.
 //	          serveload: exit nonzero if the 8-shard aggregate write
-//	          throughput speedup over 1 shard falls below X. The CI
-//	          regression gates.
+//	          throughput speedup over 1 shard falls below X. misses:
+//	          exit nonzero if a filtered depth-4 miss costs more than
+//	          X times a depth-0 miss, or the scan phase prefetched no
+//	          pages. The CI regression gates.
 //	-conns M  serveload: client connection count (default 8)
 //	-pipeline D
 //	          serveload: commands pipelined per window (default 64)
@@ -214,6 +221,27 @@ func main() {
 				fmt.Printf("gate passed: WAL durable-put speedup %.2fx >= %.2fx\n",
 					res.WalSpeedup, *check)
 			}
+		case "misses":
+			res, err := bench.Misses(*n)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			data, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile("BENCH_misses.json", data, 0o644); err != nil {
+				return err
+			}
+			fmt.Println("\nwrote BENCH_misses.json")
+			if *check > 0 {
+				if err := res.Gate(*check); err != nil {
+					return err
+				}
+				fmt.Printf("gate passed: filtered depth-4/depth-0 miss ratio %.2fx <= %.2fx, %d pages prefetched\n",
+					res.Depth4Over0, *check, res.ScanPrefetchedPages)
+			}
 		case "serve":
 			return bench.Serve(*n, *telemetry, *dur, os.Stdout)
 		case "serveload":
@@ -263,7 +291,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: hashbench [-n N | -quick] {fig5|fig6|fig7|fig8a|fig8b|methods|ablate|concurrency|metrics|bulkload|txn|serve|serveload|all}
+	fmt.Fprintf(os.Stderr, `usage: hashbench [-n N | -quick] {fig5|fig6|fig7|fig8a|fig8b|methods|ablate|concurrency|metrics|bulkload|txn|misses|serve|serveload|all}
 
 Regenerates the evaluation figures of "A New Hashing Package for UNIX"
 (Seltzer & Yigit, USENIX Winter 1991). See EXPERIMENTS.md for the

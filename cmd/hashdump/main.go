@@ -168,10 +168,16 @@ func printHeatmap(t *core.Table, verbose bool) error {
 		fmt.Printf("  %3d-%3d%%  %6d  %s\n", i*10, (i+1)*10, n, bar(n, len(h.PerBucket)))
 	}
 	if verbose {
-		fmt.Println("bucket  entries  bigrefs  chain  fill")
+		fmt.Println("bucket  entries  bigrefs  chain  fill  filter")
 		for _, row := range h.PerBucket {
-			fmt.Printf("%6d  %7d  %7d  %5d  %3.0f%%\n",
-				row.Bucket, row.Entries, row.BigRefs, row.ChainPages, 100*row.Fill)
+			flt := fmt.Sprintf("%d/%d", row.FilterTags, h.FilterTagCap)
+			if row.FilterSaturated {
+				flt += " sat"
+			} else if row.FilterInexact {
+				flt += " inex"
+			}
+			fmt.Printf("%6d  %7d  %7d  %5d  %3.0f%%  %s\n",
+				row.Bucket, row.Entries, row.BigRefs, row.ChainPages, 100*row.Fill, flt)
 		}
 	}
 	return nil

@@ -180,6 +180,14 @@ type pendingPair struct {
 	removed  bool // stale copy from before the batch has been removed
 }
 
+// fltOp records one tag-filter mutation — a key's hash and its chain
+// position — deferred until a bucket pass can settle them all on the
+// primary page in a single pin.
+type fltOp struct {
+	h   uint32
+	pos int
+}
+
 // putBucketGroup applies the batch pairs at idxs (all hashing to
 // bucket) in one walk of the bucket's chain. Each page is visited
 // exactly once: stale copies of batch keys found on it are removed
@@ -243,10 +251,18 @@ func (t *Table) putBucketGroup(bucket uint32, pairs []Pair, idxs []int) error {
 		pi    int
 	}
 	left := len(pending)
+	pos := -1
 	var tailAddr buffer.Addr
 	var rems []stale
+	// Filter maintenance is incremental, like the single-Put path: stale
+	// removals and placements are recorded with their chain positions
+	// during the walk (the batch never unlinks pages, so positions stay
+	// valid) and settled on the primary in one pin at the end. The keys'
+	// hashes come from the in-memory batch, so big refs need no re-read.
+	var fRems, fAdds []fltOp
 
 	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
+		pos++
 		pg := page(buf.Page)
 		tailAddr = buf.Addr
 
@@ -301,12 +317,13 @@ func (t *Table) putBucketGroup(bucket uint32, pairs []Pair, idxs []int) error {
 			t.nkeysA.Add(-1)
 			t.xorPairSum(sum)
 			pending[r.pi].removed = true
+			fRems = append(fRems, fltOp{h: t.hash(pairs[pending[r.pi].idx].Key), pos: pos})
 		}
 
 		// Pass 2: pack pending pairs into whatever space the page has
 		// (including space the removals just opened).
 		if left > 0 {
-			if err := t.packPending(buf, pairs, pending, &left); err != nil {
+			if err := t.packPending(buf, pairs, pending, &left, pos, &fAdds); err != nil {
 				return false, err
 			}
 		}
@@ -325,14 +342,16 @@ func (t *Table) putBucketGroup(bucket uint32, pairs []Pair, idxs []int) error {
 		if err != nil {
 			return err
 		}
+		tailPos := pos
 		for left > 0 {
 			nb, err := t.appendOvfl(tail)
 			if err != nil {
 				t.pool.Put(tail)
 				return err
 			}
+			tailPos++
 			before := left
-			if err := t.packPending(nb, pairs, pending, &left); err != nil {
+			if err := t.packPending(nb, pairs, pending, &left, tailPos, &fAdds); err != nil {
 				t.pool.Put(nb)
 				t.pool.Put(tail)
 				return err
@@ -347,13 +366,35 @@ func (t *Table) putBucketGroup(bucket uint32, pairs []Pair, idxs []int) error {
 		}
 		t.pool.Put(tail)
 	}
+
+	// Settle the deferred filter ops on the primary in one pin. Removals
+	// first: a replaced key's old tag must leave before its new one (at a
+	// possibly different position) lands, or the remove could cancel the
+	// wrong byte.
+	if len(fRems) > 0 || len(fAdds) > 0 {
+		pb, err := t.getBucketPage(bucket)
+		if err != nil {
+			return err
+		}
+		fpg := page(pb.Page)
+		for _, op := range fRems {
+			fpg.filterRemove(op.h, op.pos)
+		}
+		for _, op := range fAdds {
+			fpg.filterAdd(op.h, op.pos)
+		}
+		pb.Dirty.Store(true)
+		t.pool.Put(pb)
+	}
 	return nil
 }
 
 // packPending inserts every uninserted pending pair that fits on buf's
 // page, decrementing *left and keeping nkeys and the pair checksum
 // current. Big pairs are written to their chain first, then referenced.
-func (t *Table) packPending(buf *buffer.Buf, pairs []Pair, pending []pendingPair, left *int) error {
+// Each placement records a filter add at pos (buf's chain position) in
+// *adds for the caller to settle on the primary.
+func (t *Table) packPending(buf *buffer.Buf, pairs []Pair, pending []pendingPair, left *int, pos int, adds *[]fltOp) error {
 	pg := page(buf.Page)
 	for pi := range pending {
 		p := &pending[pi]
@@ -381,6 +422,7 @@ func (t *Table) packPending(buf *buffer.Buf, pairs []Pair, pending []pendingPair
 		*left--
 		t.nkeysA.Add(1)
 		t.xorPairSum(pairHash(k, d))
+		*adds = append(*adds, fltOp{h: t.hash(k), pos: pos})
 	}
 	return nil
 }

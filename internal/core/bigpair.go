@@ -44,9 +44,9 @@ func (t *Table) bigPayload() int { return int(t.hdr.bsize) - bigHdrSize }
 
 // isBig reports whether a pair must be stored on a big-pair chain: a
 // regular pair needs two slots, its bytes, and the link reserve on an
-// otherwise empty page.
+// otherwise empty page (whose slot array starts after the filter region).
 func (t *Table) isBig(klen, dlen int) bool {
-	return 2*slotSize+klen+dlen > int(t.hdr.bsize)-pageHdrSize-linkReserve
+	return 2*slotSize+klen+dlen > int(t.hdr.bsize)-slotBaseFor(int(t.hdr.bsize))-linkReserve
 }
 
 // putBigPair writes key and data to a fresh chain and returns its start

@@ -15,7 +15,13 @@ import (
 //   - no overflow page is referenced twice;
 //   - every allocated bitmap bit is accounted for by a chain page, a
 //     big-pair page or the bitmap page itself (no leaked pages);
-//   - the key count matches the header.
+//   - the key count matches the header;
+//   - every bucket's tag filter covers its chain: an unsaturated filter
+//     must hold a matching tag for every resident key (a false negative
+//     would make Get answer "absent" for a stored key), exact position
+//     hints must point at the page actually holding each key, the tag
+//     count must equal the bucket's key count, and the recorded chain
+//     length must match the real one while below its saturation point.
 //
 // It is exported for tests and the hashdump -check command.
 func (t *Table) Check() error {
@@ -94,20 +100,32 @@ func (t *Table) checkAllocated(o oaddr) error {
 }
 
 // checkBucket walks one bucket's chain, accumulating the key count and
-// the XOR pair fingerprint.
+// the XOR pair fingerprint, then validates the primary page's tag
+// filter against the keys the walk actually found.
 func (t *Table) checkBucket(bucket uint32, claim func(oaddr, string) error, count *int64, sum *uint64) error {
 	seen := 0
 	var chainErr error
+	// Filter state snapshot from the primary, and every key's (hash,
+	// chain position) as found by the walk.
+	var fltSat, fltInex bool
+	var fltTags []byte
+	fltChain := 0
+	var keys []fltOp
 	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
 		if seen++; seen > 1<<16 {
 			return false, fmt.Errorf("hash check: bucket %d chain exceeds 65536 pages (cycle?)", bucket)
 		}
+		pos := seen - 1
+		pg := page(buf.Page)
 		if buf.Addr.Ovfl {
 			if err := claim(oaddr(buf.Addr.N), fmt.Sprintf("bucket %d chain", bucket)); err != nil {
 				return false, err
 			}
+		} else {
+			fltSat, fltInex = pg.fltSaturatedBit(), pg.fltInexactBit()
+			fltChain = pg.fltChainLen()
+			fltTags = append([]byte(nil), pg[fltTagsOff:fltTagsOff+pg.fltCount()]...)
 		}
-		pg := page(buf.Page)
 		ferr := pg.forEach(func(i int, e entry) bool {
 			switch e.kind {
 			case entryRegular:
@@ -116,6 +134,7 @@ func (t *Table) checkBucket(bucket uint32, claim func(oaddr, string) error, coun
 						truncKey(e.key), bucket, want)
 					return false
 				}
+				keys = append(keys, fltOp{h: t.hash(e.key), pos: pos})
 				*count++
 				*sum ^= pairHash(e.key, e.data)
 			case entryBig:
@@ -140,6 +159,7 @@ func (t *Table) checkBucket(bucket uint32, claim func(oaddr, string) error, coun
 					chainErr = err
 					return false
 				}
+				keys = append(keys, fltOp{h: t.hash(key), pos: pos})
 				*count++
 				*sum ^= pairHash(key, data)
 			}
@@ -153,7 +173,49 @@ func (t *Table) checkBucket(bucket uint32, claim func(oaddr, string) error, coun
 		}
 		return false, nil
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	return t.checkFilter(bucket, fltSat, fltInex, fltChain, fltTags, seen-1, keys)
+}
+
+// checkFilter validates one bucket's tag filter against the keys its
+// chain walk found. A saturated filter answers nothing and is vacuously
+// valid; fltChainLen is validated whenever it is below its saturation
+// point (a value under 255 is maintained exactly).
+func (t *Table) checkFilter(bucket uint32, sat, inexact bool, chainLen int, tags []byte, novfl int, keys []fltOp) error {
+	if t.needsRecovery {
+		return nil // torn filter bytes are rebuilt by Recover, not Check
+	}
+	if chainLen < 255 && chainLen != novfl {
+		return fmt.Errorf("hash check: bucket %d filter records %d overflow pages, chain has %d",
+			bucket, chainLen, novfl)
+	}
+	if sat {
+		return nil
+	}
+	if len(tags) != len(keys) {
+		return fmt.Errorf("hash check: bucket %d filter holds %d tags for %d keys",
+			bucket, len(tags), len(keys))
+	}
+	for _, k := range keys {
+		hints := tagHints(tags, k.h)
+		if hints == 0 {
+			return fmt.Errorf("hash check: bucket %d filter has no tag for a key at chain position %d (false negative)",
+				bucket, k.pos)
+		}
+		if !inexact {
+			hb := k.pos
+			if hb > maxHint {
+				hb = maxHint
+			}
+			if hints&(1<<hb) == 0 {
+				return fmt.Errorf("hash check: bucket %d filter hints %#x miss a key at chain position %d",
+					bucket, hints, k.pos)
+			}
+		}
+	}
+	return nil
 }
 
 // bigChainPages returns a big pair's key and the chain's page list,

@@ -40,7 +40,7 @@ func (t *Table) FillStats() (FillStats, error) {
 		return FillStats{}, err
 	}
 	s := FillStats{Buckets: t.hdr.maxBucket + 1, Keys: t.nkeysA.Load()}
-	usable := int(t.hdr.bsize) - pageHdrSize
+	usable := int(t.hdr.bsize) - slotBaseFor(int(t.hdr.bsize))
 
 	var usedBytes, availBytes int64
 	for b := uint32(0); b <= t.hdr.maxBucket; b++ {

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestMissAllocs guards the negative-lookup hot path's allocation
+// budget: with filters enabled, a Get of an absent key — the case the
+// tag filter turns into a pure header consult — must not allocate.
+// Observability (skip counters) and the filter probe both work on the
+// pinned page and pre-resolved atomics, so "definitely absent" is free.
+func TestMissAllocs(t *testing.T) {
+	tbl := mustOpen(t, "", &Options{Bsize: 1024, Ffactor: 16})
+	defer tbl.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := tbl.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	misses := make([][]byte, n)
+	for i := range misses {
+		misses[i] = []byte(fmt.Sprintf("absent-%04d", i))
+	}
+	buf := make([]byte, 0, 64)
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		var err error
+		buf, err = tbl.GetBuf(misses[i%n], buf)
+		if !errors.Is(err, ErrNotFound) {
+			t.Fatalf("miss returned %v", err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("filtered miss allocated %.1f times per op, want 0", allocs)
+	}
+	if skips := tbl.m.filterSkips.Load(); skips == 0 {
+		t.Fatal("miss storm never took the filter skip path")
+	}
+}
+
+// TestFilterCounters checks the three Get outcomes land in the right
+// counters: a present key is a hit, an absent key is (almost always) a
+// skip, and consults always equal gets on a filtered table.
+func TestFilterCounters(t *testing.T) {
+	tbl := mustOpen(t, "", &Options{Bsize: 1024, Ffactor: 16})
+	defer tbl.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := tbl.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := tbl.Get(key(i)); err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if _, err := tbl.Get([]byte(fmt.Sprintf("no-such-%04d", i))); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("miss %d: %v", i, err)
+		}
+	}
+	hits := tbl.m.filterHits.Load()
+	skips := tbl.m.filterSkips.Load()
+	fps := tbl.m.filterFPs.Load()
+	if hits != n {
+		t.Errorf("filter hits = %d, want %d (every present key consults and passes)", hits, n)
+	}
+	if skips == 0 {
+		t.Error("no miss was answered by the filter alone")
+	}
+	if hits+skips+fps != 2*n {
+		t.Errorf("consults %d+%d+%d != %d gets", hits, skips, fps, 2*n)
+	}
+}
+
+// TestDisableFilterStillCorrect runs the same workload with filter
+// consults and read-ahead off: results must be identical and no filter
+// counter may move — DisableFilter gates reads only, maintenance still
+// runs so a later reopen with filters on sees valid tags.
+func TestDisableFilterStillCorrect(t *testing.T) {
+	tbl := mustOpen(t, "", &Options{Bsize: 1024, Ffactor: 16, DisableFilter: true, DisableReadAhead: true})
+	defer tbl.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := tbl.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := tbl.Get(key(i)); err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if _, err := tbl.Get([]byte(fmt.Sprintf("no-such-%04d", i))); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("miss %d: %v", i, err)
+		}
+	}
+	if c := tbl.m.filterHits.Load() + tbl.m.filterSkips.Load() + tbl.m.filterFPs.Load(); c != 0 {
+		t.Errorf("DisableFilter consulted the filter %d times", c)
+	}
+	// Maintenance ran regardless: the structural check's filter leg
+	// (tag count vs key count, no false negatives) must hold.
+	if err := tbl.Check(); err != nil {
+		t.Fatalf("check with filters disabled: %v", err)
+	}
+}

@@ -20,6 +20,11 @@ type BucketHeat struct {
 	BigRefs    int     `json:"big_refs,omitempty"`
 	ChainPages int     `json:"chain_pages"` // overflow pages past the primary
 	Fill       float64 `json:"fill"`        // used/usable bytes over the chain's pages
+	// Tag-filter occupancy on the primary page: tags in use (out of the
+	// table-wide FilterTagCap) and the degraded states.
+	FilterTags      int  `json:"filter_tags"`
+	FilterSaturated bool `json:"filter_saturated,omitempty"`
+	FilterInexact   bool `json:"filter_inexact,omitempty"`
 }
 
 // Heatmap is the full per-bucket report.
@@ -32,6 +37,23 @@ type Heatmap struct {
 	// ChainDist[i] counts buckets with exactly i overflow pages.
 	ChainDist []int        `json:"chain_dist"`
 	PerBucket []BucketHeat `json:"per_bucket"`
+	// Tag-filter state across the table: per-page tag capacity, mean
+	// occupancy (tags in use over capacity), and degraded-bucket counts.
+	FilterTagCap    int     `json:"filter_tag_cap"`
+	FilterOccupancy float64 `json:"filter_occupancy"`
+	FilterSaturated int     `json:"filter_saturated_buckets"`
+	FilterInexact   int     `json:"filter_inexact_buckets"`
+	// Filter effectiveness so far (lifetime counters): of the Gets that
+	// consulted a filter, the fraction answered "absent" with zero chain
+	// reads (skip rate) and the fraction that probed and still missed
+	// (false-positive rate).
+	FilterSkips     int64   `json:"filter_skips"`
+	FilterHits      int64   `json:"filter_hits"`
+	FilterFPs       int64   `json:"filter_false_positives"`
+	FilterSkipRate  float64 `json:"filter_skip_rate"`
+	FilterFPRate    float64 `json:"filter_fp_rate"`
+	Prefetches      int64   `json:"prefetches"`
+	PrefetchedPages int64   `json:"prefetched_pages"`
 }
 
 // String renders a compact summary plus a fill histogram for the CLIs.
@@ -43,6 +65,9 @@ func (h *Heatmap) String() string {
 			s += fmt.Sprintf(" chain[%d]=%d", depth, n)
 		}
 	}
+	s += fmt.Sprintf("\nfilters: occupancy=%.0f%% (cap %d/bucket) saturated=%d inexact=%d skiprate=%.0f%% fprate=%.0f%% prefetched=%d pages",
+		100*h.FilterOccupancy, h.FilterTagCap, h.FilterSaturated, h.FilterInexact,
+		100*h.FilterSkipRate, 100*h.FilterFPRate, h.PrefetchedPages)
 	return s
 }
 
@@ -62,7 +87,7 @@ func (t *Table) Heatmap() (*Heatmap, error) {
 		NKeys:     t.nkeysA.Load(),
 		PerBucket: make([]BucketHeat, 0, maxB+1),
 	}
-	usable := int(t.hdr.bsize) - pageHdrSize
+	usable := int(t.hdr.bsize) - slotBaseFor(int(t.hdr.bsize))
 	var usedTotal, availTotal int64
 	for b := uint32(0); b <= maxB; b++ {
 		row := BucketHeat{Bucket: b}
@@ -75,6 +100,11 @@ func (t *Table) Heatmap() (*Heatmap, error) {
 			}
 			pages++
 			pg := page(buf.Page)
+			if !buf.Addr.Ovfl {
+				row.FilterTags = pg.fltCount()
+				row.FilterSaturated = pg.fltSaturatedBit()
+				row.FilterInexact = pg.fltInexactBit()
+			}
 			used += usable - pg.freeSpace()
 			return false, pg.forEach(func(_ int, e entry) bool {
 				row.Entries++
@@ -105,5 +135,31 @@ func (t *Table) Heatmap() (*Heatmap, error) {
 	if availTotal > 0 {
 		h.AvgFill = float64(usedTotal) / float64(availTotal)
 	}
+
+	// Filter roll-up: per-page occupancy plus the lifetime skip and
+	// false-positive rates from the table's counters.
+	h.FilterTagCap = tagCapFor(int(t.hdr.bsize))
+	tagsTotal := 0
+	for _, row := range h.PerBucket {
+		tagsTotal += row.FilterTags
+		if row.FilterSaturated {
+			h.FilterSaturated++
+		}
+		if row.FilterInexact {
+			h.FilterInexact++
+		}
+	}
+	if n := int(h.Buckets) * h.FilterTagCap; n > 0 {
+		h.FilterOccupancy = float64(tagsTotal) / float64(n)
+	}
+	h.FilterSkips = t.m.filterSkips.Load()
+	h.FilterHits = t.m.filterHits.Load()
+	h.FilterFPs = t.m.filterFPs.Load()
+	if consults := h.FilterSkips + h.FilterHits + h.FilterFPs; consults > 0 {
+		h.FilterSkipRate = float64(h.FilterSkips) / float64(consults)
+		h.FilterFPRate = float64(h.FilterFPs) / float64(consults)
+	}
+	h.Prefetches = t.m.prefetches.Load()
+	h.PrefetchedPages = t.m.prefetchedPages.Load()
 	return h, nil
 }

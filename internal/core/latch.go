@@ -444,14 +444,15 @@ func (t *Table) placeSplitEntry(oldB, newB uint32, e splitEntry) error {
 			return err
 		}
 	}
-	dest := routeBucket(t.hash(key), t.geo.Load())
+	h := t.hash(key)
+	dest := routeBucket(h, t.geo.Load())
 	if dest != oldB && dest != newB {
 		return fmt.Errorf("%w: split of bucket %d sent key to bucket %d (new %d)", ErrCorrupt, oldB, dest, newB)
 	}
 	if e.ref != 0 {
-		return t.insertRef(dest, e.ref)
+		return t.insertRef(dest, h, e.ref)
 	}
-	return t.insert(dest, key, e.data)
+	return t.insert(dest, h, key, e.data)
 }
 
 // finishSplitLocked completes the split: clears the published state so

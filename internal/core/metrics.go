@@ -44,6 +44,18 @@ const (
 	MetricTxnCommits  = "hash_txn_commits_total"
 	MetricWalReplays  = "hash_wal_replayed_txns_total"
 	MetricCheckpoints = "hash_checkpoints_total"
+	// Read acceleration (see filter.go and buffer.Pool.PrefetchChain).
+	// Skips are filter consults that proved a key absent with zero chain
+	// reads; hits are consults confirmed by a found key; false positives
+	// are consults that passed but found nothing; page skips are overflow
+	// pages a walk bypassed on position hints. Prefetches count vectored
+	// chain read-ahead batches and the pages they installed.
+	MetricFilterHits      = "hash_filter_hits_total"
+	MetricFilterSkips     = "hash_filter_skips_total"
+	MetricFilterFPs       = "hash_filter_false_positives_total"
+	MetricFilterPageSkips = "hash_filter_page_skips_total"
+	MetricPrefetches      = "hash_prefetches_total"
+	MetricPrefetchedPages = "hash_prefetched_pages_total"
 )
 
 // tableMetrics holds the table's resolved metric handles. Handles are
@@ -79,6 +91,12 @@ type tableMetrics struct {
 	txnCommits         *metrics.Counter
 	walReplays         *metrics.Counter
 	checkpoints        *metrics.Counter
+	filterHits         *metrics.Counter
+	filterSkips        *metrics.Counter
+	filterFPs          *metrics.Counter
+	filterPageSkips    *metrics.Counter
+	prefetches         *metrics.Counter
+	prefetchedPages    *metrics.Counter
 }
 
 // init resolves every handle from reg, creating a private registry when
@@ -116,6 +134,12 @@ func (m *tableMetrics) init(reg *metrics.Registry) {
 	m.txnCommits = reg.Counter(MetricTxnCommits)
 	m.walReplays = reg.Counter(MetricWalReplays)
 	m.checkpoints = reg.Counter(MetricCheckpoints)
+	m.filterHits = reg.Counter(MetricFilterHits)
+	m.filterSkips = reg.Counter(MetricFilterSkips)
+	m.filterFPs = reg.Counter(MetricFilterFPs)
+	m.filterPageSkips = reg.Counter(MetricFilterPageSkips)
+	m.prefetches = reg.Counter(MetricPrefetches)
+	m.prefetchedPages = reg.Counter(MetricPrefetchedPages)
 }
 
 // setShape publishes the table's key count and bucket count as gauges.

@@ -10,7 +10,10 @@ import (
 //
 //	bytes 0..1   uint16 nslots  — number of 16-bit slots in use
 //	bytes 2..3   uint16 low     — offset of the lowest used data byte
-//	bytes 4..    slot array, two slots per entry
+//	bytes 4..    tag-filter region (see filter.go): count, flags,
+//	             chain length, then one tag byte per resident key;
+//	             live only on primary bucket pages, zero elsewhere
+//	bytes sB..   slot array, two slots per entry (sB = slotBaseFor)
 //	...free space...
 //	bytes low..  key/data bytes, packed downward from the page end
 //
@@ -52,9 +55,9 @@ func (p page) setNslots(n int) { le.PutUint16(p[0:2], uint16(n)) }
 func (p page) low() int        { return int(le.Uint16(p[2:4])) }
 func (p page) setLow(n int)    { le.PutUint16(p[2:4], uint16(n)) }
 
-func (p page) slot(i int) uint16 { return le.Uint16(p[pageHdrSize+i*slotSize:]) }
+func (p page) slot(i int) uint16 { return le.Uint16(p[p.slotBase()+i*slotSize:]) }
 func (p page) setSlot(i int, v uint16) {
-	le.PutUint16(p[pageHdrSize+i*slotSize:], v)
+	le.PutUint16(p[p.slotBase()+i*slotSize:], v)
 }
 
 // initPage formats a zeroed buffer as an empty data page.
@@ -116,7 +119,7 @@ func (p page) clearOvflLink() {
 // freeSpace returns the bytes available between the slot array and the
 // packed data region.
 func (p page) freeSpace() int {
-	return p.low() - pageHdrSize - p.nslots()*slotSize
+	return p.low() - p.slotBase() - p.nslots()*slotSize
 }
 
 // linkReserve is kept free on every page so that a full page can always
@@ -165,7 +168,7 @@ func (p page) forEach(fn func(i int, e entry) bool) error {
 	ns := p.nslots()
 	// Bounds-check the slot array before indexing: on a garbage page
 	// (torn write, corruption) nslots can claim more slots than fit.
-	if pageHdrSize+ns*slotSize > len(p) {
+	if p.slotBase()+ns*slotSize > len(p) {
 		return fmt.Errorf("%w: %d slots do not fit on a %d-byte page", ErrCorrupt, ns, len(p))
 	}
 	if p.low() > len(p) {

@@ -19,7 +19,7 @@ func TestPageInit(t *testing.T) {
 	if p.nslots() != 0 || p.low() != 256 {
 		t.Fatalf("fresh page: nslots=%d low=%d", p.nslots(), p.low())
 	}
-	if p.freeSpace() != 256-pageHdrSize {
+	if p.freeSpace() != 256-slotBaseFor(256) {
 		t.Fatalf("freeSpace = %d", p.freeSpace())
 	}
 	if p.nentries() != 0 || p.ovflLink() != 0 {
@@ -154,7 +154,7 @@ func TestPageRemoveEntry(t *testing.T) {
 	if err := p.removeEntry(0); err != nil {
 		t.Fatal(err)
 	}
-	if p.nentries() != 0 || p.freeSpace() != 256-pageHdrSize {
+	if p.nentries() != 0 || p.freeSpace() != 256-slotBaseFor(256) {
 		t.Fatalf("after removing all: nentries=%d free=%d", p.nentries(), p.freeSpace())
 	}
 }
@@ -281,7 +281,7 @@ func randBytes(rng *rand.Rand, n int) []byte {
 // Property: a pair added to an empty page always reads back.
 func TestPageRoundtripProperty(t *testing.T) {
 	f := func(k, v []byte) bool {
-		if len(k) == 0 || len(k)+len(v) > 1024-pageHdrSize-2*slotSize-linkReserve {
+		if len(k) == 0 || len(k)+len(v) > 1024-slotBaseFor(1024)-2*slotSize-linkReserve {
 			return true // out of scope for a single 1K page
 		}
 		p := newTestPage(1024)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
@@ -56,6 +57,7 @@ type RecoveryReport struct {
 	LinksCut       int    // post-sync overflow links cut
 	RefsDropped    int    // post-sync entries dropped
 	BitmapsRebuilt int    // overflow-use bitmaps rebuilt from reachability
+	FiltersRebuilt int    // primary pages whose tag filters were rewritten
 	WALTxns        int    // committed transactions replayed from the log
 	WALOps         int    // puts/deletes those transactions contained
 }
@@ -69,8 +71,8 @@ func (r RecoveryReport) String() string {
 	if !r.WasDirty {
 		return fmt.Sprintf("clean (epoch %d, %d keys)%s", r.SyncEpoch, r.NKeys, wal)
 	}
-	return fmt.Sprintf("recovered to epoch %d: %d keys, %d pages reset, %d links cut, %d entries dropped, %d bitmaps rebuilt%s",
-		r.SyncEpoch, r.NKeys, r.PagesReset, r.LinksCut, r.RefsDropped, r.BitmapsRebuilt, wal)
+	return fmt.Sprintf("recovered to epoch %d: %d keys, %d pages reset, %d links cut, %d entries dropped, %d bitmaps rebuilt, %d filters rewritten%s",
+		r.SyncEpoch, r.NKeys, r.PagesReset, r.LinksCut, r.RefsDropped, r.BitmapsRebuilt, r.FiltersRebuilt, wal)
 }
 
 // pageRepair is the planned edit for one physical page.
@@ -88,6 +90,7 @@ type recovery struct {
 	order   []uint32               // deterministic apply order
 	count   int64
 	sum     uint64
+	filters int // primary pages whose tag filters applyRecovery rewrote
 }
 
 func (r *recovery) plan(pageno uint32) *pageRepair {
@@ -403,11 +406,100 @@ func (t *Table) applyRecovery(r *recovery) error {
 	t.pairSumA.Store(t.hdr.pairSum)
 	t.publishGeo()
 	t.tr.Emit(trace.EvRecoveryStep, trace.RecoveryStepBitmaps, uint64(rebuilt), 0, 0)
+
+	// Tag filters are pure acceleration state and are never trusted
+	// across a crash: a torn filter write could hide a surviving pair (a
+	// false-negative hazard) without perturbing the count/fingerprint
+	// gate, which deliberately ignores the filter bytes. Rebuild every
+	// bucket's filter from the (now repaired) pair data. The header is
+	// still dirty until syncLocked below, so a crash mid-rebuild re-runs
+	// recovery and converges.
+	filters, err := t.rebuildFilters()
+	if err != nil {
+		return err
+	}
+	r.filters = filters
+	t.tr.Emit(trace.EvRecoveryStep, trace.RecoveryStepFilters, uint64(filters), 0, 0)
 	if err := t.syncLocked(); err != nil {
 		return err
 	}
 	t.tr.Emit(trace.EvRecoveryStep, trace.RecoveryStepDone, uint64(t.hdr.nkeys), t.hdr.syncEpoch, 0)
 	return nil
+}
+
+// rebuildFilters recomputes every bucket's tag-filter region from the
+// surviving pair data, with direct store I/O (the buffer pool is still
+// cold at this point, apart from big-pair reads). A bucket's primary is
+// rewritten only when the rebuilt region differs from what was on disk.
+// Returns the number of primary pages rewritten. The caller holds t.mu.
+func (t *Table) rebuildFilters() (int, error) {
+	bsize := int(t.hdr.bsize)
+	base := slotBaseFor(bsize)
+	buf := make([]byte, bsize)
+	cbuf := make([]byte, bsize)
+	before := make([]byte, base-pageHdrSize)
+	written := 0
+	for b := uint32(0); b <= t.hdr.maxBucket; b++ {
+		pageno := t.hdr.bucketToPage(b)
+		if err := t.store.ReadPage(pageno, buf); err != nil {
+			if errors.Is(err, pagefile.ErrNotAllocated) {
+				continue // never written: an empty bucket
+			}
+			return written, err
+		}
+		pg := page(buf)
+		copy(before, buf[pageHdrSize:base])
+		pg.filterReset()
+		// Walk the (already repaired) chain, tagging every key at its
+		// chain position. Filter bytes always live on the primary, so
+		// filterAdd targets pg regardless of which page holds the pair.
+		pos, novfl := 0, 0
+		cur := pg
+		for {
+			var inner error
+			ferr := cur.forEach(func(_ int, e entry) bool {
+				switch e.kind {
+				case entryRegular:
+					pg.filterAdd(t.hash(e.key), pos)
+				case entryBig:
+					bk, err := t.bigKey(e.ref)
+					if err != nil {
+						inner = err
+						return false
+					}
+					pg.filterAdd(t.hash(bk), pos)
+				}
+				return true
+			})
+			if ferr != nil {
+				return written, fmt.Errorf("%w: bucket %d filter rebuild: %v", ErrCorrupt, b, ferr)
+			}
+			if inner != nil {
+				return written, inner
+			}
+			next := cur.ovflLink()
+			if next == 0 {
+				break
+			}
+			novfl++
+			if novfl > 1<<16 {
+				return written, fmt.Errorf("%w: bucket %d chain exceeds 65536 pages during filter rebuild", ErrUnrecoverable, b)
+			}
+			if err := t.store.ReadPage(t.hdr.oaddrToPage(next), cbuf); err != nil {
+				return written, err
+			}
+			cur = page(cbuf)
+			pos++
+		}
+		pg.setFltChainLen(novfl)
+		if !bytes.Equal(before, buf[pageHdrSize:base]) {
+			if err := t.store.WritePage(pageno, buf); err != nil {
+				return written, err
+			}
+			written++
+		}
+	}
+	return written, nil
 }
 
 // Recover opens the table at path (or Options.Store), and if its dirty
@@ -483,6 +575,7 @@ func Recover(path string, o *Options) (*Table, RecoveryReport, error) {
 			rep.BitmapsRebuilt++
 		}
 	}
+	rep.FiltersRebuilt = r.filters
 	t.m.recoverRepairs.Add(int64(rep.PagesReset + rep.LinksCut + rep.RefsDropped))
 	t.m.setShape(t.hdr.nkeys, t.hdr.maxBucket)
 	t.mu.Unlock()

@@ -112,6 +112,17 @@ type Options struct {
 	// log fsyncs, the sequential-I/O counterpart of Cost. Zero charges
 	// nothing.
 	WALCost wal.CostModel
+	// DisableFilter stops reads from consulting the per-bucket tag
+	// filters (see filter.go). The filter bytes are still maintained by
+	// every write — they are persistent page state, and a table mutated
+	// with filters off must still answer correctly when reopened without
+	// the option — so this only removes the read-side consult. It exists
+	// for the A/B miss benchmarks.
+	DisableFilter bool
+	// DisableReadAhead stops reads and iteration from issuing vectored
+	// chain read-ahead through the buffer pool (see
+	// buffer.Pool.PrefetchChain). For the A/B miss benchmarks.
+	DisableReadAhead bool
 }
 
 // Validate checks the option fields without applying defaults: a zero
@@ -186,6 +197,8 @@ type Table struct {
 	readonly       bool
 	closed         bool
 	controlledOnly bool
+	filtersOn      bool // reads consult the per-bucket tag filters
+	prefetchOn     bool // chain walks issue vectored read-ahead
 
 	// Bucket-granular concurrency state (see latch.go). geo publishes
 	// hdr.maxBucket for shared-phase routing; stripes are the per-bucket
@@ -310,7 +323,8 @@ func Open(path string, o *Options) (*Table, error) {
 		return nil, err
 	}
 
-	t := &Table{hash: opts.Hash, path: path, readonly: opts.ReadOnly, controlledOnly: opts.ControlledOnly, groupCommit: opts.GroupCommit, tr: opts.Trace}
+	t := &Table{hash: opts.Hash, path: path, readonly: opts.ReadOnly, controlledOnly: opts.ControlledOnly, groupCommit: opts.GroupCommit, tr: opts.Trace,
+		filtersOn: !opts.DisableFilter, prefetchOn: !opts.DisableReadAhead}
 	t.gc.cond = sync.NewCond(&t.gc.mu)
 	t.split.cond = sync.NewCond(&t.split.mu)
 
@@ -771,19 +785,63 @@ func (t *Table) getBuf(key, dst []byte) ([]byte, error) {
 		return nil, ErrEmptyKey
 	}
 	t.m.gets.Inc()
-	bucket := t.lockBucket(t.hash(key), false)
-	out, err := t.getFromBucket(bucket, key, dst)
+	h := t.hash(key)
+	bucket := t.lockBucket(h, false)
+	out, err := t.getFromBucket(bucket, h, key, dst)
 	t.stripeFor(bucket).RUnlock()
 	return out, err
 }
 
-// getFromBucket walks one latched bucket chain for key. Caller holds the
+// getFromBucket walks one latched bucket chain for key (h is the key's
+// hash, computed once by the caller). The primary page's tag filter is
+// consulted before anything else: no tag matching the hash means the key
+// is definitely absent and the miss costs zero chain-page reads; exact
+// position hints let the walk skip pages that cannot hold the key; and
+// when the walk will descend a chain, the chain's pages are installed
+// ahead of it with one vectored read (prefetchChain). Caller holds the
 // bucket's stripe shared.
-func (t *Table) getFromBucket(bucket uint32, key, dst []byte) ([]byte, error) {
+func (t *Table) getFromBucket(bucket, h uint32, key, dst []byte) ([]byte, error) {
 	out := dst[:0]
 	found := false
+	filtered := false // the primary's filter was consulted
+	exact := false    // ... and its position hints are trustworthy
+	skipped := false  // ... and it answered "definitely absent"
+	var hints uint8
+	pos := -1
 	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
+		pos++
 		pg := page(buf.Page)
+		if pos == 0 {
+			if t.filtersOn && !t.needsRecovery && !pg.fltSaturatedBit() {
+				filtered = true
+				exact = !pg.fltInexactBit()
+				hints = pg.filterHints(h)
+				if hints == 0 {
+					// Definitely absent: stop before any chain read.
+					skipped = true
+					t.m.filterSkips.Inc()
+					t.tr.Emit(trace.EvFilterSkip, uint64(bucket), uint64(pg.fltChainLen()), 0, 0)
+					return true, nil
+				}
+			}
+			if !filtered || !exact || hints>>1 != 0 {
+				// The walk may descend the chain: read it ahead.
+				t.prefetchChain(buf, pg)
+			}
+		}
+		if filtered && exact {
+			hb := pos
+			if hb > maxHint {
+				hb = maxHint
+			}
+			if hints&(1<<hb) == 0 {
+				// No tag points at this chain position: skip the search
+				// (the page itself stays on the walk — it carries the
+				// link to its successor).
+				t.m.filterPageSkips.Inc()
+				return false, nil
+			}
+		}
 		var inner error
 		ferr := pg.forEach(func(i int, e entry) bool {
 			switch e.kind {
@@ -820,9 +878,56 @@ func (t *Table) getFromBucket(bucket uint32, key, dst []byte) ([]byte, error) {
 	}
 	if !found {
 		t.m.getMisses.Inc()
+		if filtered && !skipped {
+			// The filter said "maybe" and the chain said no.
+			t.m.filterFPs.Inc()
+		}
 		return nil, ErrNotFound
 	}
+	if filtered {
+		t.m.filterHits.Inc()
+	}
 	return out, nil
+}
+
+// safeChainLink parses the trailing overflow link of an unvalidated page
+// image (freshly prefetched bytes no reader has seen): a page whose slot
+// array does not parse yields no link, stopping the read-ahead.
+func safeChainLink(pg []byte) (buffer.Addr, bool) {
+	p := page(pg)
+	if p.slotBase()+p.nslots()*slotSize > len(p) {
+		return buffer.Addr{}, false
+	}
+	o := p.ovflLink()
+	if o == 0 {
+		return buffer.Addr{}, false
+	}
+	return ovflBufAddr(o), true
+}
+
+// prefetchChain installs primary's overflow chain into the buffer pool
+// with one vectored read, sized by the filter region's chain counter. A
+// no-op for chains short enough that demand paging is just as cheap,
+// when read-ahead is disabled, or on an unrecovered table (whose chain
+// counter bytes cannot be trusted).
+func (t *Table) prefetchChain(primary *buffer.Buf, pg page) {
+	if !t.prefetchOn || t.needsRecovery {
+		return
+	}
+	want := pg.fltChainLen()
+	if want < 2 {
+		return
+	}
+	first := pg.ovflLink()
+	if first == 0 {
+		return
+	}
+	n := t.pool.PrefetchChain(primary, ovflBufAddr(first), want, safeChainLink)
+	if n > 0 {
+		t.m.prefetches.Inc()
+		t.m.prefetchedPages.Add(int64(n))
+		t.tr.Emit(trace.EvPrefetch, uint64(primary.Addr.N), uint64(n), uint64(want), 0)
+	}
 }
 
 // Has reports whether key is present.
@@ -899,11 +1004,14 @@ type putScan struct {
 	found     bool
 	foundAddr buffer.Addr
 	foundIdx  int
+	foundPos  int // chain position of foundAddr (0 = primary)
 	foundRef  oaddr
 	foundSum  uint64 // pairHash of the existing pair (big: filled later)
 	room      bool
 	roomAddr  buffer.Addr
+	roomPos   int // chain position of roomAddr
 	tailAddr  buffer.Addr
+	tailPos   int // chain position of tailAddr
 }
 
 // scanBucket walks the chain once, locating key and an insertion point.
@@ -912,16 +1020,18 @@ type putScan struct {
 func (t *Table) scanBucket(bucket uint32, key []byte, needRef bool, klen, dlen int) (putScan, error) {
 	var s putScan
 	s.foundIdx = -1
+	pos := -1
 	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
+		pos++
 		pg := page(buf.Page)
-		s.tailAddr = buf.Addr
+		s.tailAddr, s.tailPos = buf.Addr, pos
 		if !s.found {
 			var inner error
 			ferr := pg.forEach(func(i int, e entry) bool {
 				switch e.kind {
 				case entryRegular:
 					if bytes.Equal(e.key, key) {
-						s.found, s.foundAddr, s.foundIdx = true, buf.Addr, i
+						s.found, s.foundAddr, s.foundIdx, s.foundPos = true, buf.Addr, i, pos
 						s.foundSum = pairHash(e.key, e.data)
 						return false
 					}
@@ -932,7 +1042,7 @@ func (t *Table) scanBucket(bucket uint32, key []byte, needRef bool, klen, dlen i
 						return false
 					}
 					if eq {
-						s.found, s.foundAddr, s.foundIdx, s.foundRef = true, buf.Addr, i, e.ref
+						s.found, s.foundAddr, s.foundIdx, s.foundPos, s.foundRef = true, buf.Addr, i, pos, e.ref
 						return false
 					}
 				}
@@ -951,7 +1061,7 @@ func (t *Table) scanBucket(bucket uint32, key []byte, needRef bool, klen, dlen i
 				fits = pg.fitsRef()
 			}
 			if fits {
-				s.room, s.roomAddr = true, buf.Addr
+				s.room, s.roomAddr, s.roomPos = true, buf.Addr, pos
 			}
 		}
 		return false, nil // continue: the tail address is needed
@@ -1012,7 +1122,7 @@ func (t *Table) putInner(key, data []byte, replace bool) error {
 	}
 
 	bucket := t.lockBucket(h, true)
-	err := t.putInBucket(bucket, key, data, replace, big, ref)
+	err := t.putInBucket(bucket, h, key, data, replace, big, ref)
 	t.stripeFor(bucket).Unlock()
 	if err != nil {
 		if big && errors.Is(err, ErrKeyExists) {
@@ -1037,9 +1147,9 @@ func (t *Table) putInner(key, data []byte, replace bool) error {
 }
 
 // putInBucket performs the insert-or-replace against one latched bucket
-// chain. Caller holds the bucket's stripe exclusively; for big pairs the
-// chain at ref is already written.
-func (t *Table) putInBucket(bucket uint32, key, data []byte, replace, big bool, ref oaddr) error {
+// chain (h is key's hash). Caller holds the bucket's stripe exclusively;
+// for big pairs the chain at ref is already written.
+func (t *Table) putInBucket(bucket, h uint32, key, data []byte, replace, big bool, ref oaddr) error {
 	s, err := t.scanBucket(bucket, key, big, len(key), len(data))
 	if err != nil {
 		return err
@@ -1055,6 +1165,7 @@ func (t *Table) putInBucket(bucket uint32, key, data []byte, replace, big bool, 
 	}
 
 	inserted := false
+	insPos := 0
 	if s.found {
 		if s.foundRef != 0 {
 			// The replaced pair lives on a big chain: fingerprint it
@@ -1086,10 +1197,10 @@ func (t *Table) putInBucket(bucket uint32, key, data []byte, replace, big bool, 
 		// The vacated page is the preferred insertion point.
 		if big && pg.fitsRef() {
 			pg.addRef(ref)
-			inserted = true
+			inserted, insPos = true, s.foundPos
 		} else if !big && pg.fitsRegular(len(key), len(data)) {
 			pg.addRegular(key, data)
-			inserted = true
+			inserted, insPos = true, s.foundPos
 		}
 		t.pool.Put(buf)
 	}
@@ -1109,6 +1220,7 @@ func (t *Table) putInBucket(bucket uint32, key, data []byte, replace, big bool, 
 			inserted = true
 		}
 		if inserted {
+			insPos = s.roomPos
 			buf.Dirty.Store(true)
 		}
 		t.pool.Put(buf)
@@ -1135,10 +1247,26 @@ func (t *Table) putInBucket(bucket uint32, key, data []byte, replace, big bool, 
 			}
 			pg.addRegular(key, data)
 		}
+		insPos = s.tailPos + 1
 		nb.Dirty.Store(true)
 		t.pool.Put(nb)
 		t.pool.Put(tail)
 	}
+
+	// Settle the primary page's tag filter: the replaced copy's tag
+	// leaves, the new copy's tag lands at its insertion position. One
+	// extra pin of the primary — a pool hit, the scan just touched it.
+	pb, err := t.getBucketPage(bucket)
+	if err != nil {
+		return err
+	}
+	fpg := page(pb.Page)
+	if s.found {
+		fpg.filterRemove(h, s.foundPos)
+	}
+	fpg.filterAdd(h, insPos)
+	pb.Dirty.Store(true)
+	t.pool.Put(pb)
 
 	t.nkeysA.Add(1)
 	t.xorPairSum(pairHash(key, data))
@@ -1146,23 +1274,25 @@ func (t *Table) putInBucket(bucket uint32, key, data []byte, replace, big bool, 
 	return nil
 }
 
-// insert places a pair into bucket without checking for duplicates.
-func (t *Table) insert(bucket uint32, key, data []byte) error {
+// insert places a pair into bucket without checking for duplicates
+// (h is key's hash; the split paths have already computed it).
+func (t *Table) insert(bucket, h uint32, key, data []byte) error {
 	if t.isBig(len(key), len(data)) {
 		ref, err := t.putBigPair(key, data)
 		if err != nil {
 			return err
 		}
-		return t.insertRef(bucket, ref)
+		return t.insertRef(bucket, h, ref)
 	}
 
-	inserted := false
+	pos, insPos := -1, -1
 	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
+		pos++
 		pg := page(buf.Page)
 		if pg.fitsRegular(len(key), len(data)) {
 			pg.addRegular(key, data)
 			buf.Dirty.Store(true)
-			inserted = true
+			insPos = pos
 			return true, nil
 		}
 		if pg.ovflLink() == 0 {
@@ -1179,7 +1309,7 @@ func (t *Table) insert(bucket uint32, key, data []byte) error {
 			npg.addRegular(key, data)
 			nb.Dirty.Store(true)
 			t.pool.Put(nb)
-			inserted = true
+			insPos = pos + 1
 			return true, nil
 		}
 		return false, nil
@@ -1187,21 +1317,23 @@ func (t *Table) insert(bucket uint32, key, data []byte) error {
 	if err != nil {
 		return err
 	}
-	if !inserted {
+	if insPos < 0 {
 		return fmt.Errorf("%w: insert walked off chain", ErrCorrupt)
 	}
-	return nil
+	return t.filterAddPrimary(bucket, h, insPos)
 }
 
-// insertRef places a big-pair reference into bucket's chain.
-func (t *Table) insertRef(bucket uint32, ref oaddr) error {
-	inserted := false
+// insertRef places a big-pair reference into bucket's chain (h is the
+// hash of the big pair's key).
+func (t *Table) insertRef(bucket, h uint32, ref oaddr) error {
+	pos, insPos := -1, -1
 	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
+		pos++
 		pg := page(buf.Page)
 		if pg.fitsRef() {
 			pg.addRef(ref)
 			buf.Dirty.Store(true)
-			inserted = true
+			insPos = pos
 			return true, nil
 		}
 		if pg.ovflLink() == 0 {
@@ -1212,7 +1344,7 @@ func (t *Table) insertRef(bucket uint32, ref oaddr) error {
 			page(nb.Page).addRef(ref)
 			nb.Dirty.Store(true)
 			t.pool.Put(nb)
-			inserted = true
+			insPos = pos + 1
 			return true, nil
 		}
 		return false, nil
@@ -1220,9 +1352,21 @@ func (t *Table) insertRef(bucket uint32, ref oaddr) error {
 	if err != nil {
 		return err
 	}
-	if !inserted {
+	if insPos < 0 {
 		return fmt.Errorf("%w: ref insert walked off chain", ErrCorrupt)
 	}
+	return t.filterAddPrimary(bucket, h, insPos)
+}
+
+// filterAddPrimary tags a freshly inserted key on bucket's primary page.
+func (t *Table) filterAddPrimary(bucket, h uint32, insPos int) error {
+	pb, err := t.getBucketPage(bucket)
+	if err != nil {
+		return err
+	}
+	page(pb.Page).filterAdd(h, insPos)
+	pb.Dirty.Store(true)
+	t.pool.Put(pb)
 	return nil
 }
 
@@ -1247,6 +1391,16 @@ func (t *Table) appendOvfl(tail *buffer.Buf) (*buffer.Buf, error) {
 		return nil, err
 	}
 	tail.Dirty.Store(true)
+	// Record the growth in the primary page's chain counter (tail.Owner
+	// names the owning bucket even when tail is itself an overflow page).
+	pb, err := t.getBucketPage(tail.Owner())
+	if err != nil {
+		t.pool.Put(nb)
+		return nil, err
+	}
+	page(pb.Page).fltChainInc()
+	pb.Dirty.Store(true)
+	t.pool.Put(pb)
 	t.addedOvfl.Store(true)
 	return nb, nil
 }
@@ -1276,8 +1430,9 @@ func (t *Table) deleteInner(key []byte) error {
 	if err := t.markDirty(); err != nil {
 		return err
 	}
-	bucket := t.lockBucket(t.hash(key), true)
-	removed, err := t.deleteFromBucket(bucket, key)
+	h := t.hash(key)
+	bucket := t.lockBucket(h, true)
+	removed, err := t.deleteFromBucket(bucket, h, key)
 	t.stripeFor(bucket).Unlock()
 	if err != nil {
 		return err
@@ -1289,11 +1444,12 @@ func (t *Table) deleteInner(key []byte) error {
 	return nil
 }
 
-// deleteFromBucket removes key from bucket if present, freeing big-pair
-// chains and unlinking overflow pages that become empty. It decrements
-// nkeys when it removes something.
-func (t *Table) deleteFromBucket(bucket uint32, key []byte) (bool, error) {
+// deleteFromBucket removes key from bucket if present (h is key's
+// hash), freeing big-pair chains and unlinking overflow pages that
+// become empty. It decrements nkeys when it removes something.
+func (t *Table) deleteFromBucket(bucket, h uint32, key []byte) (bool, error) {
 	removed := false
+	pos := 0                 // chain position of the page under examination
 	var prevBuf *buffer.Buf // predecessor of the page under examination
 
 	cur, err := t.getBucketPage(bucket)
@@ -1363,6 +1519,20 @@ func (t *Table) deleteFromBucket(bucket uint32, key []byte) (bool, error) {
 			t.nkeysA.Add(-1)
 			t.xorPairSum(sum)
 			t.dirtyHdr.Store(true)
+			// Drop the pair's tag from the primary's filter, at the
+			// position it was found, before any unlink renumbers chain
+			// positions.
+			if pos == 0 {
+				pg.filterRemove(h, 0)
+			} else {
+				pb, perr := t.getBucketPage(bucket)
+				if perr != nil {
+					return false, perr
+				}
+				page(pb.Page).filterRemove(h, pos)
+				pb.Dirty.Store(true)
+				t.pool.Put(pb)
+			}
 			// An overflow page left with no entries is unlinked from the
 			// chain and reclaimed.
 			if cur.Addr.Ovfl && pg.nentries() == 0 && prevBuf != nil {
@@ -1385,6 +1555,7 @@ func (t *Table) deleteFromBucket(bucket uint32, key []byte) (bool, error) {
 			t.pool.Put(prevBuf)
 		}
 		prevBuf, cur = cur, nb
+		pos++
 	}
 }
 
@@ -1403,6 +1574,22 @@ func (t *Table) unlinkOvfl(prev, buf *buffer.Buf) error {
 		ppg.clearOvflLink()
 	}
 	prev.Dirty.Store(true)
+	// Account the unlink on the primary's filter region: the chain is
+	// one page shorter, and when the removed page had successors their
+	// positions all shifted down — position hints can no longer be
+	// trusted (a hint one past a key's real page would make a hinted
+	// walk skip it: a forbidden false negative).
+	pb, err := t.getBucketPage(prev.Owner())
+	if err != nil {
+		return err
+	}
+	fpg := page(pb.Page)
+	fpg.fltChainDec()
+	if succ != 0 {
+		fpg.setFltInexact()
+	}
+	pb.Dirty.Store(true)
+	t.pool.Put(pb)
 	o := oaddr(buf.Addr.N)
 	t.pool.Put(buf) // unpin before dropping
 	t.pool.Drop(prev, buf)
@@ -1506,16 +1693,17 @@ func (t *Table) splitBucket(oldBucket, newBucket uint32) error {
 				return err
 			}
 		}
-		dest := t.calcBucket(t.hash(key))
+		h := t.hash(key)
+		dest := t.calcBucket(h)
 		if dest != oldBucket && dest != newBucket {
 			return fmt.Errorf("%w: split of bucket %d sent key to bucket %d (new %d)", ErrCorrupt, oldBucket, dest, newBucket)
 		}
 		if e.ref != 0 {
-			if err := t.insertRef(dest, e.ref); err != nil {
+			if err := t.insertRef(dest, h, e.ref); err != nil {
 				return err
 			}
 		} else {
-			if err := t.insert(dest, key, e.data); err != nil {
+			if err := t.insert(dest, h, key, e.data); err != nil {
 				return err
 			}
 		}

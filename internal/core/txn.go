@@ -251,9 +251,9 @@ func (t *Table) applyTxn(ops []wal.Op) error {
 		for i := range ops {
 			op, tg := &ops[i], &targets[i]
 			if op.Delete {
-				_, err = t.deleteFromBucket(tg.bucket, op.Key)
+				_, err = t.deleteFromBucket(tg.bucket, tg.hash, op.Key)
 			} else {
-				err = t.putInBucket(tg.bucket, op.Key, op.Data, true, tg.big, tg.ref)
+				err = t.putInBucket(tg.bucket, tg.hash, op.Key, op.Data, true, tg.big, tg.ref)
 			}
 			if err != nil {
 				break

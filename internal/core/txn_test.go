@@ -15,7 +15,9 @@ import (
 // test can "crash" by materializing the store and re-opening against a
 // copy of the log bytes.
 func walOpts(dev wal.Device, store pagefile.Store) *Options {
-	return &Options{Store: store, WALDevice: dev, Bsize: 128, Ffactor: 4, CacheSize: 1024}
+	// The cache must hold every dirty page between checkpoints: a steal
+	// would write post-checkpoint bytes over last-synced state.
+	return &Options{Store: store, WALDevice: dev, Bsize: 128, Ffactor: 4, CacheSize: 4096}
 }
 
 func memWalFrom(b []byte) *wal.MemDevice {

@@ -150,6 +150,14 @@ type HashStats struct {
 	OvflAllocs         int64
 	OvflFrees          int64
 	Syncs              int64
+	// Read-acceleration counters: tag-filter outcomes on Get and
+	// vectored chain read-ahead activity.
+	FilterHits           int64
+	FilterSkips          int64
+	FilterFalsePositives int64
+	FilterPageSkips      int64
+	Prefetches           int64
+	PrefetchedPages      int64
 	// Write-ahead log activity; all zero for a table without a log.
 	WalLSN     uint64 // checkpoint LSN from the header
 	TxnCommits int64
@@ -323,25 +331,31 @@ func (d *hashDB) Stats() (Stats, error) {
 		CacheMisses:   c.Misses,
 		CacheHitRatio: c.HitRatio(),
 		Hash: &HashStats{
-			Buckets:            fs.Buckets,
-			OverflowPages:      fs.OverflowPages,
-			BigPairPages:       fs.BigPairPages,
-			BitmapPages:        fs.BitmapPages,
-			MaxChain:           fs.MaxChain,
-			ChainDist:          fs.ChainDist,
-			AvgFill:            fs.AvgFill,
-			EmptyBuckets:       fs.EmptyBuckets,
-			Gets:               snap.Counter(core.MetricGets),
-			GetMisses:          snap.Counter(core.MetricGetMisses),
-			Puts:               snap.Counter(core.MetricPuts),
-			Deletes:            snap.Counter(core.MetricDeletes),
-			SplitsControlled:   snap.Counter(core.MetricSplitsControlled),
-			SplitsUncontrolled: snap.Counter(core.MetricSplitsUncontrolled),
-			OvflAllocs:         snap.Counter(core.MetricOvflAllocs),
-			OvflFrees:          snap.Counter(core.MetricOvflFrees),
-			Syncs:              snap.Counter(core.MetricSyncs),
-			WalLSN:             d.t.Geometry().WalLSN,
-			TxnCommits:         snap.Counter(core.MetricTxnCommits),
+			Buckets:              fs.Buckets,
+			OverflowPages:        fs.OverflowPages,
+			BigPairPages:         fs.BigPairPages,
+			BitmapPages:          fs.BitmapPages,
+			MaxChain:             fs.MaxChain,
+			ChainDist:            fs.ChainDist,
+			AvgFill:              fs.AvgFill,
+			EmptyBuckets:         fs.EmptyBuckets,
+			Gets:                 snap.Counter(core.MetricGets),
+			GetMisses:            snap.Counter(core.MetricGetMisses),
+			Puts:                 snap.Counter(core.MetricPuts),
+			Deletes:              snap.Counter(core.MetricDeletes),
+			SplitsControlled:     snap.Counter(core.MetricSplitsControlled),
+			SplitsUncontrolled:   snap.Counter(core.MetricSplitsUncontrolled),
+			OvflAllocs:           snap.Counter(core.MetricOvflAllocs),
+			OvflFrees:            snap.Counter(core.MetricOvflFrees),
+			Syncs:                snap.Counter(core.MetricSyncs),
+			FilterHits:           snap.Counter(core.MetricFilterHits),
+			FilterSkips:          snap.Counter(core.MetricFilterSkips),
+			FilterFalsePositives: snap.Counter(core.MetricFilterFPs),
+			FilterPageSkips:      snap.Counter(core.MetricFilterPageSkips),
+			Prefetches:           snap.Counter(core.MetricPrefetches),
+			PrefetchedPages:      snap.Counter(core.MetricPrefetchedPages),
+			WalLSN:               d.t.Geometry().WalLSN,
+			TxnCommits:           snap.Counter(core.MetricTxnCommits),
 		},
 	}
 	if ws, ok := d.t.WALStats(); ok {

@@ -180,11 +180,11 @@ func (s *Sharded) NShards() int { return len(s.shards) }
 // series on the same page.
 func (s *Sharded) MetricsRegistry() *metrics.Registry { return s.reg }
 
-func (s *Sharded) Get(key []byte) ([]byte, error)          { return s.shard(key).Get(key) }
-func (s *Sharded) GetBuf(key, dst []byte) ([]byte, error)  { return s.shard(key).GetBuf(key, dst) }
-func (s *Sharded) Put(key, data []byte) error              { return s.shard(key).Put(key, data) }
-func (s *Sharded) PutNew(key, data []byte) error           { return s.shard(key).PutNew(key, data) }
-func (s *Sharded) Delete(key []byte) error                 { return s.shard(key).Delete(key) }
+func (s *Sharded) Get(key []byte) ([]byte, error)         { return s.shard(key).Get(key) }
+func (s *Sharded) GetBuf(key, dst []byte) ([]byte, error) { return s.shard(key).GetBuf(key, dst) }
+func (s *Sharded) Put(key, data []byte) error             { return s.shard(key).Put(key, data) }
+func (s *Sharded) PutNew(key, data []byte) error          { return s.shard(key).PutNew(key, data) }
+func (s *Sharded) Delete(key []byte) error                { return s.shard(key).Delete(key) }
 
 // PutBatch partitions the batch by destination shard and applies the
 // sub-batches concurrently, one PutBatch (one lock epoch, one deferred
@@ -353,6 +353,12 @@ func addHashStats(agg, sh *HashStats) {
 	agg.OvflAllocs += sh.OvflAllocs
 	agg.OvflFrees += sh.OvflFrees
 	agg.Syncs += sh.Syncs
+	agg.FilterHits += sh.FilterHits
+	agg.FilterSkips += sh.FilterSkips
+	agg.FilterFalsePositives += sh.FilterFalsePositives
+	agg.FilterPageSkips += sh.FilterPageSkips
+	agg.Prefetches += sh.Prefetches
+	agg.PrefetchedPages += sh.PrefetchedPages
 	if sh.WalLSN > agg.WalLSN {
 		agg.WalLSN = sh.WalLSN
 	}

@@ -65,6 +65,18 @@ type VectorWriter interface {
 	WritePages(pageno uint32, buf []byte) error
 }
 
+// VectorReader is the read-side counterpart of VectorWriter: a store
+// that can read a run of consecutive pages in one device operation into
+// buf (len(buf) a multiple of PageSize). Pages in the run that were
+// never written are zero-filled rather than failing the whole read — a
+// read-ahead over a chain must degrade to fresh pages, not errors. The
+// buffer pool's chain prefetch uses this to fault a whole overflow
+// chain in one seek. Stores that do not implement it are served page by
+// page.
+type VectorReader interface {
+	ReadPages(pageno uint32, buf []byte) error
+}
+
 // CostModel assigns a simulated cost to each I/O operation, standing in
 // for the 1991 disk the paper measured. Costs accumulate in Stats.IOTime;
 // if Sleep is set the store also really sleeps, making wall-clock elapsed
@@ -210,6 +222,22 @@ func (s *Stats) addWriteVec(npages, n int) {
 	}
 }
 
+// addReadVec accounts a vectored read exactly as npages individual page
+// reads, mirroring addWriteVec: the simulated model charges pages
+// moved, so read-ahead never changes a benchmark's simulated I/O time;
+// the real savings show up in wall clock and the ReadLatency histogram
+// (one observation per device operation).
+func (s *Stats) addReadVec(npages, n int) {
+	s.mu.Lock()
+	s.Reads += int64(npages)
+	s.BytesRead += int64(n)
+	s.IOTime += time.Duration(npages) * s.cost.ReadCost
+	s.mu.Unlock()
+	if s.cost.Sleep && s.cost.ReadCost > 0 {
+		time.Sleep(time.Duration(npages) * s.cost.ReadCost)
+	}
+}
+
 func (s *Stats) addError() {
 	s.mu.Lock()
 	s.Errors++
@@ -347,6 +375,37 @@ func (fs *FileStore) ReadPage(pageno uint32, buf []byte) error {
 	if err != nil {
 		fs.stats.addError()
 		return fmt.Errorf("pagefile: read page %d: %w", pageno, err)
+	}
+	return nil
+}
+
+// ReadPages implements VectorReader: one positioned read covers the
+// whole run; any portion beyond the end of the file is zero-filled.
+// The stats count one read per page — see addReadVec.
+func (fs *FileStore) ReadPages(pageno uint32, buf []byte) error {
+	if len(buf) == 0 || len(buf)%fs.pagesize != 0 {
+		return fmt.Errorf("pagefile: vector read of %d bytes is not a multiple of page size %d", len(buf), fs.pagesize)
+	}
+	fs.mu.Lock()
+	if fs.closed {
+		fs.mu.Unlock()
+		return os.ErrClosed
+	}
+	fs.mu.Unlock()
+	fs.stats.addReadVec(len(buf)/fs.pagesize, len(buf))
+	t0 := time.Now()
+	n, err := fs.f.ReadAt(buf, int64(pageno)*int64(fs.pagesize))
+	fs.stats.observeRead(pageno, len(buf), time.Since(t0))
+	if err == io.EOF {
+		// Short run: the tail pages were never written; serve them fresh.
+		for i := n; i < len(buf); i++ {
+			buf[i] = 0
+		}
+		err = nil
+	}
+	if err != nil {
+		fs.stats.addError()
+		return fmt.Errorf("pagefile: read pages %d..%d: %w", pageno, pageno+uint32(len(buf)/fs.pagesize)-1, err)
 	}
 	return nil
 }
@@ -499,6 +558,32 @@ func (ms *MemStore) ReadPage(pageno uint32, buf []byte) error {
 	copy(buf, p)
 	ms.stats.observeRead(pageno, ms.pagesize, time.Since(t0))
 	ms.stats.addRead(ms.pagesize)
+	return nil
+}
+
+// ReadPages implements VectorReader with the same per-page stats
+// accounting as the file-backed store (see addReadVec). Pages never
+// written are zero-filled.
+func (ms *MemStore) ReadPages(pageno uint32, buf []byte) error {
+	if len(buf) == 0 || len(buf)%ms.pagesize != 0 {
+		return fmt.Errorf("pagefile: vector read of %d bytes is not a multiple of page size %d", len(buf), ms.pagesize)
+	}
+	t0 := time.Now()
+	ms.mu.Lock()
+	for off := 0; off < len(buf); off += ms.pagesize {
+		pn := pageno + uint32(off/ms.pagesize)
+		dst := buf[off : off+ms.pagesize]
+		if p, ok := ms.pages[pn]; ok {
+			copy(dst, p)
+		} else {
+			for i := range dst {
+				dst[i] = 0
+			}
+		}
+	}
+	ms.mu.Unlock()
+	ms.stats.observeRead(pageno, len(buf), time.Since(t0))
+	ms.stats.addReadVec(len(buf)/ms.pagesize, len(buf))
 	return nil
 }
 
@@ -717,6 +802,30 @@ func (f *FaultStore) WritePages(pageno uint32, buf []byte) error {
 	return nil
 }
 
+// ReadPages implements VectorReader with a per-page fault check, so a
+// read fault injected on any page of the run fails the whole read-ahead
+// exactly as the positioned-read stores would. Unallocated pages are
+// zero-filled per the VectorReader contract.
+func (f *FaultStore) ReadPages(pageno uint32, buf []byte) error {
+	ps := f.PageSize()
+	for i := 0; i*ps < len(buf); i++ {
+		p := pageno + uint32(i)
+		dst := buf[i*ps : (i+1)*ps]
+		if err := f.check(OpRead, p); err != nil {
+			return err
+		}
+		if err := f.Inner.ReadPage(p, dst); err != nil {
+			if !errors.Is(err, ErrNotAllocated) {
+				return err
+			}
+			for j := range dst {
+				dst[j] = 0
+			}
+		}
+	}
+	return nil
+}
+
 // Sync implements Store. Sync faults are page-less: only the Op and
 // After fields of an injected Fault are consulted.
 func (f *FaultStore) Sync() error {
@@ -736,4 +845,7 @@ var (
 	_ VectorWriter = (*FileStore)(nil)
 	_ VectorWriter = (*MemStore)(nil)
 	_ VectorWriter = (*FaultStore)(nil)
+	_ VectorReader = (*FileStore)(nil)
+	_ VectorReader = (*MemStore)(nil)
+	_ VectorReader = (*FaultStore)(nil)
 )

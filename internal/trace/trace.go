@@ -104,6 +104,14 @@ const (
 	// A checkpoint folded the applied LSN into the table header and
 	// reset the log.
 	EvCheckpoint // lsn, epoch, log_bytes
+
+	// A Get consulted the primary page's tag filter and proved its key
+	// absent without reading any chain page.
+	EvFilterSkip // bucket, chain_len
+
+	// A chain walk installed overflow pages ahead of itself with one
+	// vectored read (buffer.Pool.PrefetchChain).
+	EvPrefetch // bucket, pages_installed, chain_len
 )
 
 // Phase codes carried in EvSyncPhase's first argument.
@@ -119,6 +127,7 @@ const (
 	RecoveryStepRepairs = 3 // planned repairs written (arg b: repair count)
 	RecoveryStepBitmaps = 4 // overflow-use bitmaps rebuilt (arg b: bitmaps)
 	RecoveryStepDone    = 5 // file stamped clean
+	RecoveryStepFilters = 6 // tag filters rebuilt from pair data (arg a: pages written)
 )
 
 // Phase codes carried in EvBatchPhase's first argument.
@@ -162,6 +171,8 @@ var typeInfo = [...]struct {
 	EvWalAppend:    {name: "wal-append", args: [4]string{"lsn", "ops", "bytes"}},
 	EvWalFsync:     {name: "wal-fsync", args: [4]string{"lsn", "bytes"}},
 	EvCheckpoint:   {name: "checkpoint", args: [4]string{"lsn", "epoch", "log_bytes"}},
+	EvFilterSkip:   {name: "filter-skip", args: [4]string{"bucket", "chain_len"}},
+	EvPrefetch:     {name: "prefetch", args: [4]string{"bucket", "pages_installed", "chain_len"}},
 }
 
 // String returns the type's wire name (used by /debug/events filters).
