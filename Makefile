@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages with dedicated concurrency stress tests; the full suite under
 # -race is slow, so check races where the locks actually live.
-RACE_PKGS = ./internal/core ./internal/buffer ./internal/db ./internal/trace ./internal/server
+RACE_PKGS = ./internal/core ./internal/buffer ./internal/db ./internal/trace ./internal/server ./internal/oplog
 
-.PHONY: check build vet test race crash fuzz-crash wal-crash fuzz-wal-crash bench concurrency metrics bulkload txn misses serve serveload telemetry clean
+.PHONY: check build vet test race crash fuzz-crash wal-crash fuzz-wal-crash bench concurrency metrics bulkload txn misses serve serveload oplog telemetry clean
 
 check: vet build test race crash
 
@@ -80,6 +80,13 @@ serve:
 serveload:
 	$(GO) run ./cmd/hashbench -check 3.0 serveload
 
+# Op-ledger overhead contract: the serveload mixed phase ledger-off vs
+# ledger-on; refreshes BENCH_obs.json and fails if attribution costs
+# more than 5% of mixed throughput or the exemplars' phase sums stray
+# more than 10% from end-to-end latency.
+oplog:
+	$(GO) run ./cmd/hashbench -check 0.95 oplog
+
 # Telemetry smoke: start a live traced workload with the telemetry
 # server up, scrape every endpoint (including a 1s CPU profile) and
 # watch it through dbcli hashmon; fails on any non-200 or empty body.
@@ -87,4 +94,4 @@ telemetry:
 	$(GO) test -count=1 -run TestTelemetryEndToEnd -v .
 
 clean:
-	rm -f BENCH_concurrency.json BENCH_metrics.json BENCH_bulkload.json BENCH_txn.json BENCH_serve.json BENCH_misses.json
+	rm -f BENCH_concurrency.json BENCH_metrics.json BENCH_bulkload.json BENCH_txn.json BENCH_serve.json BENCH_misses.json BENCH_obs.json

@@ -17,9 +17,12 @@
 // with core Options.TelemetryAddr, db.ServeTelemetry or hashbench
 // serve) every INTERVAL (default 2s) and renders the numeric fields
 // that changed since the previous poll as deltas — a portable
-// poor-man's top for a table under load. COUNT limits the number of
-// polls (default: until interrupted). URL may be a bare host:port; the
-// /stats path is implied.
+// poor-man's top for a table under load. When the server also exposes
+// /debug/oplog (dbserver -oplog), each tick appends the per-command
+// phase attribution: end-to-end p50/p99 per command plus its heaviest
+// phases, so a latency regression names its phase in the same breath.
+// COUNT limits the number of polls (default: until interrupted). URL
+// may be a bare host:port; the /stats path is implied.
 //
 // load reads KEY<TAB>VALUE lines from FILE ('-' for stdin) and imports
 // them through the batched write pipeline: records are staged in
@@ -58,6 +61,7 @@ import (
 
 	"unixhash/internal/core"
 	"unixhash/internal/db"
+	"unixhash/internal/oplog"
 	"unixhash/internal/metrics"
 )
 
@@ -407,7 +411,8 @@ func printPair(w *bufio.Writer, m db.Method, k, v []byte) {
 // schema-agnostic: the JSON document is flattened to path -> number,
 // and each tick prints the paths whose values changed, with their
 // delta. Non-counter fields (gauges going down) render negative deltas
-// just as usefully.
+// just as usefully. If the same server answers /debug/oplog, each tick
+// also renders the op-ledger attribution per command.
 func hashmon(args []string) error {
 	if len(args) < 1 || len(args) > 3 {
 		usage()
@@ -457,11 +462,34 @@ func hashmon(args []string) error {
 		return flat, nil
 	}
 
+	// The op ledger is optional on the server side: one probe decides,
+	// a 404 (telemetry without -oplog) just drops the extra table.
+	oplogURL := strings.TrimSuffix(url, "/stats") + "/debug/oplog"
+	pollOplog := func() *oplog.Summary {
+		resp, err := client.Get(oplogURL)
+		if err != nil {
+			return nil
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil
+		}
+		var sum oplog.Summary
+		if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+			return nil
+		}
+		return &sum
+	}
+
 	prev, err := poll()
 	if err != nil {
 		return err
 	}
+	withOplog := pollOplog() != nil
 	fmt.Printf("hashmon %s: %d numeric series, polling every %v\n", url, len(prev), interval)
+	if withOplog {
+		fmt.Printf("op ledger live on %s\n", oplogURL)
+	}
 	start := time.Now()
 	for i := 1; count == 0 || i < count; i++ {
 		time.Sleep(interval)
@@ -480,9 +508,35 @@ func hashmon(args []string) error {
 		for _, path := range changed {
 			fmt.Printf("  %-50s %14.6g  %+g\n", path, cur[path], cur[path]-prev[path])
 		}
+		if withOplog {
+			if sum := pollOplog(); sum != nil {
+				printOplog(sum)
+			}
+		}
 		prev = cur
 	}
 	return nil
+}
+
+// printOplog renders the attribution table: per command the end-to-end
+// percentiles, then its phases heaviest-first with their own p50/p99 —
+// the columns that turn "puts got slow" into "puts got slow in fsync".
+func printOplog(sum *oplog.Summary) {
+	if len(sum.Commands) == 0 {
+		return
+	}
+	fmt.Printf("  %-22s %10s %10s %10s\n", "oplog", "count", "p50", "p99")
+	for _, cs := range sum.Commands {
+		fmt.Printf("  %-22s %10d %8.0fus %8.0fus\n", cs.Cmd, cs.Count, cs.P50us, cs.P99us)
+		phases := append([]oplog.PhaseStat(nil), cs.Phases...)
+		sort.Slice(phases, func(i, j int) bool { return phases[i].Total > phases[j].Total })
+		for i, ps := range phases {
+			if i == 4 {
+				break
+			}
+			fmt.Printf("    %-20s %10d %8.0fus %8.0fus\n", ps.Phase, ps.Count, ps.P50us, ps.P99us)
+		}
+	}
 }
 
 // flattenJSON walks a decoded JSON document collecting numeric leaves

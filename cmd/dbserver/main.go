@@ -25,6 +25,11 @@
 //	                  the server_* series on one page, /stats breaks the
 //	                  aggregate down per shard, /debug/heatmap maps every
 //	                  shard's buckets
+//	-oplog            per-request phase attribution (default true): every
+//	                  command runs under an op ledger; phase-latency
+//	                  histograms land on /metrics (oplog_*), the summary
+//	                  on /debug/oplog and in STATS, and the slowest
+//	                  request ledgers on /debug/oplog/exemplars
 //
 // SIGINT/SIGTERM shut down gracefully: stop accepting, drain in-flight
 // commands and pending coalesced writes, then sync and close every
@@ -41,6 +46,7 @@ import (
 	"unixhash/internal/core"
 	"unixhash/internal/db"
 	"unixhash/internal/metrics"
+	"unixhash/internal/oplog"
 	"unixhash/internal/server"
 )
 
@@ -54,6 +60,7 @@ func main() {
 	ffactor := flag.Int("ffactor", 0, "fill factor for new shards")
 	nelem := flag.Int("nelem", 0, "expected total element count")
 	telemetry := flag.String("telemetry", "", "serve the ops dashboard on this address")
+	oplogOn := flag.Bool("oplog", true, "per-request phase attribution (op ledger)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "dbserver: unexpected argument %q\n", flag.Arg(0))
@@ -72,7 +79,15 @@ func main() {
 		fatal(err)
 	}
 
-	s, err := server.Serve(*addr, server.Options{DB: d, Metrics: reg})
+	// The op-ledger recorder spans the stack like the registry: the
+	// server charges each command's phases, the recorder's histograms
+	// land in the shared registry, and telemetry serves the summary.
+	var rec *oplog.Recorder
+	if *oplogOn {
+		rec = oplog.NewRecorder(reg, d.NShards())
+	}
+
+	s, err := server.Serve(*addr, server.Options{DB: d, Metrics: reg, Oplog: rec})
 	if err != nil {
 		d.Close()
 		fatal(err)
@@ -80,7 +95,13 @@ func main() {
 	fmt.Fprintf(os.Stderr, "dbserver: serving %d shards on %s\n", d.NShards(), s.Addr())
 
 	if *telemetry != "" {
-		ts, err := db.ServeTelemetry(d, *telemetry)
+		// Serving the EnableOplog wrapper mounts /debug/oplog alongside
+		// the usual endpoints; the database underneath is the same.
+		td := db.DB(d)
+		if rec != nil {
+			td = db.EnableOplog(d, rec)
+		}
+		ts, err := db.ServeTelemetry(td, *telemetry)
 		if err != nil {
 			s.Close()
 			d.Close()

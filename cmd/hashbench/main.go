@@ -31,9 +31,13 @@
 //	                          shards plus a mixed workload with window
 //	                          latency percentiles; writes
 //	                          BENCH_serve.json
+//	hashbench oplog           op-ledger overhead contract: the mixed
+//	                          phase ledger-off vs ledger-on, with the
+//	                          recorder's phase breakdown and exemplar
+//	                          phase coverage; writes BENCH_obs.json
 //	hashbench all             everything above except concurrency,
-//	                          metrics, bulkload, txn, serve and
-//	                          serveload
+//	                          metrics, bulkload, txn, serve,
+//	                          serveload and oplog
 //
 // Flags:
 //
@@ -49,7 +53,10 @@
 //	          on GOMAXPROCS=1 hosts). txn: exit nonzero if the WAL
 //	          durable-put speedup over full sync falls below X.
 //	          serveload: exit nonzero if the 8-shard aggregate write
-//	          throughput speedup over 1 shard falls below X. misses:
+//	          throughput speedup over 1 shard falls below X. oplog:
+//	          exit nonzero if ledger-on throughput falls below X of
+//	          ledger-off, or the exemplars' phase sums stray more
+//	          than 10% from end-to-end latency. misses:
 //	          exit nonzero if a filtered depth-4 miss costs more than
 //	          X times a depth-0 miss, or the scan phase prefetched no
 //	          pages. The CI regression gates.
@@ -244,6 +251,27 @@ func main() {
 			}
 		case "serve":
 			return bench.Serve(*n, *telemetry, *dur, os.Stdout)
+		case "oplog":
+			res, err := bench.Oplog(*conns, *pipeline, *mix)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			data, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile("BENCH_obs.json", data, 0o644); err != nil {
+				return err
+			}
+			fmt.Println("\nwrote BENCH_obs.json")
+			if *check > 0 {
+				if err := res.Gate(*check); err != nil {
+					return err
+				}
+				fmt.Printf("gate passed: ledger-on throughput %.2fx >= %.2fx, median phase coverage %.2f\n",
+					res.ThroughputRatio, *check, res.Coverage.Median)
+			}
 		case "serveload":
 			res, err := bench.Serveload(*conns, *pipeline, *mix)
 			if err != nil {
@@ -291,7 +319,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: hashbench [-n N | -quick] {fig5|fig6|fig7|fig8a|fig8b|methods|ablate|concurrency|metrics|bulkload|txn|misses|serve|serveload|all}
+	fmt.Fprintf(os.Stderr, `usage: hashbench [-n N | -quick] {fig5|fig6|fig7|fig8a|fig8b|methods|ablate|concurrency|metrics|bulkload|txn|misses|serve|serveload|oplog|all}
 
 Regenerates the evaluation figures of "A New Hashing Package for UNIX"
 (Seltzer & Yigit, USENIX Winter 1991). See EXPERIMENTS.md for the

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"unixhash/internal/oplog"
+)
+
+// Oplog measures the op ledger's overhead contract on the network
+// front end: the serveload mixed phase (reads, coalesced writes, an
+// occasional durable transaction over 8 WAL-backed shards on the
+// sleeping simulated disks) runs twice over identical workloads —
+// ledger off, then ledger on — and the result carries the throughput
+// ratio between them plus the recorder's own evidence that the ledger
+// measured something: the per-command phase summary and how much of
+// each retained exemplar's end-to-end latency its phases explain.
+//
+// Two numbers gate (see Gate):
+//
+//   - on/off throughput ratio: attribution must cost no more than
+//     (1-min) of mixed throughput. The phases sleep their I/O, so the
+//     ratio isolates the ledger's bookkeeping from host speed.
+//   - exemplar phase coverage: for each retained slowest-of-window
+//     ledger, phase_sum/elapsed. The median must sit within 10% of
+//     1.0 — phases that under-explain latency mean untimed holes in
+//     the request path; phases that over-explain mean double counting.
+
+// OplogCoverage summarizes how much of the exemplars' end-to-end
+// latency the recorded phases explain.
+type OplogCoverage struct {
+	Exemplars int     `json:"exemplars"`
+	Min       float64 `json:"min_phase_coverage"`
+	Median    float64 `json:"median_phase_coverage"`
+	Max       float64 `json:"max_phase_coverage"`
+}
+
+// OplogResult is the BENCH_obs.json payload.
+type OplogResult struct {
+	Conns           int           `json:"conns"`
+	Pipeline        int           `json:"pipeline_depth"`
+	WritePct        int           `json:"mixed_write_pct"`
+	GOMAXPROCS      int           `json:"gomaxprocs"`
+	NumCPU          int           `json:"numcpu"`
+	Off             ServePhase    `json:"mixed_ledger_off"`
+	On              ServePhase    `json:"mixed_ledger_on"`
+	ThroughputRatio float64       `json:"on_off_throughput_ratio"`
+	Coverage        OplogCoverage `json:"exemplar_coverage"`
+	Summary         oplog.Summary `json:"oplog"`
+}
+
+// Oplog runs the mixed phase ledger-off then ledger-on. Zero or
+// negative arguments select the serveload defaults (8 connections,
+// depth 64, 30% writes).
+func Oplog(conns, pipeline, writePct int) (*OplogResult, error) {
+	if conns <= 0 {
+		conns = 8
+	}
+	if pipeline <= 0 {
+		pipeline = 64
+	}
+	if pipeline > 4096 {
+		pipeline = 4096
+	}
+	if writePct <= 0 {
+		writePct = 30
+	}
+	if writePct > 100 {
+		writePct = 100
+	}
+	res := &OplogResult{
+		Conns: conns, Pipeline: pipeline, WritePct: writePct,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+	}
+
+	var err error
+	if res.Off, err = servePhaseMixed(serveShards, conns, pipeline, writePct, nil); err != nil {
+		return nil, err
+	}
+	rec := oplog.NewRecorder(nil, serveShards)
+	if res.On, err = servePhaseMixed(serveShards, conns, pipeline, writePct, rec); err != nil {
+		return nil, err
+	}
+	res.ThroughputRatio = res.On.OpsPerSec / res.Off.OpsPerSec
+	res.Summary = rec.Snapshot()
+	res.Coverage = coverageOf(rec.Exemplars())
+	return res, nil
+}
+
+// coverageOf computes phase_sum/elapsed per exemplar. STATS exemplars
+// are excluded: the bench never issues STATS, but a deployment's
+// stats-marshal time is deliberately unattributed.
+func coverageOf(exs []oplog.ExemplarView) OplogCoverage {
+	var ratios []float64
+	for _, e := range exs {
+		if e.Cmd == "stats" || e.ElapsedUS <= 0 {
+			continue
+		}
+		ratios = append(ratios, e.PhaseUS/e.ElapsedUS)
+	}
+	cov := OplogCoverage{Exemplars: len(ratios)}
+	if len(ratios) == 0 {
+		return cov
+	}
+	sort.Float64s(ratios)
+	cov.Min = ratios[0]
+	cov.Median = ratios[len(ratios)/2]
+	cov.Max = ratios[len(ratios)-1]
+	return cov
+}
+
+// Gate fails if attribution cost more than its contract allows (on/off
+// throughput below min), if the exemplars' phases explain less than
+// 90% or more than 110% of end-to-end latency at the median, or if
+// the recorder came back empty.
+func (r *OplogResult) Gate(min float64) error {
+	if r.ThroughputRatio < min {
+		return fmt.Errorf("oplog: ledger-on throughput is %.2fx ledger-off, below the %.2fx gate",
+			r.ThroughputRatio, min)
+	}
+	if len(r.Summary.Commands) == 0 {
+		return fmt.Errorf("oplog: recorder snapshot is empty — no ledgers were recorded")
+	}
+	if r.Coverage.Exemplars == 0 {
+		return fmt.Errorf("oplog: no exemplars were retained")
+	}
+	if r.Coverage.Median < 0.90 || r.Coverage.Median > 1.10 {
+		return fmt.Errorf("oplog: median exemplar phase coverage %.2f is outside [0.90, 1.10]",
+			r.Coverage.Median)
+	}
+	return nil
+}
+
+// JSON renders the BENCH_obs.json payload.
+func (r *OplogResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+func (r *OplogResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Op-ledger overhead: mixed phase (%d%% writes), %d connections, pipeline depth %d, GOMAXPROCS=%d (NumCPU=%d)\n\n",
+		r.WritePct, r.Conns, r.Pipeline, r.GOMAXPROCS, r.NumCPU)
+	fmt.Fprintf(&b, "%-16s %10s %12s %12s %12s\n", "phase", "ops", "ops/sec", "win p50", "win p99")
+	row := func(name string, p ServePhase) {
+		fmt.Fprintf(&b, "%-16s %10d %12.0f %10dus %10dus\n",
+			name, p.Ops, p.OpsPerSec, p.WindowP50US, p.WindowP99US)
+	}
+	row("ledger off", r.Off)
+	row("ledger on", r.On)
+	fmt.Fprintf(&b, "%-16s %10s %12s\n\n", "", "", fmt.Sprintf("%.2fx", r.ThroughputRatio))
+	fmt.Fprintf(&b, "exemplar phase coverage (phase_sum/elapsed over %d exemplars): min %.2f  median %.2f  max %.2f\n\n",
+		r.Coverage.Exemplars, r.Coverage.Min, r.Coverage.Median, r.Coverage.Max)
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s   largest phases (total ms)\n", "cmd", "count", "p50", "p99")
+	for _, cs := range r.Summary.Commands {
+		phases := append([]oplog.PhaseStat(nil), cs.Phases...)
+		sort.Slice(phases, func(i, j int) bool { return phases[i].Total > phases[j].Total })
+		var tops []string
+		for i, ps := range phases {
+			if i == 3 {
+				break
+			}
+			tops = append(tops, fmt.Sprintf("%s %.1f", ps.Phase, ps.Total))
+		}
+		fmt.Fprintf(&b, "%-8s %10d %8.0fus %8.0fus   %s\n",
+			cs.Cmd, cs.Count, cs.P50us, cs.P99us, strings.Join(tops, ", "))
+	}
+	return b.String()
+}

@@ -15,6 +15,7 @@ import (
 
 	"unixhash/internal/core"
 	"unixhash/internal/db"
+	"unixhash/internal/oplog"
 	"unixhash/internal/pagefile"
 	"unixhash/internal/server"
 	"unixhash/internal/wal"
@@ -117,7 +118,7 @@ func Serveload(conns, pipeline, writePct int) (*ServeloadResult, error) {
 	if res.WriteSharded, err = servePhaseWrite(serveShards, conns, pipeline); err != nil {
 		return nil, err
 	}
-	if res.Mixed, err = servePhaseMixed(serveShards, conns, pipeline, writePct); err != nil {
+	if res.Mixed, err = servePhaseMixed(serveShards, conns, pipeline, writePct, nil); err != nil {
 		return nil, err
 	}
 	res.WriteSpeedup = res.WriteSharded.OpsPerSec / res.WriteSingle.OpsPerSec
@@ -125,8 +126,8 @@ func Serveload(conns, pipeline, writePct int) (*ServeloadResult, error) {
 }
 
 // serveOpen starts a server over a fresh nshards in-memory database on
-// the simulated disks.
-func serveOpen(nshards int, useWAL bool) (*db.Sharded, *server.Server, error) {
+// the simulated disks; a non-nil rec turns on per-request attribution.
+func serveOpen(nshards int, useWAL bool, rec *oplog.Recorder) (*db.Sharded, *server.Server, error) {
 	opts := &core.Options{
 		Bsize: serveBsize, Ffactor: serveFfactor, CacheSize: serveCache,
 		Cost: serveStoreCost,
@@ -139,7 +140,7 @@ func serveOpen(nshards int, useWAL bool) (*db.Sharded, *server.Server, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	s, err := server.Serve("127.0.0.1:0", server.Options{DB: d})
+	s, err := server.Serve("127.0.0.1:0", server.Options{DB: d, Oplog: rec})
 	if err != nil {
 		d.Close()
 		return nil, nil, err
@@ -150,7 +151,7 @@ func serveOpen(nshards int, useWAL bool) (*db.Sharded, *server.Server, error) {
 // servePhaseWrite drives conns connections, each pipelining windows of
 // PUTs over disjoint key ranges, and reports aggregate throughput.
 func servePhaseWrite(nshards, conns, pipeline int) (ServePhase, error) {
-	d, s, err := serveOpen(nshards, false)
+	d, s, err := serveOpen(nshards, false, nil)
 	if err != nil {
 		return ServePhase{}, err
 	}
@@ -186,9 +187,10 @@ func servePhaseWrite(nshards, conns, pipeline int) (ServePhase, error) {
 }
 
 // servePhaseMixed preloads a key space, then drives a writePct-write /
-// rest-read mix with one small transaction per 4 windows.
-func servePhaseMixed(nshards, conns, pipeline, writePct int) (ServePhase, error) {
-	d, s, err := serveOpen(nshards, true)
+// rest-read mix with one small transaction per 4 windows. A non-nil rec
+// runs the phase with per-request attribution on.
+func servePhaseMixed(nshards, conns, pipeline, writePct int, rec *oplog.Recorder) (ServePhase, error) {
+	d, s, err := serveOpen(nshards, true, rec)
 	if err != nil {
 		return ServePhase{}, err
 	}

@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 
 	"unixhash/internal/metrics"
+	"unixhash/internal/oplog"
 	"unixhash/internal/pagefile"
 )
 
@@ -366,20 +367,50 @@ func (p *Pool) Get(addr Addr, prev *Buf, create bool) (*Buf, error) {
 	if prev != nil {
 		owner = prev.owner
 	}
-	return p.get(addr, owner, prev, create)
+	return p.get(addr, owner, prev, create, nil)
+}
+
+// GetOp is Get with op-ledger attribution: a pool-resident page charges
+// a buffer-hit phase to led, a faulted page charges a buffer-fault
+// phase (allocation, eviction and the store read included). A nil
+// ledger is exactly Get — no clock reads, no extra work.
+func (p *Pool) GetOp(led *oplog.Ledger, addr Addr, prev *Buf, create bool) (*Buf, error) {
+	if led == nil {
+		return p.Get(addr, prev, create)
+	}
+	if !addr.Ovfl && prev != nil {
+		return nil, fmt.Errorf("buffer: primary page %v requested with predecessor", addr)
+	}
+	if addr.Ovfl && prev == nil {
+		return nil, fmt.Errorf("buffer: overflow page %v requested without predecessor (use GetOwned)", addr)
+	}
+	owner := addr.N
+	if prev != nil {
+		owner = prev.owner
+	}
+	return p.get(addr, owner, prev, create, led)
 }
 
 // GetOwned returns a pinned buffer for an overflow page fetched outside
 // its chain (iterators, tools), naming the bucket that owns it so the
 // fetch uses the chain's shard.
 func (p *Pool) GetOwned(addr Addr, owner uint32, create bool) (*Buf, error) {
+	return p.GetOwnedOp(nil, addr, owner, create)
+}
+
+// GetOwnedOp is GetOwned with op-ledger attribution (see GetOp).
+func (p *Pool) GetOwnedOp(led *oplog.Ledger, addr Addr, owner uint32, create bool) (*Buf, error) {
 	if !addr.Ovfl {
 		return nil, fmt.Errorf("buffer: GetOwned of primary page %v", addr)
 	}
-	return p.get(addr, owner, nil, create)
+	return p.get(addr, owner, nil, create, led)
 }
 
-func (p *Pool) get(addr Addr, owner uint32, prev *Buf, create bool) (*Buf, error) {
+func (p *Pool) get(addr Addr, owner uint32, prev *Buf, create bool, led *oplog.Ledger) (*Buf, error) {
+	var st int64
+	if led != nil {
+		st = oplog.Clock()
+	}
 	sh := p.shardFor(owner)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -391,9 +422,15 @@ func (p *Pool) get(addr Addr, owner uint32, prev *Buf, create bool) (*Buf, error
 		if prev != nil && prev.ovfl != b {
 			prev.ovfl = b
 		}
+		if led != nil {
+			led.Since(oplog.PhaseBufHit, st)
+		}
 		return b, nil
 	}
 	sh.n.Misses++
+	if led != nil {
+		defer led.Since(oplog.PhaseBufFault, st)
+	}
 	b, err := p.alloc(sh, addr, owner)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"unixhash/internal/buffer"
+	"unixhash/internal/oplog"
 	"unixhash/internal/trace"
 )
 
@@ -33,21 +34,46 @@ type Pair struct {
 // the entire batch with ErrEmptyKey before anything is written.
 func (t *Table) PutBatch(pairs []Pair) error {
 	if t.tr == nil {
-		return t.putBatch(pairs)
+		return t.putBatch(pairs, nil)
 	}
 	sp := t.tr.OpBegin()
-	err := t.putBatch(pairs)
+	err := t.putBatch(pairs, nil)
 	t.tr.OpEnd(trace.OpBatch, uint64(len(pairs)), sp)
 	return err
 }
 
-func (t *Table) putBatch(pairs []Pair) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.putBatchLocked(pairs)
+// PutBatchOp is PutBatch with an op ledger: the table-lock wait, the
+// deferred split pass, and the pool traffic of the distribution pass are
+// charged to led, and the batch's trace-event span is recorded on it.
+func (t *Table) PutBatchOp(led *oplog.Ledger, pairs []Pair) error {
+	if led == nil {
+		return t.PutBatch(pairs)
+	}
+	if t.tr == nil {
+		return t.putBatch(pairs, led)
+	}
+	seq0 := t.tr.Ring().Next()
+	sp := t.tr.OpBegin()
+	err := t.putBatch(pairs, led)
+	t.tr.OpEnd(trace.OpBatch, uint64(len(pairs)), sp)
+	led.SetTraceSpan(seq0, t.tr.Ring().Next())
+	return err
 }
 
-func (t *Table) putBatchLocked(pairs []Pair) error {
+func (t *Table) putBatch(pairs []Pair, led *oplog.Ledger) error {
+	var st int64
+	if led != nil {
+		st = oplog.Clock()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if led != nil {
+		led.Since(oplog.PhaseLatchWait, st)
+	}
+	return t.putBatchLocked(pairs, led)
+}
+
+func (t *Table) putBatchLocked(pairs []Pair, led *oplog.Ledger) error {
 	if err := t.checkWritable(); err != nil {
 		return err
 	}
@@ -98,7 +124,7 @@ func (t *Table) putBatchLocked(pairs []Pair) error {
 			idxs = append(idxs, order[hi].idx)
 			hi++
 		}
-		if err := t.putBucketGroup(order[lo].bucket, pairs, idxs); err != nil {
+		if err := t.putBucketGroup(order[lo].bucket, pairs, idxs, led); err != nil {
 			return err
 		}
 		groups++
@@ -114,6 +140,10 @@ func (t *Table) putBatchLocked(pairs []Pair) error {
 	// once per batch instead of once per insert.
 	uncontrolled := t.addedOvfl.Swap(false) && !t.controlledOnly
 	splits := 0
+	var splitSt int64
+	if led != nil {
+		splitSt = oplog.Clock()
+	}
 	for t.nkeysA.Load() > int64(t.hdr.ffactor)*int64(t.hdr.maxBucket+1) {
 		if err := t.expand(false); err != nil {
 			return err
@@ -125,6 +155,9 @@ func (t *Table) putBatchLocked(pairs []Pair) error {
 			return err
 		}
 		splits++
+	}
+	if led != nil && splits > 0 {
+		led.Since(oplog.PhaseSplitAssist, splitSt)
 	}
 	t.tr.Emit(trace.EvBatchPhase, trace.BatchPhaseSplits, uint64(splits), 0, 0)
 
@@ -194,7 +227,7 @@ type fltOp struct {
 // first, then pending pairs are packed into the space. Pairs that do
 // not fit anywhere on the existing chain go onto fresh overflow pages
 // appended at the tail.
-func (t *Table) putBucketGroup(bucket uint32, pairs []Pair, idxs []int) error {
+func (t *Table) putBucketGroup(bucket uint32, pairs []Pair, idxs []int, led *oplog.Ledger) error {
 	// Deduplicate within the group, last occurrence winning — the
 	// outcome sequential Puts would produce. Small groups use a linear
 	// scan; large ones (a batch concentrated on few buckets) a map.
@@ -261,7 +294,7 @@ func (t *Table) putBucketGroup(bucket uint32, pairs []Pair, idxs []int) error {
 	// hashes come from the in-memory batch, so big refs need no re-read.
 	var fRems, fAdds []fltOp
 
-	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
+	err := t.walkChainOp(led, bucket, func(buf *buffer.Buf) (bool, error) {
 		pos++
 		pg := page(buf.Page)
 		tailAddr = buf.Addr
@@ -338,7 +371,7 @@ func (t *Table) putBucketGroup(bucket uint32, pairs []Pair, idxs []int) error {
 	// Whatever did not fit on the existing chain goes onto fresh
 	// overflow pages appended at the tail.
 	if left > 0 {
-		tail, err := t.fetchAddr(tailAddr, bucket)
+		tail, err := t.fetchAddrOp(led, tailAddr, bucket)
 		if err != nil {
 			return err
 		}
@@ -372,7 +405,7 @@ func (t *Table) putBucketGroup(bucket uint32, pairs []Pair, idxs []int) error {
 	// possibly different position) lands, or the remove could cancel the
 	// wrong byte.
 	if len(fRems) > 0 || len(fAdds) > 0 {
-		pb, err := t.getBucketPage(bucket)
+		pb, err := t.getBucketPageOp(led, bucket)
 		if err != nil {
 			return err
 		}

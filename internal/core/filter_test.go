@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+
+	"unixhash/internal/oplog"
 )
 
 // TestMissAllocs guards the negative-lookup hot path's allocation
@@ -39,6 +41,30 @@ func TestMissAllocs(t *testing.T) {
 	}
 	if skips := tbl.m.filterSkips.Load(); skips == 0 {
 		t.Fatal("miss storm never took the filter skip path")
+	}
+
+	// Same storm through the op-ledger entry point: a nil ledger must
+	// compile down to dead nil checks, and a live ledger charges phases
+	// into caller-owned fixed storage — both stay allocation-free.
+	for name, led := range map[string]*oplog.Ledger{"nil-ledger": nil, "live-ledger": new(oplog.Ledger)} {
+		led := led
+		t.Run(name, func(t *testing.T) {
+			led.StartOp(oplog.CmdGet, misses[0])
+			allocs := testing.AllocsPerRun(500, func() {
+				var err error
+				buf, err = tbl.GetBufOp(led, misses[i%n], buf)
+				if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("miss returned %v", err)
+				}
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("filtered miss GetBufOp (%s) allocated %.1f times per op, want 0", name, allocs)
+			}
+			if led != nil && led.PhaseCount(oplog.PhaseFilter) == 0 {
+				t.Fatal("live ledger recorded no filter consults")
+			}
+		})
 	}
 }
 

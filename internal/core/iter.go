@@ -96,7 +96,7 @@ func (it *Iterator) nextOnPage() (bool, error) {
 	// First touch of a bucket's primary: prefetch its overflow chain in
 	// one vectored read, since the scan is about to walk all of it.
 	if it.o == 0 && it.idx == 0 {
-		t.prefetchChain(buf, pg)
+		t.prefetchChain(buf, pg, nil)
 	}
 
 	e, n, err := entryAtWithCount(pg, it.idx)

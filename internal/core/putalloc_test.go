@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+
+	"unixhash/internal/oplog"
 )
 
 // TestPutAllocs guards the write hot path's allocation budget, the
@@ -37,6 +39,25 @@ func TestPutAllocs(t *testing.T) {
 		})
 		if allocs != 0 {
 			t.Fatalf("small replace Put allocated %.1f times per op, want 0", allocs)
+		}
+		// The op-ledger entry point must cost nothing extra: with no
+		// ledger attached the guards are dead nil checks, and with a live
+		// ledger every charge is an atomic add into caller-owned fixed
+		// storage — neither side of the gate may allocate.
+		for name, led := range map[string]*oplog.Ledger{"nil-ledger": nil, "live-ledger": new(oplog.Ledger)} {
+			led := led
+			t.Run(name, func(t *testing.T) {
+				led.StartOp(oplog.CmdPut, keys[0])
+				allocs := testing.AllocsPerRun(500, func() {
+					if err := tbl.PutOp(led, keys[i%n], val); err != nil {
+						t.Fatal(err)
+					}
+					i++
+				})
+				if allocs != 0 {
+					t.Fatalf("small replace PutOp (%s) allocated %.1f times per op, want 0", name, allocs)
+				}
+			})
 		}
 	})
 	t.Run("big-replace", func(t *testing.T) {

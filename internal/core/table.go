@@ -12,6 +12,7 @@ import (
 	"unixhash/internal/buffer"
 	"unixhash/internal/hashfunc"
 	"unixhash/internal/metrics"
+	"unixhash/internal/oplog"
 	"unixhash/internal/pagefile"
 	"unixhash/internal/telemetry"
 	"unixhash/internal/trace"
@@ -732,6 +733,11 @@ func (t *Table) getBucketPage(b uint32) (*buffer.Buf, error) {
 	return t.pool.Get(t.bucketAddr(b), nil, true)
 }
 
+// getBucketPageOp is getBucketPage charging the fetch to led.
+func (t *Table) getBucketPageOp(led *oplog.Ledger, b uint32) (*buffer.Buf, error) {
+	return t.pool.GetOp(led, t.bucketAddr(b), nil, true)
+}
+
 func (t *Table) checkOpen() error {
 	if t.closed {
 		return ErrClosed
@@ -767,15 +773,36 @@ func (t *Table) GetBuf(key, dst []byte) ([]byte, error) {
 	// read path byte-identical to the untraced one: no span, no clock
 	// reads, zero allocations (TestTraceDisabledZeroAlloc).
 	if t.tr == nil {
-		return t.getBuf(key, dst)
+		return t.getBuf(key, dst, nil)
 	}
 	sp := t.tr.OpBegin()
-	out, err := t.getBuf(key, dst)
+	out, err := t.getBuf(key, dst, nil)
 	t.tr.OpEnd(trace.OpGet, uint64(len(key)), sp)
 	return out, err
 }
 
-func (t *Table) getBuf(key, dst []byte) ([]byte, error) {
+// GetBufOp is GetBuf carrying an op ledger: latch waits, filter
+// consults, buffer traffic and read-ahead on this lookup are charged to
+// led's phases, and the trace-ring span of the op is recorded so an
+// exemplar can be joined back to its events. A nil ledger is exactly
+// GetBuf — the disabled path stays allocation- and clock-free.
+func (t *Table) GetBufOp(led *oplog.Ledger, key, dst []byte) ([]byte, error) {
+	if led == nil {
+		return t.GetBuf(key, dst)
+	}
+	if t.tr == nil {
+		out, err := t.getBuf(key, dst, led)
+		return out, err
+	}
+	seq0 := t.tr.Ring().Next()
+	sp := t.tr.OpBegin()
+	out, err := t.getBuf(key, dst, led)
+	t.tr.OpEnd(trace.OpGet, uint64(len(key)), sp)
+	led.SetTraceSpan(seq0, t.tr.Ring().Next())
+	return out, err
+}
+
+func (t *Table) getBuf(key, dst []byte, led *oplog.Ledger) ([]byte, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if err := t.checkOpen(); err != nil {
@@ -786,8 +813,15 @@ func (t *Table) getBuf(key, dst []byte) ([]byte, error) {
 	}
 	t.m.gets.Inc()
 	h := t.hash(key)
+	var st int64
+	if led != nil {
+		st = oplog.Clock()
+	}
 	bucket := t.lockBucket(h, false)
-	out, err := t.getFromBucket(bucket, h, key, dst)
+	if led != nil {
+		led.Since(oplog.PhaseLatchWait, st)
+	}
+	out, err := t.getFromBucket(bucket, h, key, dst, led)
 	t.stripeFor(bucket).RUnlock()
 	return out, err
 }
@@ -800,7 +834,7 @@ func (t *Table) getBuf(key, dst []byte) ([]byte, error) {
 // when the walk will descend a chain, the chain's pages are installed
 // ahead of it with one vectored read (prefetchChain). Caller holds the
 // bucket's stripe shared.
-func (t *Table) getFromBucket(bucket, h uint32, key, dst []byte) ([]byte, error) {
+func (t *Table) getFromBucket(bucket, h uint32, key, dst []byte, led *oplog.Ledger) ([]byte, error) {
 	out := dst[:0]
 	found := false
 	filtered := false // the primary's filter was consulted
@@ -808,14 +842,21 @@ func (t *Table) getFromBucket(bucket, h uint32, key, dst []byte) ([]byte, error)
 	skipped := false  // ... and it answered "definitely absent"
 	var hints uint8
 	pos := -1
-	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
+	err := t.walkChainOp(led, bucket, func(buf *buffer.Buf) (bool, error) {
 		pos++
 		pg := page(buf.Page)
 		if pos == 0 {
 			if t.filtersOn && !t.needsRecovery && !pg.fltSaturatedBit() {
+				var fst int64
+				if led != nil {
+					fst = oplog.Clock()
+				}
 				filtered = true
 				exact = !pg.fltInexactBit()
 				hints = pg.filterHints(h)
+				if led != nil {
+					led.Since(oplog.PhaseFilter, fst)
+				}
 				if hints == 0 {
 					// Definitely absent: stop before any chain read.
 					skipped = true
@@ -826,7 +867,7 @@ func (t *Table) getFromBucket(bucket, h uint32, key, dst []byte) ([]byte, error)
 			}
 			if !filtered || !exact || hints>>1 != 0 {
 				// The walk may descend the chain: read it ahead.
-				t.prefetchChain(buf, pg)
+				t.prefetchChain(buf, pg, led)
 			}
 		}
 		if filtered && exact {
@@ -910,7 +951,7 @@ func safeChainLink(pg []byte) (buffer.Addr, bool) {
 // no-op for chains short enough that demand paging is just as cheap,
 // when read-ahead is disabled, or on an unrecovered table (whose chain
 // counter bytes cannot be trusted).
-func (t *Table) prefetchChain(primary *buffer.Buf, pg page) {
+func (t *Table) prefetchChain(primary *buffer.Buf, pg page, led *oplog.Ledger) {
 	if !t.prefetchOn || t.needsRecovery {
 		return
 	}
@@ -922,7 +963,14 @@ func (t *Table) prefetchChain(primary *buffer.Buf, pg page) {
 	if first == 0 {
 		return
 	}
+	var st int64
+	if led != nil {
+		st = oplog.Clock()
+	}
 	n := t.pool.PrefetchChain(primary, ovflBufAddr(first), want, safeChainLink)
+	if led != nil {
+		led.Since(oplog.PhasePrefetch, st)
+	}
 	if n > 0 {
 		t.m.prefetches.Inc()
 		t.m.prefetchedPages.Add(int64(n))
@@ -946,7 +994,13 @@ func (t *Table) Has(key []byte) (bool, error) {
 // returns done=true to stop early. The predecessor page stays pinned
 // while its successor is fetched, preserving the buffer-chain linkage.
 func (t *Table) walkChain(bucket uint32, fn func(*buffer.Buf) (bool, error)) error {
-	cur, err := t.getBucketPage(bucket)
+	return t.walkChainOp(nil, bucket, fn)
+}
+
+// walkChainOp is walkChain charging the walk's page fetches to led
+// (buffer hit/fault phases discriminated inside the pool).
+func (t *Table) walkChainOp(led *oplog.Ledger, bucket uint32, fn func(*buffer.Buf) (bool, error)) error {
+	cur, err := t.getBucketPageOp(led, bucket)
 	if err != nil {
 		return err
 	}
@@ -979,7 +1033,7 @@ func (t *Table) walkChain(bucket uint32, fn func(*buffer.Buf) (bool, error)) err
 		if next == 0 {
 			return nil
 		}
-		nb, err := t.pool.Get(ovflBufAddr(next), cur, false)
+		nb, err := t.pool.GetOp(led, ovflBufAddr(next), cur, false)
 		if err != nil {
 			return err
 		}
@@ -992,11 +1046,18 @@ func (t *Table) walkChain(bucket uint32, fn func(*buffer.Buf) (bool, error)) err
 }
 
 // Put stores data under key, replacing any existing value.
-func (t *Table) Put(key, data []byte) error { return t.put(key, data, true) }
+func (t *Table) Put(key, data []byte) error { return t.put(key, data, true, nil) }
 
 // PutNew stores data under key, failing with ErrKeyExists if the key is
 // already present (the ndbm DBM_INSERT behaviour).
-func (t *Table) PutNew(key, data []byte) error { return t.put(key, data, false) }
+func (t *Table) PutNew(key, data []byte) error { return t.put(key, data, false, nil) }
+
+// PutOp is Put carrying an op ledger: latch waits, buffer traffic and
+// any cooperative split work triggered by this insert are charged to
+// led's phases. A nil ledger is exactly Put.
+func (t *Table) PutOp(led *oplog.Ledger, key, data []byte) error {
+	return t.put(key, data, true, led)
+}
 
 // putScan is what one pass over a bucket chain learns for an insert: the
 // existing entry if any, the first page with room, and the chain tail.
@@ -1017,11 +1078,11 @@ type putScan struct {
 // scanBucket walks the chain once, locating key and an insertion point.
 // needRef selects whether "room" means space for a big-pair ref or for a
 // regular pair of the given sizes.
-func (t *Table) scanBucket(bucket uint32, key []byte, needRef bool, klen, dlen int) (putScan, error) {
+func (t *Table) scanBucket(bucket uint32, key []byte, needRef bool, klen, dlen int, led *oplog.Ledger) (putScan, error) {
 	var s putScan
 	s.foundIdx = -1
 	pos := -1
-	err := t.walkChain(bucket, func(buf *buffer.Buf) (bool, error) {
+	err := t.walkChainOp(led, bucket, func(buf *buffer.Buf) (bool, error) {
 		pos++
 		pg := page(buf.Page)
 		s.tailAddr, s.tailPos = buf.Addr, pos
@@ -1072,23 +1133,35 @@ func (t *Table) scanBucket(bucket uint32, key []byte, needRef bool, klen, dlen i
 // fetchAddr pins the page at a previously scanned address on bucket's
 // chain (the owning bucket routes overflow pages to the chain's shard).
 func (t *Table) fetchAddr(a buffer.Addr, bucket uint32) (*buffer.Buf, error) {
-	if a.Ovfl {
-		return t.pool.GetOwned(a, bucket, false)
-	}
-	return t.getBucketPage(a.N)
+	return t.fetchAddrOp(nil, a, bucket)
 }
 
-func (t *Table) put(key, data []byte, replace bool) error {
+// fetchAddrOp is fetchAddr charging the fetch to led.
+func (t *Table) fetchAddrOp(led *oplog.Ledger, a buffer.Addr, bucket uint32) (*buffer.Buf, error) {
+	if a.Ovfl {
+		return t.pool.GetOwnedOp(led, a, bucket, false)
+	}
+	return t.getBucketPageOp(led, a.N)
+}
+
+func (t *Table) put(key, data []byte, replace bool, led *oplog.Ledger) error {
 	if t.tr == nil {
-		return t.putInner(key, data, replace)
+		return t.putInner(key, data, replace, led)
+	}
+	var seq0 uint64
+	if led != nil {
+		seq0 = t.tr.Ring().Next()
 	}
 	sp := t.tr.OpBegin()
-	err := t.putInner(key, data, replace)
+	err := t.putInner(key, data, replace, led)
 	t.tr.OpEnd(trace.OpPut, uint64(len(key)+len(data)), sp)
+	if led != nil {
+		led.SetTraceSpan(seq0, t.tr.Ring().Next())
+	}
 	return err
 }
 
-func (t *Table) putInner(key, data []byte, replace bool) error {
+func (t *Table) putInner(key, data []byte, replace bool, led *oplog.Ledger) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if err := t.checkWritable(); err != nil {
@@ -1121,8 +1194,15 @@ func (t *Table) putInner(key, data []byte, replace bool) error {
 		}
 	}
 
+	var st int64
+	if led != nil {
+		st = oplog.Clock()
+	}
 	bucket := t.lockBucket(h, true)
-	err := t.putInBucket(bucket, h, key, data, replace, big, ref)
+	if led != nil {
+		led.Since(oplog.PhaseLatchWait, st)
+	}
+	err := t.putInBucket(bucket, h, key, data, replace, big, ref, led)
 	t.stripeFor(bucket).Unlock()
 	if err != nil {
 		if big && errors.Is(err, ErrKeyExists) {
@@ -1138,8 +1218,14 @@ func (t *Table) putInner(key, data []byte, replace bool) error {
 	// released — the split takes its own pair of latches.
 	uncontrolled := t.addedOvfl.Swap(false) && !t.controlledOnly
 	if uncontrolled || t.nkeysA.Load() > int64(t.hdr.ffactor)*int64(t.geo.Load()+1) {
+		if led != nil {
+			st = oplog.Clock()
+		}
 		if err := t.maybeExpand(uncontrolled); err != nil {
 			return err
+		}
+		if led != nil {
+			led.Since(oplog.PhaseSplitAssist, st)
 		}
 	}
 	t.m.setShape(t.nkeysA.Load(), t.geo.Load())
@@ -1149,8 +1235,8 @@ func (t *Table) putInner(key, data []byte, replace bool) error {
 // putInBucket performs the insert-or-replace against one latched bucket
 // chain (h is key's hash). Caller holds the bucket's stripe exclusively;
 // for big pairs the chain at ref is already written.
-func (t *Table) putInBucket(bucket, h uint32, key, data []byte, replace, big bool, ref oaddr) error {
-	s, err := t.scanBucket(bucket, key, big, len(key), len(data))
+func (t *Table) putInBucket(bucket, h uint32, key, data []byte, replace, big bool, ref oaddr, led *oplog.Ledger) error {
+	s, err := t.scanBucket(bucket, key, big, len(key), len(data), led)
 	if err != nil {
 		return err
 	}
@@ -1176,7 +1262,7 @@ func (t *Table) putInBucket(bucket, h uint32, key, data []byte, replace, big boo
 			}
 			s.foundSum = pairHash(key, old)
 		}
-		buf, err := t.fetchAddr(s.foundAddr, bucket)
+		buf, err := t.fetchAddrOp(led, s.foundAddr, bucket)
 		if err != nil {
 			return err
 		}
@@ -1206,7 +1292,7 @@ func (t *Table) putInBucket(bucket, h uint32, key, data []byte, replace, big boo
 	}
 
 	if !inserted && s.room {
-		buf, err := t.fetchAddr(s.roomAddr, bucket)
+		buf, err := t.fetchAddrOp(led, s.roomAddr, bucket)
 		if err != nil {
 			return err
 		}
@@ -1227,7 +1313,7 @@ func (t *Table) putInBucket(bucket, h uint32, key, data []byte, replace, big boo
 	}
 
 	if !inserted {
-		tail, err := t.fetchAddr(s.tailAddr, bucket)
+		tail, err := t.fetchAddrOp(led, s.tailAddr, bucket)
 		if err != nil {
 			return err
 		}
@@ -1256,7 +1342,7 @@ func (t *Table) putInBucket(bucket, h uint32, key, data []byte, replace, big boo
 	// Settle the primary page's tag filter: the replaced copy's tag
 	// leaves, the new copy's tag lands at its insertion position. One
 	// extra pin of the primary — a pool hit, the scan just touched it.
-	pb, err := t.getBucketPage(bucket)
+	pb, err := t.getBucketPageOp(led, bucket)
 	if err != nil {
 		return err
 	}
@@ -1406,17 +1492,28 @@ func (t *Table) appendOvfl(tail *buffer.Buf) (*buffer.Buf, error) {
 }
 
 // Delete removes key, returning ErrNotFound if absent.
-func (t *Table) Delete(key []byte) error {
+func (t *Table) Delete(key []byte) error { return t.DeleteOp(nil, key) }
+
+// DeleteOp is Delete carrying an op ledger (see PutOp). A nil ledger
+// is exactly Delete.
+func (t *Table) DeleteOp(led *oplog.Ledger, key []byte) error {
 	if t.tr == nil {
-		return t.deleteInner(key)
+		return t.deleteInner(key, led)
+	}
+	var seq0 uint64
+	if led != nil {
+		seq0 = t.tr.Ring().Next()
 	}
 	sp := t.tr.OpBegin()
-	err := t.deleteInner(key)
+	err := t.deleteInner(key, led)
 	t.tr.OpEnd(trace.OpDelete, uint64(len(key)), sp)
+	if led != nil {
+		led.SetTraceSpan(seq0, t.tr.Ring().Next())
+	}
 	return err
 }
 
-func (t *Table) deleteInner(key []byte) error {
+func (t *Table) deleteInner(key []byte, led *oplog.Ledger) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if err := t.checkWritable(); err != nil {
@@ -1431,8 +1528,15 @@ func (t *Table) deleteInner(key []byte) error {
 		return err
 	}
 	h := t.hash(key)
+	var st int64
+	if led != nil {
+		st = oplog.Clock()
+	}
 	bucket := t.lockBucket(h, true)
-	removed, err := t.deleteFromBucket(bucket, h, key)
+	if led != nil {
+		led.Since(oplog.PhaseLatchWait, st)
+	}
+	removed, err := t.deleteFromBucket(bucket, h, key, led)
 	t.stripeFor(bucket).Unlock()
 	if err != nil {
 		return err
@@ -1447,12 +1551,12 @@ func (t *Table) deleteInner(key []byte) error {
 // deleteFromBucket removes key from bucket if present (h is key's
 // hash), freeing big-pair chains and unlinking overflow pages that
 // become empty. It decrements nkeys when it removes something.
-func (t *Table) deleteFromBucket(bucket, h uint32, key []byte) (bool, error) {
+func (t *Table) deleteFromBucket(bucket, h uint32, key []byte, led *oplog.Ledger) (bool, error) {
 	removed := false
 	pos := 0                 // chain position of the page under examination
 	var prevBuf *buffer.Buf // predecessor of the page under examination
 
-	cur, err := t.getBucketPage(bucket)
+	cur, err := t.getBucketPageOp(led, bucket)
 	if err != nil {
 		return false, err
 	}
@@ -1547,7 +1651,7 @@ func (t *Table) deleteFromBucket(bucket, h uint32, key []byte) (bool, error) {
 		if next == 0 {
 			return removed, nil
 		}
-		nb, err := t.pool.Get(ovflBufAddr(next), cur, false)
+		nb, err := t.pool.GetOp(led, ovflBufAddr(next), cur, false)
 		if err != nil {
 			return false, err
 		}
@@ -2039,4 +2143,14 @@ func (t *Table) WALStats() (st wal.Stats, ok bool) {
 		return wal.Stats{}, false
 	}
 	return t.wal.Stats(), true
+}
+
+// WALLastLSN reports the last appended commit LSN (0 without a log).
+// Together with Geometry().WalLSN — the checkpoint LSN — it measures
+// checkpoint lag: the commits a crash would have to replay.
+func (t *Table) WALLastLSN() uint64 {
+	if t.wal == nil {
+		return 0
+	}
+	return t.wal.LastLSN()
 }

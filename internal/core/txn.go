@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"unixhash/internal/oplog"
 	"unixhash/internal/trace"
 	"unixhash/internal/wal"
 )
@@ -36,8 +37,14 @@ var (
 type Txn struct {
 	t    *Table
 	ops  []wal.Op
+	led  *oplog.Ledger
 	done bool
 }
+
+// SetOplog attaches an op ledger to the transaction. Commit charges its
+// WAL marshal/fsync, latch wait, and split-assist time to the ledger.
+// A nil ledger (the default) keeps the commit path unchanged.
+func (x *Txn) SetOplog(led *oplog.Ledger) { x.led = led }
 
 // Begin starts a transaction. The table must have been opened with
 // Options.WAL.
@@ -117,15 +124,22 @@ func (x *Txn) Commit() error {
 	}
 	t := x.t
 	if t.tr == nil {
-		return t.commitOps(x.ops)
+		return t.commitOps(x.ops, x.led)
+	}
+	var seq0 uint64
+	if x.led != nil {
+		seq0 = t.tr.Ring().Next()
 	}
 	sp := t.tr.OpBegin()
-	err := t.commitOps(x.ops)
+	err := t.commitOps(x.ops, x.led)
 	t.tr.OpEnd(trace.OpCommit, uint64(len(x.ops)), sp)
+	if x.led != nil {
+		x.led.SetTraceSpan(seq0, t.tr.Ring().Next())
+	}
 	return err
 }
 
-func (t *Table) commitOps(ops []wal.Op) error {
+func (t *Table) commitOps(ops []wal.Op, led *oplog.Ledger) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if err := t.checkWritable(); err != nil {
@@ -141,17 +155,17 @@ func (t *Table) commitOps(ops []wal.Op) error {
 	// commit must only ever over-sync.
 	defer t.mutSeq.Add(1)
 
-	commitLSN, end, err := t.wal.Append(ops)
+	commitLSN, end, err := t.wal.AppendOp(led, ops)
 	if err != nil {
 		return fmt.Errorf("hash: txn append: %w", err)
 	}
-	if err := t.wal.SyncTo(end); err != nil {
+	if err := t.wal.SyncToOp(led, end); err != nil {
 		return fmt.Errorf("hash: txn fsync: %w", err)
 	}
 	// The transaction is durable. Everything from here on is replayable
 	// from the log, so a failure below must freeze appliedLSN (via the
 	// damage poison) rather than roll anything back.
-	if err := t.applyTxn(ops); err != nil {
+	if err := t.applyTxn(ops, led); err != nil {
 		err = fmt.Errorf("hash: committed transaction %d applied partially (reopen or Recover to converge): %w", commitLSN, err)
 		t.setWALDamaged(err)
 		return err
@@ -163,8 +177,15 @@ func (t *Table) commitOps(ops []wal.Op) error {
 	// split takes its own.
 	uncontrolled := t.addedOvfl.Swap(false) && !t.controlledOnly
 	if uncontrolled || t.nkeysA.Load() > int64(t.hdr.ffactor)*int64(t.geo.Load()+1) {
+		var st int64
+		if led != nil {
+			st = oplog.Clock()
+		}
 		if err := t.maybeExpand(uncontrolled); err != nil {
 			return err
+		}
+		if led != nil {
+			led.Since(oplog.PhaseSplitAssist, st)
 		}
 	}
 	t.m.setShape(t.nkeysA.Load(), t.geo.Load())
@@ -186,7 +207,7 @@ type txnTarget struct {
 // split pointer, and the ops applied in order. A route invalidated by a
 // concurrent split backs off, helps the split, and retries — the same
 // protocol as lockBucket, extended to a set of buckets.
-func (t *Table) applyTxn(ops []wal.Op) error {
+func (t *Table) applyTxn(ops []wal.Op, led *oplog.Ledger) error {
 	if err := t.markDirty(); err != nil {
 		return err
 	}
@@ -223,8 +244,15 @@ func (t *Table) applyTxn(ops []wal.Op) error {
 			}
 		}
 		stripes = stripes[:n]
+		var st int64
+		if led != nil {
+			st = oplog.Clock()
+		}
 		for _, s := range stripes {
 			t.stripes[s].Lock()
+		}
+		if led != nil {
+			led.Since(oplog.PhaseLatchWait, st)
 		}
 
 		// Revalidate under the latches: a split may have moved a route or
@@ -251,9 +279,9 @@ func (t *Table) applyTxn(ops []wal.Op) error {
 		for i := range ops {
 			op, tg := &ops[i], &targets[i]
 			if op.Delete {
-				_, err = t.deleteFromBucket(tg.bucket, tg.hash, op.Key)
+				_, err = t.deleteFromBucket(tg.bucket, tg.hash, op.Key, led)
 			} else {
-				err = t.putInBucket(tg.bucket, tg.hash, op.Key, op.Data, true, tg.big, tg.ref)
+				err = t.putInBucket(tg.bucket, tg.hash, op.Key, op.Data, true, tg.big, tg.ref, led)
 			}
 			if err != nil {
 				break

@@ -156,13 +156,23 @@ type HashStats struct {
 	FilterSkips          int64
 	FilterFalsePositives int64
 	FilterPageSkips      int64
-	Prefetches           int64
-	PrefetchedPages      int64
+	// FilterHitRate is the fraction of filter consults that proved the
+	// key absent without touching a page (skips over all consults).
+	FilterHitRate   float64
+	Prefetches      int64
+	PrefetchedPages int64
 	// Write-ahead log activity; all zero for a table without a log.
 	WalLSN     uint64 // checkpoint LSN from the header
-	TxnCommits int64
-	WalAppends int64
-	WalFsyncs  int64
+	WalLastLSN uint64 // last appended commit LSN
+	// WalCheckpointLag counts the committed transactions a crash right
+	// now would replay: WalLastLSN - WalLSN (summed across shards).
+	WalCheckpointLag uint64
+	TxnCommits       int64
+	WalAppends       int64
+	WalFsyncs        int64
+	WalFsyncJoins    int64 // commits that shared another committer's fsync
+	WalAppendedBytes int64
+	WalIOTimeNS      int64
 }
 
 // BtreeStats is the btree method's detail.
@@ -361,8 +371,25 @@ func (d *hashDB) Stats() (Stats, error) {
 	if ws, ok := d.t.WALStats(); ok {
 		s.Hash.WalAppends = ws.Appends
 		s.Hash.WalFsyncs = ws.Fsyncs
+		s.Hash.WalFsyncJoins = ws.FsyncJoins
+		s.Hash.WalAppendedBytes = ws.AppendedBytes
+		s.Hash.WalIOTimeNS = int64(ws.IOTime)
+		s.Hash.WalLastLSN = d.t.WALLastLSN()
+		if s.Hash.WalLastLSN > s.Hash.WalLSN {
+			s.Hash.WalCheckpointLag = s.Hash.WalLastLSN - s.Hash.WalLSN
+		}
 	}
+	s.Hash.FilterHitRate = filterHitRate(s.Hash)
 	return s, nil
+}
+
+// filterHitRate derives the proven-absent fraction from the raw filter
+// counters; zero consults yields zero.
+func filterHitRate(h *HashStats) float64 {
+	if t := h.FilterHits + h.FilterSkips; t > 0 {
+		return float64(h.FilterSkips) / float64(t)
+	}
+	return 0
 }
 
 // table exposes the underlying hash table inside the package (telemetry

@@ -12,6 +12,7 @@ import (
 
 	"unixhash/internal/core"
 	"unixhash/internal/metrics"
+	"unixhash/internal/oplog"
 )
 
 // Sharded is a hash database partitioned into N independent shards:
@@ -321,6 +322,8 @@ func (s *Sharded) Stats() (Stats, error) {
 	if b := int64(agg.Hash.Buckets); b > 0 {
 		agg.Hash.AvgFill /= float64(b)
 	}
+	// Rates do not sum; rederive the aggregate from the summed counters.
+	agg.Hash.FilterHitRate = filterHitRate(agg.Hash)
 	return agg, nil
 }
 
@@ -362,9 +365,16 @@ func addHashStats(agg, sh *HashStats) {
 	if sh.WalLSN > agg.WalLSN {
 		agg.WalLSN = sh.WalLSN
 	}
+	if sh.WalLastLSN > agg.WalLastLSN {
+		agg.WalLastLSN = sh.WalLastLSN
+	}
+	agg.WalCheckpointLag += sh.WalCheckpointLag
 	agg.TxnCommits += sh.TxnCommits
 	agg.WalAppends += sh.WalAppends
 	agg.WalFsyncs += sh.WalFsyncs
+	agg.WalFsyncJoins += sh.WalFsyncJoins
+	agg.WalAppendedBytes += sh.WalAppendedBytes
+	agg.WalIOTimeNS += sh.WalIOTimeNS
 }
 
 // Begin starts a routing transaction: each op lands in a per-shard
@@ -388,6 +398,7 @@ func (s *Sharded) Begin() (Txn, error) {
 type shardedTxn struct {
 	s    *Sharded
 	sub  []Txn
+	led  *oplog.Ledger
 	done bool
 }
 
@@ -400,6 +411,11 @@ func (x *shardedTxn) forKey(key []byte) (Txn, error) {
 		t, err := x.s.shards[i].Begin()
 		if err != nil {
 			return nil, err
+		}
+		if x.led != nil {
+			if o, ok := t.(oplogTxn); ok {
+				o.SetOplog(x.led)
+			}
 		}
 		x.sub[i] = t
 	}

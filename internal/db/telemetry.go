@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"unixhash/internal/core"
+	"unixhash/internal/oplog"
 	"unixhash/internal/telemetry"
 )
 
@@ -28,7 +29,10 @@ func ServeTelemetry(d DB, addr string) (*telemetry.Server, error) {
 			return s, nil
 		},
 	}
-	switch x := d.(type) {
+	if rec := OplogRecorder(d); rec != nil {
+		MountOplog(&o, rec)
+	}
+	switch x := unwrap(d).(type) {
 	case *hashDB:
 		t := x.table()
 		o.Registry = t.MetricsRegistry()
@@ -40,6 +44,14 @@ func ServeTelemetry(d DB, addr string) (*telemetry.Server, error) {
 		o.Heatmap = func() (any, error) { return shardedHeatmap(x) }
 	}
 	return telemetry.Serve(addr, o)
+}
+
+// MountOplog points o's /debug/oplog endpoints at rec. ServeTelemetry
+// calls it for EnableOplog-wrapped databases; callers composing their
+// own telemetry.Options (the network server) use it directly.
+func MountOplog(o *telemetry.Options, rec *oplog.Recorder) {
+	o.Oplog = func() (any, error) { return rec.Snapshot(), nil }
+	o.OplogExemplars = func() (any, error) { return rec.Exemplars(), nil }
 }
 
 // shardHeat is one shard's slice of the sharded heatmap document.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"unixhash/internal/db"
+	"unixhash/internal/oplog"
 )
 
 // maxCoalesce caps the write-coalescing buffer: this many consecutive
@@ -34,7 +35,19 @@ type conn struct {
 	pending []db.Pair // coalesced PUTs not yet applied
 	txn     db.Txn    // open transaction, or nil
 	getBuf  []byte    // reused GetBuf storage
+
+	// Op-ledger state, touched only when srv.rec is non-nil. led is the
+	// per-command scratch ledger (one command runs at a time on a
+	// connection); txnLed is pinned for the life of an open transaction
+	// because BeginOp hands its address to the sub-transactions.
+	led        oplog.Ledger
+	txnLed     oplog.Ledger
+	txnTracked bool  // txn was begun with txnLed attached
+	pendSt     int64 // clock when the oldest pending PUT parked
 }
+
+// tracked reports whether this command should run under a ledger.
+func (c *conn) tracked() bool { return c.srv.rec != nil && c.srv.opdb != nil }
 
 func (c *conn) serve() {
 	defer func() {
@@ -50,9 +63,17 @@ func (c *conn) serve() {
 			// handled, so apply pending writes and push replies before
 			// blocking on the network.
 			c.flushPending()
-			if c.w.Flush() != nil {
+			if c.flushReplies() != nil {
 				return
 			}
+		}
+		// Parse attribution: only meaningful when the command's bytes are
+		// already in memory — otherwise the read is network idle, not
+		// parsing, and charging it would swamp every other phase.
+		var parseSt int64
+		timeParse := c.srv.rec != nil && c.r.buffered() > 0
+		if timeParse {
+			parseSt = oplog.Clock()
 		}
 		args, err := c.r.ReadCommand()
 		if err != nil {
@@ -62,13 +83,34 @@ func (c *conn) serve() {
 		if args == nil { // blank line between commands
 			continue
 		}
+		var parseNS int64
+		if timeParse {
+			parseNS = oplog.Clock() - parseSt
+		}
 		c.srv.mCmds.Inc()
-		if !c.dispatch(args) {
+		if !c.dispatch(args, parseNS) {
 			c.flushPending()
 			c.w.Flush()
 			return
 		}
 	}
+}
+
+// flushReplies pushes buffered replies to the socket, attributing the
+// write to a reply-phase ledger when attribution is on and the window
+// actually owes bytes.
+func (c *conn) flushReplies() error {
+	if c.srv.rec == nil || c.w.buffered() == 0 {
+		return c.w.Flush()
+	}
+	led := &c.led
+	led.StartOp(oplog.CmdOther, nil)
+	st := oplog.Clock()
+	err := c.w.Flush()
+	led.Since(oplog.PhaseReply, st)
+	led.Finish()
+	c.srv.rec.Record(led)
+	return err
 }
 
 // readFailed ends the loop on a read error: shutdown drain, clean
@@ -93,8 +135,10 @@ func (c *conn) readFailed(err error) {
 }
 
 // dispatch executes one command, returning false to close the
-// connection. Replies are buffered, not yet flushed.
-func (c *conn) dispatch(args [][]byte) bool {
+// connection. Replies are buffered, not yet flushed. parseNS is the
+// command's attributable parse time (0 when attribution is off or the
+// read blocked on the network).
+func (c *conn) dispatch(args [][]byte, parseNS int64) bool {
 	cmd := asciiUpper(args[0])
 	// Every command except a plain PUT is a coalescing barrier: the
 	// pending batch must land first so replies stay ordered and reads
@@ -107,7 +151,20 @@ func (c *conn) dispatch(args [][]byte) bool {
 		if !c.arity(args, 2) {
 			return true
 		}
-		v, err := c.srv.db.GetBuf(args[1], c.getBuf)
+		var v []byte
+		var err error
+		if c.tracked() {
+			led := &c.led
+			led.StartOp(oplog.CmdGet, args[1])
+			if parseNS > 0 {
+				led.Add(oplog.PhaseParse, parseNS)
+			}
+			v, err = c.srv.opdb.GetBufOp(led, args[1], c.getBuf)
+			led.Finish()
+			c.srv.rec.Record(led)
+		} else {
+			v, err = c.srv.db.GetBuf(args[1], c.getBuf)
+		}
 		switch {
 		case errors.Is(err, db.ErrNotFound):
 			c.w.Nil()
@@ -131,6 +188,18 @@ func (c *conn) dispatch(args [][]byte) bool {
 		}
 		// Coalesce: park the pair, owe the +OK. The parser allocated the
 		// argument slices, so they stay valid until the batch applies.
+		// With attribution on, the batch ledger opens at the first park —
+		// its elapsed time then brackets the coalesce wait flushPending
+		// settles — and later parked PUTs fold their parse time in.
+		if c.tracked() {
+			if len(c.pending) == 0 {
+				c.led.StartOp(oplog.CmdPut, args[1])
+				c.pendSt = oplog.Clock()
+			}
+			if parseNS > 0 {
+				c.led.Add(oplog.PhaseParse, parseNS)
+			}
+		}
 		c.pending = append(c.pending, db.Pair{Key: args[1], Data: args[2]})
 		if len(c.pending) >= maxCoalesce {
 			c.flushPending()
@@ -147,7 +216,20 @@ func (c *conn) dispatch(args [][]byte) bool {
 			}
 			return true
 		}
-		switch err := c.srv.db.Delete(args[1]); {
+		var err error
+		if c.tracked() {
+			led := &c.led
+			led.StartOp(oplog.CmdDelete, args[1])
+			if parseNS > 0 {
+				led.Add(oplog.PhaseParse, parseNS)
+			}
+			err = c.srv.opdb.DeleteOp(led, args[1])
+			led.Finish()
+			c.srv.rec.Record(led)
+		} else {
+			err = c.srv.db.Delete(args[1])
+		}
+		switch {
 		case errors.Is(err, db.ErrNotFound):
 			c.w.Int(0)
 		case err != nil:
@@ -156,21 +238,11 @@ func (c *conn) dispatch(args [][]byte) bool {
 			c.w.Int(1)
 		}
 	case "BATCH":
-		c.batch(args)
+		c.batch(args, parseNS)
 	case "TXN":
-		c.txnCmd(args)
+		c.txnCmd(args, parseNS)
 	case "STATS":
-		s, err := c.srv.db.Stats()
-		if err != nil {
-			c.cmdErr(err)
-			return true
-		}
-		j, err := json.Marshal(s)
-		if err != nil {
-			c.cmdErr(err)
-			return true
-		}
-		c.w.Bulk(j)
+		c.stats(parseNS)
 	case "PING":
 		c.w.Status("PONG")
 	case "QUIT":
@@ -185,7 +257,7 @@ func (c *conn) dispatch(args [][]byte) bool {
 
 // batch applies BATCH k1 v1 [k2 v2 ...]: the explicit form of what
 // coalescing does implicitly — one PutBatch, one reply (:n pairs).
-func (c *conn) batch(args [][]byte) {
+func (c *conn) batch(args [][]byte, parseNS int64) {
 	if len(args) < 3 || len(args)%2 == 0 {
 		c.srv.mErrors.Inc()
 		c.w.Error("BATCH wants KEY VALUE pairs")
@@ -195,7 +267,20 @@ func (c *conn) batch(args [][]byte) {
 	for i := 1; i < len(args); i += 2 {
 		pairs = append(pairs, db.Pair{Key: args[i], Data: args[i+1]})
 	}
-	if err := c.srv.db.PutBatch(pairs); err != nil {
+	var err error
+	if c.tracked() {
+		led := &c.led
+		led.StartOp(oplog.CmdBatch, pairs[0].Key)
+		if parseNS > 0 {
+			led.Add(oplog.PhaseParse, parseNS)
+		}
+		err = c.srv.opdb.PutBatchOp(led, pairs)
+		led.Finish()
+		c.srv.rec.Record(led)
+	} else {
+		err = c.srv.db.PutBatch(pairs)
+	}
+	if err != nil {
 		c.cmdErr(err)
 		return
 	}
@@ -203,12 +288,48 @@ func (c *conn) batch(args [][]byte) {
 	c.w.Int(int64(len(pairs)))
 }
 
+// stats answers STATS with the database's JSON statistics; with
+// attribution on, the document gains an "Oplog" member carrying the
+// recorder's per-command phase summary.
+func (c *conn) stats(parseNS int64) {
+	led := &c.led
+	if c.srv.rec != nil {
+		led.StartOp(oplog.CmdStats, nil)
+		if parseNS > 0 {
+			led.Add(oplog.PhaseParse, parseNS)
+		}
+	}
+	s, err := c.srv.db.Stats()
+	if err != nil {
+		c.cmdErr(err)
+		return
+	}
+	var doc any = s
+	if c.srv.rec != nil {
+		sum := c.srv.rec.Snapshot()
+		doc = struct {
+			db.Stats
+			Oplog *oplog.Summary
+		}{s, &sum}
+	}
+	j, err := json.Marshal(doc)
+	if err != nil {
+		c.cmdErr(err)
+		return
+	}
+	c.w.Bulk(j)
+	if c.srv.rec != nil {
+		led.Finish()
+		c.srv.rec.Record(led)
+	}
+}
+
 // txnCmd handles TXN BEGIN|COMMIT|ROLLBACK. Between BEGIN and COMMIT,
 // PUT and DEL queue into the transaction (+QUEUED) and become visible
 // and durable as one unit at COMMIT; GET does not observe the
 // transaction's own queued writes. On a sharded database the unit is
 // per shard (see db.Sharded.Begin).
-func (c *conn) txnCmd(args [][]byte) {
+func (c *conn) txnCmd(args [][]byte, parseNS int64) {
 	if len(args) != 2 {
 		c.srv.mErrors.Inc()
 		c.w.Error("TXN wants BEGIN, COMMIT or ROLLBACK")
@@ -221,7 +342,17 @@ func (c *conn) txnCmd(args [][]byte) {
 			c.w.Error("transaction already open")
 			return
 		}
-		x, err := c.srv.db.Begin()
+		var x db.Txn
+		var err error
+		if c.tracked() {
+			// The ledger is attached now (the sub-transactions hold its
+			// address) but started at COMMIT, where the phases happen.
+			x, err = c.srv.opdb.BeginOp(&c.txnLed)
+			c.txnTracked = err == nil
+		} else {
+			x, err = c.srv.db.Begin()
+			c.txnTracked = false
+		}
 		if err != nil {
 			c.cmdErr(err)
 			return
@@ -234,8 +365,21 @@ func (c *conn) txnCmd(args [][]byte) {
 			c.w.Error("no transaction")
 			return
 		}
+		tracked := c.txnTracked && c.srv.rec != nil
+		led := &c.txnLed
+		if tracked {
+			led.StartOp(oplog.CmdTxn, nil)
+			if parseNS > 0 {
+				led.Add(oplog.PhaseParse, parseNS)
+			}
+		}
 		err := c.txn.Commit()
+		if tracked {
+			led.Finish()
+			c.srv.rec.Record(led)
+		}
 		c.txn = nil
+		c.txnTracked = false
 		if err != nil {
 			c.cmdErr(err)
 			return
@@ -270,7 +414,20 @@ func (c *conn) flushPending() {
 		return
 	}
 	n := len(c.pending)
-	err := c.srv.db.PutBatch(c.pending)
+	var err error
+	if c.tracked() {
+		// One ledger stands for the whole coalesced batch: it opened at
+		// the first park (the dispatch PUT case), so the wait the PUTs
+		// spent parked is the coalesce phase (counted once per pair) and
+		// the db phases below are the batch's own.
+		led := &c.led
+		led.AddN(oplog.PhaseCoalesce, oplog.Clock()-c.pendSt, n)
+		err = c.srv.opdb.PutBatchOp(led, c.pending)
+		led.Finish()
+		c.srv.rec.Record(led)
+	} else {
+		err = c.srv.db.PutBatch(c.pending)
+	}
 	c.pending = c.pending[:0]
 	if err != nil {
 		c.srv.mErrors.Inc()

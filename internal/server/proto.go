@@ -210,6 +210,10 @@ func newWriter(w io.Writer) *writer {
 
 func (w *writer) Flush() error { return w.bw.Flush() }
 
+// buffered reports how many reply bytes await a Flush; the connection
+// uses it to skip reply-write attribution for an empty window.
+func (w *writer) buffered() int { return w.bw.Buffered() }
+
 func (w *writer) Status(s string) {
 	w.bw.WriteByte('+')
 	w.bw.WriteString(s)

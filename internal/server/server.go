@@ -8,6 +8,7 @@ import (
 
 	"unixhash/internal/db"
 	"unixhash/internal/metrics"
+	"unixhash/internal/oplog"
 )
 
 // Options configures Serve.
@@ -23,6 +24,13 @@ type Options struct {
 	// shards aggregate into and one /metrics page carries the whole
 	// stack, storage to sockets.
 	Metrics *metrics.Registry
+	// Oplog, when non-nil, turns on per-request phase attribution:
+	// every command runs under an op ledger (parse, coalesce wait,
+	// shard route, latch wait, WAL, buffer pool, reply write) recorded
+	// into this recorder. Requires a DB implementing db.OpDB (the hash
+	// shapes do); otherwise the option is ignored. Nil keeps the
+	// zero-overhead path: no ledger is ever touched.
+	Oplog *oplog.Recorder
 }
 
 // Server is a listening network front end. Close stops it gracefully:
@@ -30,8 +38,10 @@ type Options struct {
 // applies its in-flight work (pending coalesced writes included) and
 // says goodbye, and Close returns when the last one has drained.
 type Server struct {
-	db db.DB
-	ln net.Listener
+	db   db.DB
+	ln   net.Listener
+	rec  *oplog.Recorder // nil: attribution off
+	opdb db.OpDB         // non-nil iff rec is set and db carries ledgers
 
 	mu     sync.Mutex
 	conns  map[*conn]struct{}
@@ -58,6 +68,11 @@ func Serve(addr string, o Options) (*Server, error) {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	s := &Server{db: o.DB, ln: ln, conns: make(map[*conn]struct{})}
+	if o.Oplog != nil {
+		if od, ok := o.DB.(db.OpDB); ok {
+			s.rec, s.opdb = o.Oplog, od
+		}
+	}
 	reg := o.Metrics
 	if reg == nil {
 		reg = metrics.New() // private sink: the counters still work

@@ -20,6 +20,8 @@
 //	                       filters by event type, ?n=N caps the count
 //	/debug/slowops         captured slow-operation spans
 //	/debug/heatmap         per-bucket fill factor and chain depth
+//	/debug/oplog           per-command, per-shard phase-latency summary
+//	/debug/oplog/exemplars slowest request ledgers per command per window
 //	/debug/pprof/...       the standard runtime profiles
 package telemetry
 
@@ -48,6 +50,12 @@ type Options struct {
 	Stats func() (any, error)
 	// Heatmap computes the /debug/heatmap JSON payload per request.
 	Heatmap func() (any, error)
+	// Oplog computes the /debug/oplog JSON payload (per-command,
+	// per-shard phase-latency summary) per request.
+	Oplog func() (any, error)
+	// OplogExemplars computes the /debug/oplog/exemplars JSON payload
+	// (slowest full ledgers per command per window) per request.
+	OplogExemplars func() (any, error)
 }
 
 // NewHandler builds the telemetry endpoint tree.
@@ -66,6 +74,8 @@ func NewHandler(o Options) http.Handler {
 			"/debug/events     trace ring (?type=NAME&n=N)\n"+
 			"/debug/slowops    slow-operation spans\n"+
 			"/debug/heatmap    per-bucket fill and chain depth\n"+
+			"/debug/oplog      per-command phase-latency summary\n"+
+			"/debug/oplog/exemplars  slowest request ledgers per window\n"+
 			"/debug/pprof/     runtime profiles\n")
 	})
 
@@ -83,6 +93,8 @@ func NewHandler(o Options) http.Handler {
 
 	mux.HandleFunc("/stats", jsonEndpoint(o.Stats, "no stats source attached"))
 	mux.HandleFunc("/debug/heatmap", jsonEndpoint(o.Heatmap, "no heatmap source attached"))
+	mux.HandleFunc("/debug/oplog", jsonEndpoint(o.Oplog, "no op ledger recorder attached"))
+	mux.HandleFunc("/debug/oplog/exemplars", jsonEndpoint(o.OplogExemplars, "no op ledger recorder attached"))
 
 	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
 		if o.Tracer == nil {

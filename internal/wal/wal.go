@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"unixhash/internal/metrics"
+	"unixhash/internal/oplog"
 	"unixhash/internal/trace"
 )
 
@@ -371,7 +372,18 @@ func (l *Log) Append(ops []Op) (commitLSN uint64, end int64, err error) {
 // follower that waited out a round whose leader failed gets the leader's
 // error — retrying as a fresh leader against a device that just refused
 // an fsync would only pile errors onto a poisoned store.
-func (l *Log) SyncTo(end int64) error {
+func (l *Log) SyncTo(end int64) error { return l.SyncToOp(nil, end) }
+
+// SyncToOp is SyncTo with op-ledger attribution: a caller whose offset
+// is covered by another committer's fsync (before or after parking on
+// the group-commit round) charges the follower-join phase; the caller
+// that performs the device fsync charges the leader phase, including
+// any time it first spent parked. A nil ledger is exactly SyncTo.
+func (l *Log) SyncToOp(led *oplog.Ledger, end int64) error {
+	var st int64
+	if led != nil {
+		st = oplog.Clock()
+	}
 	l.sc.mu.Lock()
 	for {
 		if l.sc.synced >= end {
@@ -379,6 +391,9 @@ func (l *Log) SyncTo(end int64) error {
 			l.stMu.Lock()
 			l.st.FsyncJoins++
 			l.stMu.Unlock()
+			if led != nil {
+				led.Since(oplog.PhaseWALFsyncJoin, st)
+			}
 			return nil
 		}
 		if !l.sc.syncing {
@@ -389,6 +404,9 @@ func (l *Log) SyncTo(end int64) error {
 		if l.sc.round != round && l.sc.synced < end && l.sc.lastErr != nil {
 			err := l.sc.lastErr
 			l.sc.mu.Unlock()
+			if led != nil {
+				led.Since(oplog.PhaseWALFsyncJoin, st)
+			}
 			return err
 		}
 	}
@@ -419,7 +437,23 @@ func (l *Log) SyncTo(end int64) error {
 	}
 	l.sc.cond.Broadcast()
 	l.sc.mu.Unlock()
+	if led != nil {
+		led.Since(oplog.PhaseWALFsyncLead, st)
+	}
 	return err
+}
+
+// AppendOp is Append with op-ledger attribution: transaction frame
+// marshal plus the single contiguous log write charge the WAL-marshal
+// phase. A nil ledger is exactly Append.
+func (l *Log) AppendOp(led *oplog.Ledger, ops []Op) (commitLSN uint64, end int64, err error) {
+	if led == nil {
+		return l.Append(ops)
+	}
+	st := oplog.Clock()
+	commitLSN, end, err = l.Append(ops)
+	led.Since(oplog.PhaseWALMarshal, st)
+	return commitLSN, end, err
 }
 
 // Sync makes every appended byte durable.
